@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure/per-table benchmark
+ * harnesses.  Each binary in bench/ regenerates one table or figure
+ * from the paper's evaluation section (see DESIGN.md's experiment
+ * index); this header pins the corpus sizes and provides the
+ * formatting helpers so the outputs line up run over run.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/optft.h"
+#include "core/optslice.h"
+#include "support/table.h"
+
+namespace oha::bench {
+
+/** Standard corpus sizes (scaled-down analogues of Section 6.1's 64 /
+ *  512-2048 input sets). */
+constexpr std::size_t kRaceProfileRuns = 48;
+constexpr std::size_t kRaceTestRuns = 16;
+constexpr std::size_t kSliceProfileRuns = 48;
+constexpr std::size_t kSliceTestRuns = 12;
+
+inline core::OptFtConfig
+standardOptFtConfig()
+{
+    core::OptFtConfig config;
+    config.maxProfileRuns = kRaceProfileRuns;
+    config.convergenceWindow = 8;
+    return config;
+}
+
+inline core::OptSliceConfig
+standardOptSliceConfig()
+{
+    core::OptSliceConfig config;
+    config.maxProfileRuns = kSliceProfileRuns;
+    config.convergenceWindow = 8;
+    return config;
+}
+
+/** Print the standard experiment banner. */
+inline void
+banner(const char *experiment, const char *paperClaim)
+{
+    std::printf("================================================="
+                "=====================\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper: %s\n", paperClaim);
+    std::printf("================================================="
+                "=====================\n\n");
+}
+
+/** Geometric-ish mean helper (the paper reports plain averages). */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double sum = 0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+} // namespace oha::bench

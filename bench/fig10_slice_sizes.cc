@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 10 reproduction: static slice sizes (instructions) from the
+ * sound ("Base Static") and predicated ("Optimistic Static") slicers
+ * over the selected non-trivial endpoints.
+ *
+ * Paper reference: the optimistic slicer shrinks slices by one to two
+ * orders of magnitude.
+ */
+
+#include "bench_common.h"
+
+using namespace oha;
+
+int
+main()
+{
+    bench::banner("Figure 10: static slice sizes, base vs optimistic",
+                  "1-2 orders of magnitude reduction");
+
+    TextTable table({"benchmark", "base static", "optimistic static",
+                     "reduction"});
+
+    std::vector<double> reductions;
+    for (const auto &name : workloads::sliceWorkloadNames()) {
+        const auto workload = workloads::makeSliceWorkload(
+            name, bench::kSliceProfileRuns, bench::kSliceTestRuns);
+        const auto result =
+            core::runOptSlice(workload, bench::standardOptSliceConfig());
+
+        const double reduction =
+            result.soundSliceSize /
+            std::max(result.optSliceSize, 1.0);
+        reductions.push_back(reduction);
+        table.addRow({result.name, fmtDouble(result.soundSliceSize, 0),
+                      fmtDouble(result.optSliceSize, 0),
+                      fmtSpeedup(reduction)});
+    }
+
+    std::printf("%s\n", table.str().c_str());
+    std::printf("average reduction: %.1fx\n", bench::mean(reductions));
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 8 reproduction: the effect of profiling effort on predicated
+ * static slice sizes.  For each benchmark we sweep the number of
+ * profiled executions and report the mean optimistic static slice
+ * size over the selected endpoints.
+ *
+ * Paper reference: slice sizes stay consistent as profiling grows for
+ * most applications; go's large input-dependent state space keeps its
+ * slice size moving (and growth need not be monotonic).
+ */
+
+#include "bench_common.h"
+
+using namespace oha;
+
+int
+main()
+{
+    bench::banner("Figure 8: predicated static slice size vs profiling",
+                  "stable for most benchmarks; go keeps moving");
+
+    const std::vector<std::size_t> sweep = {1, 2, 4, 8, 16, 32, 48};
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (std::size_t runs : sweep)
+        headers.push_back(std::to_string(runs) + " runs");
+    TextTable table(headers);
+
+    for (const auto &name : workloads::sliceWorkloadNames()) {
+        std::vector<std::string> row = {name};
+        for (std::size_t runs : sweep) {
+            const auto workload =
+                workloads::makeSliceWorkload(name, runs, 2);
+            core::OptSliceConfig config = bench::standardOptSliceConfig();
+            config.maxProfileRuns = runs;
+            config.convergenceWindow = runs;
+            const auto result = core::runOptSlice(workload, config);
+            row.push_back(fmtDouble(result.optSliceSize, 0));
+        }
+        table.addRow(row);
+    }
+
+    std::printf("%s\n", table.str().c_str());
+    std::printf("(cells are mean predicated static slice sizes, in "
+                "instructions, over the chosen endpoints)\n");
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrate components:
+ * interpreter throughput, FastTrack per-event cost, Giri trace
+ * appends, Andersen solving, static slicing and invariant checking.
+ * These are wall-clock measurements of THIS implementation (not paper
+ * reproductions) — useful for tracking regressions in the library
+ * itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/race_detector.h"
+#include "analysis/slicer.h"
+#include "dyn/fasttrack.h"
+#include "dyn/giri.h"
+#include "dyn/plans.h"
+#include "profile/profiler.h"
+#include "workloads/workloads.h"
+
+using namespace oha;
+
+namespace {
+
+const workloads::Workload &
+raceWorkload()
+{
+    static const workloads::Workload workload =
+        workloads::makeRaceWorkload("lusearch", 1, 1);
+    return workload;
+}
+
+const workloads::Workload &
+sliceWorkload()
+{
+    static const workloads::Workload workload =
+        workloads::makeSliceWorkload("redis", 1, 1);
+    return workload;
+}
+
+void
+BM_InterpreterPlain(benchmark::State &state)
+{
+    const auto &workload = raceWorkload();
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        exec::Interpreter interp(*workload.module,
+                                 workload.testingSet.front());
+        const auto result = interp.run();
+        steps += result.steps;
+        benchmark::DoNotOptimize(result.steps);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_InterpreterPlain);
+
+void
+BM_FastTrackFullInstrumentation(benchmark::State &state)
+{
+    const auto &workload = raceWorkload();
+    const auto plan = dyn::fullFastTrackPlan(*workload.module);
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        dyn::FastTrack tool;
+        exec::Interpreter interp(*workload.module,
+                                 workload.testingSet.front());
+        interp.attach(&tool, &plan);
+        const auto result = interp.run();
+        steps += result.steps;
+        benchmark::DoNotOptimize(tool.races().size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_FastTrackFullInstrumentation);
+
+void
+BM_GiriFullInstrumentation(benchmark::State &state)
+{
+    const auto &workload = sliceWorkload();
+    const auto plan = dyn::fullGiriPlan(*workload.module);
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        dyn::GiriSlicer tool(*workload.module);
+        exec::Interpreter interp(*workload.module,
+                                 workload.testingSet.front());
+        interp.attach(&tool, &plan);
+        const auto result = interp.run();
+        steps += result.steps;
+        benchmark::DoNotOptimize(tool.traceLength());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_GiriFullInstrumentation);
+
+void
+BM_AndersenCi(benchmark::State &state)
+{
+    const auto &workload = sliceWorkload();
+    for (auto _ : state) {
+        const auto result = analysis::runAndersen(*workload.module, {});
+        benchmark::DoNotOptimize(result.workUnits);
+    }
+}
+BENCHMARK(BM_AndersenCi);
+
+void
+BM_AndersenCs(benchmark::State &state)
+{
+    const auto &workload = sliceWorkload();
+    analysis::AndersenOptions options;
+    options.contextSensitive = true;
+    for (auto _ : state) {
+        const auto result =
+            analysis::runAndersen(*workload.module, options);
+        benchmark::DoNotOptimize(result.workUnits);
+    }
+}
+BENCHMARK(BM_AndersenCs);
+
+void
+BM_StaticRaceDetector(benchmark::State &state)
+{
+    const auto &workload = raceWorkload();
+    for (auto _ : state) {
+        const auto result =
+            analysis::runStaticRaceDetector(*workload.module, nullptr);
+        benchmark::DoNotOptimize(result.racyAccesses.size());
+    }
+}
+BENCHMARK(BM_StaticRaceDetector);
+
+void
+BM_StaticSlice(benchmark::State &state)
+{
+    const auto &workload = sliceWorkload();
+    const auto pts = analysis::runAndersen(*workload.module, {});
+    const analysis::StaticSlicer slicer(*workload.module, pts, {});
+    InstrId endpoint = kNoInstr;
+    for (InstrId id = 0; id < workload.module->numInstrs(); ++id)
+        if (workload.module->instr(id).op == ir::Opcode::Output)
+            endpoint = id;
+    for (auto _ : state) {
+        const auto slice = slicer.slice(endpoint);
+        benchmark::DoNotOptimize(slice.instructions.size());
+    }
+}
+BENCHMARK(BM_StaticSlice);
+
+void
+BM_ProfilingRun(benchmark::State &state)
+{
+    const auto &workload = sliceWorkload();
+    for (auto _ : state) {
+        prof::ProfileOptions options;
+        options.callContexts = true;
+        prof::ProfilingCampaign campaign(*workload.module, options);
+        campaign.addRun(workload.profilingSet.front());
+        benchmark::DoNotOptimize(campaign.invariants().factCount());
+    }
+}
+BENCHMARK(BM_ProfilingRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Regenerate the paper-vs-measured comparison report from live runs
+ * of both pipelines on every benchmark — the executable counterpart
+ * of EXPERIMENTS.md.  Output is deterministic markdown, suitable for
+ * diffing across library changes.
+ *
+ * Usage: paper_report [--quick]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/report.h"
+
+int
+main(int argc, char **argv)
+{
+    oha::core::ReportOptions options;
+    if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+        options.profileRuns = 12;
+        options.raceTestRuns = 6;
+        options.sliceTestRuns = 4;
+    }
+    std::fputs(oha::core::generateSuiteReport(options).c_str(), stdout);
+    return 0;
+}

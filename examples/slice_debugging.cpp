@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Slice-based debugging with OptSlice: the paper's motivating use
+ * case — compare the backward slices of a failing and a passing
+ * execution to localize a fault (Section 5, citing [4, 25]).
+ *
+ * The program is a tiny calculator interpreter.  One opcode has a
+ * bug: "scale" multiplies by the wrong operand when the operand is
+ * zero.  We slice the output in a passing and a failing run and diff
+ * the dynamic slices; the bug line is exactly in the difference.
+ */
+
+#include <cstdio>
+
+#include "analysis/slicer.h"
+#include "dyn/giri.h"
+#include "dyn/invariant_checker.h"
+#include "dyn/plans.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "profile/profiler.h"
+
+using namespace oha;
+
+namespace {
+
+struct Calculator
+{
+    ir::Module module;
+    InstrId endpoint = kNoInstr;
+    InstrId buggyStore = kNoInstr;
+};
+
+void
+buildCalculator(Calculator &calc)
+{
+    ir::IRBuilder b(calc.module);
+    const auto acc = calc.module.addGlobal("acc", 1);
+
+    ir::Function *add = b.createFunction("op_add", 1);
+    {
+        const ir::Reg cell = b.globalAddr(acc);
+        b.store(cell, b.add(b.load(cell), 0));
+        b.ret(b.constInt(0));
+    }
+    ir::Function *scale = b.createFunction("op_scale", 1);
+    {
+        ir::Function *f = scale;
+        ir::BasicBlock *buggy = b.createBlock(f, "buggy");
+        ir::BasicBlock *ok = b.createBlock(f, "ok");
+        ir::BasicBlock *out = b.createBlock(f, "out");
+        const ir::Reg cell = b.globalAddr(acc);
+        b.condBr(b.eq(0, b.constInt(0)), buggy, ok);
+        b.setInsertPoint(buggy);
+        // BUG: multiplies by 31 instead of by the (zero) operand.
+        b.store(cell, b.mul(b.load(cell), b.constInt(31)));
+        b.br(out);
+        b.setInsertPoint(ok);
+        b.store(cell, b.mul(b.load(cell), 0));
+        b.br(out);
+        b.setInsertPoint(out);
+        b.ret(b.constInt(0));
+    }
+
+    b.createFunction("main", 0);
+    {
+        b.store(b.globalAddr(acc), b.constInt(1));
+        ir::Function *mainF = b.currentFunction();
+        ir::BasicBlock *loop = b.createBlock(mainF, "loop");
+        ir::BasicBlock *body = b.createBlock(mainF, "body");
+        ir::BasicBlock *isAdd = b.createBlock(mainF, "isAdd");
+        ir::BasicBlock *isScale = b.createBlock(mainF, "isScale");
+        ir::BasicBlock *next = b.createBlock(mainF, "next");
+        ir::BasicBlock *done = b.createBlock(mainF, "done");
+        const ir::Reg i = b.constInt(0);
+        const ir::Reg n = b.constInt(8);
+        const ir::Reg one = b.constInt(1);
+        b.br(loop);
+        b.setInsertPoint(loop);
+        b.condBr(b.lt(i, n), body, done);
+        b.setInsertPoint(body);
+        const ir::Reg op = b.inputDyn(i, 0);
+        const ir::Reg arg = b.inputDyn(i, 8);
+        b.condBr(b.eq(op, b.constInt(0)), isAdd, isScale);
+        b.setInsertPoint(isAdd);
+        b.call(add, {arg});
+        b.br(next);
+        b.setInsertPoint(isScale);
+        b.call(scale, {arg});
+        b.br(next);
+        b.setInsertPoint(next);
+        b.binopTo(i, ir::BinOpKind::Add, i, one);
+        b.br(loop);
+        b.setInsertPoint(done);
+        b.output(b.load(b.globalAddr(acc)));
+        b.ret();
+    }
+    calc.module.finalize();
+
+    for (InstrId id = 0; id < calc.module.numInstrs(); ++id) {
+        const auto &ins = calc.module.instr(id);
+        if (ins.op == ir::Opcode::Output)
+            calc.endpoint = id;
+        if (ins.op == ir::Opcode::Store &&
+            calc.module.block(ins.block)->label() == "buggy") {
+            calc.buggyStore = id;
+        }
+    }
+}
+
+exec::ExecConfig
+makeScript(std::initializer_list<std::pair<int, int>> ops)
+{
+    exec::ExecConfig config;
+    config.input.assign(16, 0);
+    std::size_t i = 0;
+    for (auto [op, arg] : ops) {
+        config.input[i] = op;
+        config.input[8 + i] = arg;
+        ++i;
+    }
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    Calculator calc;
+    buildCalculator(calc);
+    const ir::Module &module = calc.module;
+
+    // Profile passing scripts only (scale never sees a zero operand).
+    prof::ProfilingCampaign campaign(module, {});
+    for (int k = 1; k <= 6; ++k)
+        campaign.addRun(makeScript({{0, k}, {1, 2}, {0, k + 1}}));
+    const inv::InvariantSet &invariants = campaign.invariants();
+
+    // Predicated static slice -> OptSlice instrumentation plan.
+    analysis::AndersenOptions aopts;
+    aopts.invariants = &invariants;
+    const auto pts = analysis::runAndersen(module, aopts);
+    analysis::SlicerOptions sopts;
+    sopts.invariants = &invariants;
+    const analysis::StaticSlicer slicer(module, pts, sopts);
+    const auto staticSlice = slicer.slice(calc.endpoint);
+    const auto plan = dyn::sliceGiriPlan(module, staticSlice.instructions);
+    std::printf("predicated static slice: %zu instructions "
+                "(buggy path pruned as likely-unreachable: %s)\n",
+                staticSlice.instructions.size(),
+                staticSlice.instructions.count(calc.buggyStore) ? "no"
+                                                                : "yes");
+
+    auto dynamicSlice = [&](const exec::ExecConfig &config) {
+        // Optimistic first; fall back to the full plan on violation
+        // (the failing run takes the never-profiled buggy path).
+        dyn::GiriSlicer optimistic(module);
+        dyn::CheckerConfig checkerConfig;
+        dyn::InvariantChecker checker(module, invariants, checkerConfig);
+        exec::Interpreter interp(module, config);
+        checker.setInterpreter(&interp);
+        interp.attach(&optimistic, &plan);
+        interp.attach(&checker, &checker.plan());
+        interp.run();
+        if (!checker.violated())
+            return optimistic.slice(calc.endpoint);
+        std::printf("  (mis-speculation: %s -> rollback)\n",
+                    checker.violationReason().c_str());
+        dyn::GiriSlicer full(module);
+        const auto fullPlan = dyn::fullGiriPlan(module);
+        exec::Interpreter redo(module, config);
+        redo.attach(&full, &fullPlan);
+        redo.run();
+        return full.slice(calc.endpoint);
+    };
+
+    std::printf("\nslicing a passing run (scale by 2):\n");
+    const auto passing =
+        dynamicSlice(makeScript({{0, 3}, {1, 2}, {0, 1}}));
+    std::printf("  dynamic slice: %zu instructions\n", passing.size());
+
+    std::printf("\nslicing a failing run (scale by 0 -> wrong answer):\n");
+    const auto failing =
+        dynamicSlice(makeScript({{0, 3}, {1, 0}, {0, 1}}));
+    std::printf("  dynamic slice: %zu instructions\n", failing.size());
+
+    std::printf("\ninstructions only in the failing slice:\n");
+    for (InstrId id : failing) {
+        if (!passing.count(id)) {
+            std::printf("  i%-4u %s%s\n", id,
+                        ir::printInstruction(module, module.instr(id))
+                            .c_str(),
+                        id == calc.buggyStore ? "   <-- the bug" : "");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+#include "analysis/callgraph.h"
+
+#include <deque>
+
+namespace oha::analysis {
+
+CallGraph::CallGraph(const ir::Module &module,
+                     const AndersenResult &andersen,
+                     const inv::InvariantSet *invariants)
+{
+    callees_.resize(module.numFunctions());
+
+    auto live = [&](BlockId block) {
+        return !invariants || invariants->blockVisited(block);
+    };
+
+    for (const auto &func : module.functions()) {
+        for (const auto &block : func->blocks()) {
+            if (!live(block->id()))
+                continue;
+            for (const ir::Instruction &ins : block->instructions()) {
+                switch (ins.op) {
+                  case ir::Opcode::Call:
+                    callees_[func->id()].insert(ins.callee);
+                    break;
+                  case ir::Opcode::ICall: {
+                    if (invariants) {
+                        auto it = invariants->calleeSets.find(ins.id);
+                        if (it != invariants->calleeSets.end()) {
+                            callees_[func->id()].insert(it->second.begin(),
+                                                        it->second.end());
+                        }
+                    } else {
+                        const auto targets = andersen.icallTargets(ins.id);
+                        callees_[func->id()].insert(targets.begin(),
+                                                    targets.end());
+                    }
+                    break;
+                  }
+                  case ir::Opcode::Spawn:
+                    spawnSites_.push_back(ins.id);
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+
+    for (const auto &callees : callees_)
+        calledFuncs_.insert(callees.begin(), callees.end());
+}
+
+std::set<FuncId>
+CallGraph::reachableFrom(FuncId root) const
+{
+    std::set<FuncId> seen = {root};
+    std::deque<FuncId> work = {root};
+    while (!work.empty()) {
+        const FuncId cur = work.front();
+        work.pop_front();
+        for (FuncId next : callees_[cur]) {
+            if (seen.insert(next).second)
+                work.push_back(next);
+        }
+    }
+    return seen;
+}
+
+} // namespace oha::analysis

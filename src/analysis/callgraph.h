@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Call-graph utilities over an Andersen result: per-function callee
+ * sets (with indirect calls resolved by points-to or likely callee
+ * sets) and reachability queries used to delimit thread regions.
+ */
+
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "analysis/andersen.h"
+#include "ir/module.h"
+
+namespace oha::analysis {
+
+/** Context-insensitive call graph (spawn edges kept separate). */
+class CallGraph
+{
+  public:
+    CallGraph(const ir::Module &module, const AndersenResult &andersen,
+              const inv::InvariantSet *invariants);
+
+    /** Functions called (not spawned) from @p func via live code. */
+    const std::set<FuncId> &callees(FuncId func) const
+    {
+        return callees_[func];
+    }
+
+    /** All Spawn instructions in live code, module-wide. */
+    const std::vector<InstrId> &spawnSites() const { return spawnSites_; }
+
+    /** Functions reachable from @p root through call edges only. */
+    std::set<FuncId> reachableFrom(FuncId root) const;
+
+    /** True if @p func can be invoked as an ordinary callee (used to
+     *  rule out re-entrant main when proving spawn-once). */
+    bool isCalleeSomewhere(FuncId func) const
+    {
+        return calledFuncs_.count(func) > 0;
+    }
+
+  private:
+    std::vector<std::set<FuncId>> callees_;
+    std::vector<InstrId> spawnSites_;
+    std::set<FuncId> calledFuncs_;
+};
+
+} // namespace oha::analysis

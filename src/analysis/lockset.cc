@@ -1,0 +1,154 @@
+#include "analysis/lockset.h"
+
+#include <optional>
+
+namespace oha::analysis {
+
+namespace {
+
+using LockSet = std::set<InstrId>;
+
+LockSet
+intersect(const LockSet &a, const LockSet &b)
+{
+    LockSet out;
+    for (InstrId x : a)
+        if (b.count(x))
+            out.insert(x);
+    return out;
+}
+
+} // namespace
+
+LocksetAnalysis::LocksetAnalysis(const ir::Module &module,
+                                 const AndersenResult &andersen,
+                                 const inv::InvariantSet *invariants)
+{
+    auto live = [&](BlockId block) {
+        return !invariants || invariants->blockVisited(block);
+    };
+
+    // Pre-resolve lock-object target sets so Unlock can conservatively
+    // release every may-aliasing held site.
+    std::map<InstrId, SparseBitSet> lockTargets;
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        if ((ins.op == ir::Opcode::Lock || ins.op == ir::Opcode::Unlock) &&
+            live(ins.block)) {
+            lockTargets.emplace(id, andersen.pointerTargets(id));
+        }
+    }
+
+    // Entry lockset per function: ⊤ until constrained by call sites;
+    // main and spawned roots start with ∅.  Iterate to a (decreasing)
+    // fixpoint across the call graph.
+    const std::size_t numFuncs = module.numFunctions();
+    std::vector<std::optional<LockSet>> entry(numFuncs);
+    entry[module.entryFunction()->id()] = LockSet{};
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        if (ins.op == ir::Opcode::Spawn && live(ins.block))
+            entry[ins.callee] = LockSet{};
+    }
+
+    for (int pass = 0; pass < 16; ++pass) {
+        bool changed = false;
+        std::vector<std::optional<LockSet>> callMeet(numFuncs);
+        held_.clear();
+
+        for (const auto &func : module.functions()) {
+            if (!entry[func->id()].has_value())
+                continue; // not yet known reachable
+
+            // Forward dataflow over the function's blocks.
+            std::map<BlockId, std::optional<LockSet>> blockIn;
+            blockIn[func->entry()->id()] = *entry[func->id()];
+            bool localChanged = true;
+            int guard = 0;
+            while (localChanged && guard++ < 64) {
+                localChanged = false;
+                for (const auto &block : func->blocks()) {
+                    if (!live(block->id()))
+                        continue;
+                    auto inIt = blockIn.find(block->id());
+                    if (inIt == blockIn.end() || !inIt->second.has_value())
+                        continue;
+                    LockSet state = *inIt->second;
+                    for (const ir::Instruction &ins :
+                         block->instructions()) {
+                        held_[ins.id] = state;
+                        if (ins.op == ir::Opcode::Lock) {
+                            state.insert(ins.id);
+                        } else if (ins.op == ir::Opcode::Unlock) {
+                            const SparseBitSet &rel = lockTargets[ins.id];
+                            for (auto it = state.begin();
+                                 it != state.end();) {
+                                if (lockTargets[*it].intersects(rel))
+                                    it = state.erase(it);
+                                else
+                                    ++it;
+                            }
+                        } else if (ins.op == ir::Opcode::Call ||
+                                   ins.op == ir::Opcode::ICall) {
+                            // Record the meet for callee entry states.
+                            std::set<FuncId> targets;
+                            if (ins.op == ir::Opcode::Call) {
+                                targets.insert(ins.callee);
+                            } else if (invariants) {
+                                auto cs =
+                                    invariants->calleeSets.find(ins.id);
+                                if (cs != invariants->calleeSets.end())
+                                    targets = cs->second;
+                            } else {
+                                targets = andersen.icallTargets(ins.id);
+                            }
+                            for (FuncId callee : targets) {
+                                if (!callMeet[callee].has_value())
+                                    callMeet[callee] = state;
+                                else
+                                    callMeet[callee] = intersect(
+                                        *callMeet[callee], state);
+                            }
+                        }
+                    }
+                    // Propagate to successors (meet = intersection).
+                    for (BlockId succ : block->successors()) {
+                        if (!live(succ))
+                            continue;
+                        auto &succIn = blockIn[succ];
+                        if (!succIn.has_value()) {
+                            succIn = state;
+                            localChanged = true;
+                        } else {
+                            LockSet met = intersect(*succIn, state);
+                            if (met != *succIn) {
+                                succIn = std::move(met);
+                                localChanged = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Update entry states from call meets.  main keeps ∅; spawn
+        // roots (already ∅) meet with any ordinary call sites.
+        for (FuncId f = 0; f < numFuncs; ++f) {
+            if (!callMeet[f].has_value() ||
+                f == module.entryFunction()->id()) {
+                continue;
+            }
+            LockSet next = *callMeet[f];
+            if (entry[f].has_value())
+                next = intersect(*entry[f], next);
+            if (!entry[f].has_value() || next != *entry[f]) {
+                entry[f] = std::move(next);
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+}
+
+} // namespace oha::analysis

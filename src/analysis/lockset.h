@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Static lockset analysis: which lock sites are held at each
+ * instruction (Section 4.1).
+ *
+ * Flow-sensitive within a function (forward dataflow, meet =
+ * intersection) and context-insensitive across calls: a callee's
+ * entry lockset is the intersection of the locksets at every live
+ * call site.  Lockset elements are Lock instruction ids; whether two
+ * held sites actually guard with the *same* dynamic lock is a
+ * must-alias question the sound analysis cannot answer — that is the
+ * likely-guarding-locks invariant's job (Section 4.2.2).
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/andersen.h"
+#include "ir/module.h"
+
+namespace oha::analysis {
+
+/** Computes held-lock-site sets per instruction. */
+class LocksetAnalysis
+{
+  public:
+    LocksetAnalysis(const ir::Module &module,
+                    const AndersenResult &andersen,
+                    const inv::InvariantSet *invariants);
+
+    /** Lock sites held immediately before @p instr executes. */
+    const std::set<InstrId> &
+    locksHeldAt(InstrId instr) const
+    {
+        static const std::set<InstrId> kEmpty;
+        auto it = held_.find(instr);
+        return it == held_.end() ? kEmpty : it->second;
+    }
+
+  private:
+    std::map<InstrId, std::set<InstrId>> held_;
+};
+
+} // namespace oha::analysis

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The abstract memory model shared by the static analyses.
+ *
+ * Abstract objects are globals, allocation sites (optionally cloned
+ * per calling context — "heap cloning", Section 5.1.2) and functions
+ * (so function pointers flow through the same points-to machinery).
+ * The analyses are structure-field sensitive: an object with N cells
+ * contributes N distinct points-to elements ("cells"), and a constant
+ * Gep shifts within the object.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace oha::analysis {
+
+/** Index of an abstract memory cell (the element type of pts sets). */
+using CellId = std::uint32_t;
+
+/** Index of an abstract object. */
+using AbsObjectId = std::uint32_t;
+
+constexpr CellId kNoCell = static_cast<CellId>(-1);
+
+/** What an abstract object models. */
+enum class AbsObjectKind : std::uint8_t
+{
+    Global,   ///< a module global
+    AllocSite, ///< an Alloc instruction (per context when cloned)
+    Function, ///< a function (target of function pointers)
+};
+
+/** One abstract object and its cell range. */
+struct AbsObject
+{
+    AbsObjectKind kind = AbsObjectKind::Global;
+    /** Global id, Alloc InstrId, or FuncId depending on kind. */
+    std::uint32_t srcId = 0;
+    /** Heap-cloning context instance (0 = context-insensitive). */
+    std::uint32_t contextId = 0;
+    std::uint32_t size = 1;
+    CellId baseCell = 0;
+};
+
+/** Registry of abstract objects and their cells. */
+class MemoryModel
+{
+  public:
+    /** Create an object; returns its id.  Cells are assigned densely. */
+    AbsObjectId
+    addObject(AbsObjectKind kind, std::uint32_t srcId, std::uint32_t size,
+              std::uint32_t contextId = 0)
+    {
+        OHA_ASSERT(size >= 1);
+        AbsObject object;
+        object.kind = kind;
+        object.srcId = srcId;
+        object.contextId = contextId;
+        object.size = size;
+        object.baseCell = nextCell_;
+        const AbsObjectId id = static_cast<AbsObjectId>(objects_.size());
+        objects_.push_back(object);
+        for (std::uint32_t i = 0; i < size; ++i)
+            cellObject_.push_back(id);
+        nextCell_ += size;
+        return id;
+    }
+
+    const AbsObject &
+    object(AbsObjectId id) const
+    {
+        OHA_ASSERT(id < objects_.size());
+        return objects_[id];
+    }
+
+    std::size_t numObjects() const { return objects_.size(); }
+    CellId numCells() const { return nextCell_; }
+
+    /** Cell for (object, field); kNoCell if the field is out of range. */
+    CellId
+    cellOf(AbsObjectId id, std::uint32_t field) const
+    {
+        const AbsObject &obj = object(id);
+        if (field >= obj.size)
+            return kNoCell;
+        return obj.baseCell + field;
+    }
+
+    /** Object owning @p cell. */
+    AbsObjectId
+    objectOfCell(CellId cell) const
+    {
+        OHA_ASSERT(cell < cellObject_.size());
+        return cellObject_[cell];
+    }
+
+    /** Field index of @p cell within its object. */
+    std::uint32_t
+    fieldOfCell(CellId cell) const
+    {
+        return cell - object(objectOfCell(cell)).baseCell;
+    }
+
+    /** Shift @p cell by @p delta fields; kNoCell when out of range. */
+    CellId
+    shiftCell(CellId cell, std::int64_t delta) const
+    {
+        const AbsObject &obj = object(objectOfCell(cell));
+        const std::int64_t field =
+            static_cast<std::int64_t>(fieldOfCell(cell)) + delta;
+        if (field < 0 || field >= static_cast<std::int64_t>(obj.size))
+            return kNoCell;
+        return obj.baseCell + static_cast<std::uint32_t>(field);
+    }
+
+    /** True if @p cell belongs to a Function object. */
+    bool
+    isFunctionCell(CellId cell) const
+    {
+        return object(objectOfCell(cell)).kind == AbsObjectKind::Function;
+    }
+
+    /** FuncId of a function cell. */
+    FuncId
+    functionOfCell(CellId cell) const
+    {
+        const AbsObject &obj = object(objectOfCell(cell));
+        OHA_ASSERT(obj.kind == AbsObjectKind::Function);
+        return obj.srcId;
+    }
+
+  private:
+    std::vector<AbsObject> objects_;
+    std::vector<AbsObjectId> cellObject_;
+    CellId nextCell_ = 0;
+};
+
+} // namespace oha::analysis

@@ -1,0 +1,162 @@
+#include "analysis/race_detector.h"
+
+#include <deque>
+
+#include "analysis/callgraph.h"
+#include "analysis/lockset.h"
+#include "analysis/mhp.h"
+
+namespace oha::analysis {
+
+namespace {
+
+/** Compute the set of cells reachable by more than one thread. */
+SparseBitSet
+escapedCells(const ir::Module &module, const AndersenResult &andersen,
+             const CallGraph &callGraph)
+{
+    SparseBitSet escaped;
+    std::deque<CellId> work;
+
+    auto escapeCell = [&](CellId cell) {
+        if (escaped.insert(cell))
+            work.push_back(cell);
+    };
+    auto escapeObjectOf = [&](CellId cell) {
+        const AbsObjectId obj = andersen.memory.objectOfCell(cell);
+        const AbsObject &o = andersen.memory.object(obj);
+        for (std::uint32_t f = 0; f < o.size; ++f)
+            escapeCell(o.baseCell + f);
+    };
+
+    // Seeds: every global cell, and everything a spawn argument may
+    // point to.
+    for (AbsObjectId obj = 0; obj < andersen.memory.numObjects(); ++obj) {
+        const AbsObject &o = andersen.memory.object(obj);
+        if (o.kind == AbsObjectKind::Global)
+            for (std::uint32_t f = 0; f < o.size; ++f)
+                escapeCell(o.baseCell + f);
+    }
+    for (InstrId site : callGraph.spawnSites()) {
+        const ir::Instruction &spawn = module.instr(site);
+        for (ir::Reg arg : spawn.args) {
+            andersen.ptsAllContexts(spawn.func, arg)
+                .forEach([&](CellId cell) { escapeObjectOf(cell); });
+        }
+    }
+
+    // Closure: anything stored in an escaped cell escapes.
+    while (!work.empty()) {
+        const CellId cell = work.front();
+        work.pop_front();
+        andersen.cellPts(cell).forEach(
+            [&](CellId target) { escapeObjectOf(target); });
+    }
+    return escaped;
+}
+
+} // namespace
+
+StaticRaceResult
+runStaticRaceDetector(const ir::Module &module,
+                      const inv::InvariantSet *invariants)
+{
+    StaticRaceResult result;
+
+    AndersenOptions ptsOptions;
+    ptsOptions.invariants = invariants;
+    const AndersenResult andersen = runAndersen(module, ptsOptions);
+    result.workUnits += andersen.workUnits;
+
+    const CallGraph callGraph(module, andersen, invariants);
+    const MhpAnalysis mhp(module, andersen, callGraph, invariants);
+    const LocksetAnalysis locksets(module, andersen, invariants);
+
+    const SparseBitSet escaped = escapedCells(module, andersen, callGraph);
+
+    auto live = [&](BlockId block) {
+        return !invariants || invariants->blockVisited(block);
+    };
+
+    // Accesses worth considering: live loads/stores whose targets
+    // include an escaped cell.
+    struct Access
+    {
+        InstrId id;
+        bool isStore;
+        SparseBitSet targets;
+    };
+    std::vector<Access> accesses;
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        if (!ins.isMemAccess() || !live(ins.block))
+            continue;
+        SparseBitSet targets = andersen.pointerTargets(id);
+        targets.intersectWith(escaped);
+        if (targets.empty())
+            continue;
+        accesses.push_back(
+            {id, ins.op == ir::Opcode::Store, std::move(targets)});
+    }
+    result.accessesConsidered = accesses.size();
+
+    // Pair construction: alias ∧ MHP ∧ at least one write, then
+    // lockset pruning (predicated only).
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        for (std::size_t j = i; j < accesses.size(); ++j) {
+            ++result.workUnits;
+            const Access &a = accesses[i];
+            const Access &b = accesses[j];
+            if (!a.isStore && !b.isStore)
+                continue;
+            if (!a.targets.intersects(b.targets))
+                continue;
+            if (!mhp.mayHappenInParallel(a.id, b.id))
+                continue;
+
+            if (invariants) {
+                // Likely-guarding-locks pruning: some held pair must
+                // must-alias.
+                const auto &heldA = locksets.locksHeldAt(a.id);
+                const auto &heldB = locksets.locksHeldAt(b.id);
+                bool guarded = false;
+                InstrId gA = kNoInstr, gB = kNoInstr;
+                for (InstrId la : heldA) {
+                    for (InstrId lb : heldB) {
+                        if (invariants->locksMustAlias(la, lb)) {
+                            guarded = true;
+                            gA = std::min(la, lb);
+                            gB = std::max(la, lb);
+                            break;
+                        }
+                    }
+                    if (guarded)
+                        break;
+                }
+                if (guarded) {
+                    result.usedLockAliases.insert({gA, gB});
+                    continue;
+                }
+            }
+
+            result.racyPairs.insert(
+                {std::min(a.id, b.id), std::max(a.id, b.id)});
+            result.racyAccesses.insert(a.id);
+            result.racyAccesses.insert(b.id);
+        }
+    }
+
+    // Record which singleton assumptions mattered: any invariant
+    // singleton site that is not statically provable must be checked
+    // at runtime.  (Checking all of them is cheap; we report the set
+    // the MHP analysis consumed.)
+    if (invariants) {
+        for (InstrId site : invariants->singletonSpawnSites)
+            if (mhp.singletonSites().count(site))
+                result.usedSingletonSites.insert(site);
+    }
+
+    return result;
+}
+
+} // namespace oha::analysis

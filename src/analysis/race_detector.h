@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Chord-style static data-race detector (Section 4.1).
+ *
+ * Pipeline: points-to (Andersen, CI) → thread-escape filtering →
+ * may-happen-in-parallel pairing → lockset pruning.  The lockset
+ * phase needs must-alias lock information, which a sound may-alias
+ * analysis cannot provide — so, exactly as in the paper, the *sound*
+ * detector skips lockset pruning (prior hybrid analyses removed it
+ * for soundness [47]) and the *predicated* detector re-enables it
+ * using the likely-guarding-locks invariant.
+ *
+ * The output is the set of accesses that may race; a hybrid FastTrack
+ * elides read/write instrumentation everywhere else.
+ */
+
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "analysis/andersen.h"
+
+namespace oha::analysis {
+
+/** Result of static race analysis. */
+struct StaticRaceResult
+{
+    /** Load/Store instructions that may participate in a race. */
+    std::set<InstrId> racyAccesses;
+    /** The may-race pairs themselves (a <= b). */
+    std::set<std::pair<InstrId, InstrId>> racyPairs;
+    /** Must-alias lock pairs the pruning actually relied on; the
+     *  runtime must verify exactly these (Section 4.2.2). */
+    std::set<std::pair<InstrId, InstrId>> usedLockAliases;
+    /** Singleton-spawn sites the MHP pruning relied on. */
+    std::set<InstrId> usedSingletonSites;
+    /** Total analysis effort (points-to + detector), abstract units. */
+    std::uint64_t workUnits = 0;
+    /** Number of memory accesses considered. */
+    std::size_t accessesConsidered = 0;
+};
+
+/**
+ * Run the static race detector.
+ * @param invariants null => sound analysis (no lockset pruning, no
+ *        invariant-based MHP refinement); non-null => predicated.
+ */
+StaticRaceResult runStaticRaceDetector(const ir::Module &module,
+                                       const inv::InvariantSet *invariants);
+
+} // namespace oha::analysis

@@ -1,0 +1,313 @@
+#include "core/optft.h"
+
+#include "analysis/lockset.h"
+#include "dyn/fasttrack.h"
+#include "dyn/invariant_checker.h"
+#include "dyn/plans.h"
+#include "profile/profiler.h"
+
+namespace oha::core {
+
+namespace {
+
+using RacePairs = std::set<std::pair<InstrId, InstrId>>;
+
+/** Run one execution with a FastTrack tool under @p plan. */
+struct FtRun
+{
+    exec::RunResult result;
+    RacePairs races;
+    exec::EventCounts ftDelivered;
+    exec::EventCounts checkerDelivered;
+    std::uint64_t slowChecks = 0;
+    bool violated = false;
+};
+
+FtRun
+runFastTrack(const ir::Module &module, const exec::ExecConfig &config,
+             const exec::InstrumentationPlan &plan,
+             dyn::InvariantChecker *checker = nullptr)
+{
+    FtRun out;
+    dyn::FastTrack tool;
+    exec::Interpreter interp(module, config);
+    interp.attach(&tool, &plan);
+    if (checker) {
+        checker->setInterpreter(&interp);
+        interp.attach(checker, &checker->plan());
+    }
+    out.result = interp.run();
+    out.races = tool.racePairs();
+    out.ftDelivered = out.result.delivered[0];
+    if (checker) {
+        out.checkerDelivered = out.result.delivered[1];
+        out.slowChecks = checker->slowContextChecks();
+        out.violated = checker->violated();
+    }
+    return out;
+}
+
+/**
+ * No-custom-sync calibration (Section 4.2.4): propose eliding
+ * lock/unlock sites whose critical sections contain no remaining
+ * dynamic checks, validate against a sound FastTrack on profiling
+ * inputs, and withdraw candidates that produce false races.
+ */
+std::set<InstrId>
+calibrateLockElision(const ir::Module &module,
+                     const inv::InvariantSet &invariants,
+                     const analysis::StaticRaceResult &predicated,
+                     const workloads::Workload &workload,
+                     std::size_t calibrationRuns)
+{
+    // Candidate lock sites: no potentially-racy access holds them.
+    analysis::AndersenOptions aopts;
+    aopts.invariants = &invariants;
+    const analysis::AndersenResult andersen =
+        analysis::runAndersen(module, aopts);
+    const analysis::LocksetAnalysis locksets(module, andersen,
+                                             &invariants);
+
+    std::set<InstrId> guardingSites;
+    for (InstrId access : predicated.racyAccesses) {
+        const auto &held = locksets.locksHeldAt(access);
+        guardingSites.insert(held.begin(), held.end());
+    }
+
+    std::set<InstrId> lockSites, unlockSites;
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        if (!invariants.blockVisited(ins.block))
+            continue;
+        if (ins.op == ir::Opcode::Lock)
+            lockSites.insert(id);
+        else if (ins.op == ir::Opcode::Unlock)
+            unlockSites.insert(id);
+    }
+
+    std::set<InstrId> candidates;
+    for (InstrId lock : lockSites)
+        if (!guardingSites.count(lock))
+            candidates.insert(lock);
+
+    auto elidableWithUnlocks = [&](const std::set<InstrId> &locks) {
+        std::set<InstrId> all = locks;
+        // An unlock is elidable when every lock site it may release
+        // is elided.
+        for (InstrId unlock : unlockSites) {
+            const SparseBitSet targets = andersen.pointerTargets(unlock);
+            bool allElided = true;
+            for (InstrId lock : lockSites) {
+                if (andersen.pointerTargets(lock).intersects(targets) &&
+                    !locks.count(lock)) {
+                    allElided = false;
+                    break;
+                }
+            }
+            if (allElided)
+                all.insert(unlock);
+        }
+        return all;
+    };
+
+    const exec::InstrumentationPlan soundPlan =
+        dyn::fullFastTrackPlan(module);
+
+    const std::size_t runs =
+        std::min(calibrationRuns, workload.profilingSet.size());
+    while (!candidates.empty()) {
+        inv::InvariantSet trial = invariants;
+        trial.elidableLockSites = elidableWithUnlocks(candidates);
+        const exec::InstrumentationPlan optPlan =
+            dyn::optimisticFastTrackPlan(module, predicated.racyAccesses,
+                                         trial);
+
+        std::set<InstrId> falseRaceFuncs;
+        bool mismatch = false;
+        for (std::size_t i = 0; i < runs; ++i) {
+            const auto &config = workload.profilingSet[i];
+            const FtRun optimistic =
+                runFastTrack(module, config, optPlan);
+            const FtRun sound = runFastTrack(module, config, soundPlan);
+            for (const auto &race : optimistic.races) {
+                if (!sound.races.count(race)) {
+                    mismatch = true;
+                    falseRaceFuncs.insert(module.instr(race.first).func);
+                    falseRaceFuncs.insert(module.instr(race.second).func);
+                }
+            }
+        }
+        if (!mismatch)
+            break;
+
+        // Restore instrumentation for offending locks: candidates in
+        // the functions involved in false races (fall back to popping
+        // one candidate if the heuristic makes no progress).
+        bool removed = false;
+        for (auto it = candidates.begin(); it != candidates.end();) {
+            const ir::Instruction &lock = module.instr(*it);
+            bool offending = falseRaceFuncs.count(lock.func) > 0;
+            if (!offending) {
+                // Figure 4: the lost edge may order accesses in other
+                // functions; treat locks in the offending *thread
+                // region* conservatively by also matching callers.
+                offending = false;
+            }
+            if (offending) {
+                it = candidates.erase(it);
+                removed = true;
+            } else {
+                ++it;
+            }
+        }
+        if (!removed)
+            candidates.erase(std::prev(candidates.end()));
+    }
+
+    return candidates.empty() ? std::set<InstrId>{}
+                              : elidableWithUnlocks(candidates);
+}
+
+} // namespace
+
+OptFtResult
+runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
+{
+    OHA_ASSERT(workload.race, "runOptFt needs a race workload");
+    const ir::Module &module = *workload.module;
+    const CostModel &cost = config.cost;
+
+    OptFtResult result;
+    result.name = workload.name;
+
+    // ---- Phase 1: likely-invariant profiling -------------------------
+    prof::ProfilingCampaign campaign(module, {});
+    std::size_t unchanged = 0;
+    for (const auto &input : workload.profilingSet) {
+        if (campaign.numRuns() >= config.maxProfileRuns ||
+            unchanged >= config.convergenceWindow) {
+            break;
+        }
+        unchanged = campaign.addRun(input) ? 0 : unchanged + 1;
+    }
+    inv::InvariantSet invariants =
+        config.aggressiveLucMinVisits > 1
+            ? campaign.invariantsWithAggressiveLuc(
+                  config.aggressiveLucMinVisits)
+            : campaign.invariants();
+    result.profileRunsUsed = campaign.numRuns();
+
+    // ---- Phase 2: static analyses -------------------------------------
+    const analysis::StaticRaceResult sound =
+        analysis::runStaticRaceDetector(module, nullptr);
+    const analysis::StaticRaceResult predicated =
+        analysis::runStaticRaceDetector(module, &invariants);
+    result.soundStaticSeconds =
+        double(sound.workUnits) / cost.staticUnitsPerSecond * cost.offlineScale;
+    result.predStaticSeconds =
+        double(predicated.workUnits) / cost.staticUnitsPerSecond * cost.offlineScale;
+    result.staticallyRaceFree = sound.racyAccesses.empty();
+    result.soundRacyAccesses = sound.racyAccesses.size();
+    result.predRacyAccesses = predicated.racyAccesses.size();
+
+    // ---- Phase 2b: no-custom-sync calibration -------------------------
+    std::uint64_t calibrationSteps = 0;
+    invariants.elidableLockSites = calibrateLockElision(
+        module, invariants, predicated, workload,
+        config.customSyncCalibrationRuns);
+    result.elidedLockSites = invariants.elidableLockSites.size();
+    // Calibration executions count as profiling cost.
+    for (std::size_t i = 0;
+         i < std::min(config.customSyncCalibrationRuns,
+                      workload.profilingSet.size());
+         ++i) {
+        exec::Interpreter probe(module, workload.profilingSet[i]);
+        calibrationSteps += probe.run().steps;
+    }
+    result.profileSeconds =
+        (double(campaign.profiledSteps()) +
+         2.0 * double(calibrationSteps)) *
+        cost.profilingOverhead / cost.unitsPerSecond * cost.offlineScale;
+
+    // ---- Phase 3: dynamic analysis over the testing corpus ------------
+    const auto fullPlan = dyn::fullFastTrackPlan(module);
+    const auto hybridPlan =
+        dyn::hybridFastTrackPlan(module, sound.racyAccesses);
+    const auto optPlan = dyn::optimisticFastTrackPlan(
+        module, predicated.racyAccesses, invariants);
+
+    dyn::CheckerConfig checkerConfig;
+    checkerConfig.callContexts = false;
+
+    std::set<std::pair<InstrId, InstrId>> allRaces;
+    for (const auto &input : workload.testingSet) {
+        // Full FastTrack (the sound reference).
+        const FtRun full = runFastTrack(module, input, fullPlan);
+        result.fastTrack.add(
+            priceFastTrackRun(cost, full.result, full.ftDelivered));
+        allRaces.insert(full.races.begin(), full.races.end());
+
+        // Hybrid FastTrack.
+        const FtRun hybrid = runFastTrack(module, input, hybridPlan);
+        result.hybridFt.add(
+            priceFastTrackRun(cost, hybrid.result, hybrid.ftDelivered));
+        if (hybrid.races != full.races)
+            result.raceReportsMatch = false;
+
+        // OptFT: speculative run + rollback on mis-speculation.
+        dyn::InvariantChecker checker(module, invariants, checkerConfig);
+        const FtRun optimistic =
+            runFastTrack(module, input, optPlan, &checker);
+        RunCost optCost = priceFastTrackRun(
+            cost, optimistic.result, optimistic.ftDelivered,
+            &optimistic.checkerDelivered, optimistic.slowChecks);
+
+        RacePairs finalRaces = optimistic.races;
+        const bool raceUnderElision =
+            !optimistic.races.empty() &&
+            !invariants.elidableLockSites.empty();
+        if (optimistic.violated || raceUnderElision) {
+            // Roll back: deterministic re-execution under the sound
+            // hybrid configuration (Section 2.3).
+            ++result.misSpeculations;
+            const FtRun redo = runFastTrack(module, input, hybridPlan);
+            const RunCost redoCost = priceFastTrackRun(
+                cost, redo.result, redo.ftDelivered);
+            optCost.rollback = redoCost.total();
+            finalRaces = redo.races;
+        }
+        result.optFt.add(optCost);
+        if (finalRaces != full.races)
+            result.raceReportsMatch = false;
+    }
+
+    result.testRuns = workload.testingSet.size();
+    result.racesObserved = allRaces.size();
+    result.baselineSeconds = result.fastTrack.base / cost.unitsPerSecond;
+
+    // ---- Derived metrics ----------------------------------------------
+    const double normFt = result.fastTrack.normalized();
+    const double normHybrid = result.hybridFt.normalized();
+    const double normOpt = result.optFt.normalized();
+    if (normOpt > 0) {
+        result.speedupVsFastTrack = normFt / normOpt;
+        result.speedupVsHybrid = normHybrid / normOpt;
+    }
+
+    // Break-even: T such that upfront_opt + norm_opt*T equals the
+    // competitor's upfront + norm*T (T in baseline seconds).
+    const double upfrontOpt =
+        result.profileSeconds + result.predStaticSeconds;
+    auto breakEven = [&](double upfrontOther, double normOther) {
+        if (normOther <= normOpt)
+            return -1.0;
+        return (upfrontOpt - upfrontOther) / (normOther - normOpt);
+    };
+    result.breakEvenVsHybrid =
+        breakEven(result.soundStaticSeconds, normHybrid);
+    result.breakEvenVsFastTrack = breakEven(0.0, normFt);
+
+    return result;
+}
+
+} // namespace oha::core

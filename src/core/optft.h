@@ -1,0 +1,93 @@
+/**
+ * @file
+ * OptFT: the end-to-end optimistic hybrid race-detection pipeline
+ * (Section 4).
+ *
+ * Phases, exactly as the paper lays them out:
+ *  1. profile likely invariants until the learned set stabilizes
+ *     (Section 6.1: "profile increasing numbers of executions until
+ *     the number of learned dynamic invariants stabilize");
+ *  2. no-custom-synchronization calibration: optimistically elide
+ *     lock instrumentation around check-free critical sections, then
+ *     verify against a sound detector on profiling inputs and restore
+ *     offending locks (Section 4.2.4);
+ *  3. sound static race detection (for hybrid FastTrack) and
+ *     predicated static race detection (for OptFT);
+ *  4. run the testing corpus under full FastTrack, hybrid FastTrack
+ *     and OptFT; OptFT executes speculatively, rolling back to the
+ *     sound hybrid configuration on invariant violations (and on race
+ *     reports when lock elision is active, which must be treated as
+ *     potential mis-speculations).
+ */
+
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "analysis/race_detector.h"
+#include "core/cost_model.h"
+#include "workloads/workloads.h"
+
+namespace oha::core {
+
+/** OptFT pipeline configuration. */
+struct OptFtConfig
+{
+    /** Stop profiling after this many runs even if not converged. */
+    std::size_t maxProfileRuns = 48;
+    /** Declare convergence after this many runs with no new facts. */
+    std::size_t convergenceWindow = 6;
+    /** Profiling runs used by the no-custom-sync calibration. */
+    std::size_t customSyncCalibrationRuns = 6;
+    /** >1 enables aggressive likely-unreachable code (Section 2.1's
+     *  strength/stability trade-off): blocks executed fewer than this
+     *  many times across the whole profiling campaign are assumed
+     *  unreachable. */
+    std::uint64_t aggressiveLucMinVisits = 0;
+    CostModel cost;
+};
+
+/** End-to-end result for one benchmark (Figure 5 / Table 1 row). */
+struct OptFtResult
+{
+    std::string name;
+    bool staticallyRaceFree = false;
+
+    // Modeled offline costs (seconds).
+    double soundStaticSeconds = 0;
+    double predStaticSeconds = 0;
+    double profileSeconds = 0;
+    std::size_t profileRunsUsed = 0;
+
+    // Testing-corpus accounting.
+    std::size_t testRuns = 0;
+    double baselineSeconds = 0; ///< uninstrumented corpus runtime
+    RunCost fastTrack;          ///< full FastTrack
+    RunCost hybridFt;           ///< sound-hybrid FastTrack
+    RunCost optFt;              ///< OptFT (speculative)
+    std::uint64_t misSpeculations = 0;
+
+    /** Optimistic reports equal to sound reports on every test run. */
+    bool raceReportsMatch = true;
+    /** Races seen across the corpus (after recovery), full detector. */
+    std::size_t racesObserved = 0;
+
+    std::size_t soundRacyAccesses = 0;
+    std::size_t predRacyAccesses = 0;
+    std::size_t elidedLockSites = 0;
+
+    /** Speedups (ratios of normalized dynamic runtimes). */
+    double speedupVsFastTrack = 1.0;
+    double speedupVsHybrid = 1.0;
+
+    /** Break-even baseline-seconds; negative = never. */
+    double breakEvenVsHybrid = -1.0;
+    double breakEvenVsFastTrack = -1.0;
+};
+
+/** Run the whole OptFT pipeline on @p workload. */
+OptFtResult runOptFt(const workloads::Workload &workload,
+                     const OptFtConfig &config = {});
+
+} // namespace oha::core

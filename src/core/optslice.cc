@@ -1,0 +1,336 @@
+#include "core/optslice.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "dyn/giri.h"
+#include "dyn/invariant_checker.h"
+#include "dyn/plans.h"
+#include "profile/profiler.h"
+
+namespace oha::core {
+
+namespace {
+
+/** Points-to analysis picked CS-first within budget (a Table 2 AT). */
+struct PickedAndersen
+{
+    analysis::AndersenResult result;
+    AnalysisPick pick;
+};
+
+PickedAndersen
+pickAndersen(const ir::Module &module, const inv::InvariantSet *invariants,
+             const OptSliceConfig &config)
+{
+    analysis::AndersenOptions options;
+    options.contextSensitive = true;
+    options.invariants = invariants;
+    options.maxContexts = config.csContextBudget;
+
+    PickedAndersen picked;
+    picked.result = analysis::runAndersen(module, options);
+    if (picked.result.completed) {
+        picked.pick.contextSensitive = true;
+    } else {
+        // CS exhausted the budget: fall back to CI (Table 2's "most
+        // accurate analysis that will run").
+        const std::uint64_t wasted = picked.result.workUnits;
+        options.contextSensitive = false;
+        picked.result = analysis::runAndersen(module, options);
+        picked.result.workUnits += wasted;
+        picked.pick.contextSensitive = false;
+    }
+    picked.pick.seconds =
+        double(picked.result.workUnits) / config.cost.staticUnitsPerSecond;
+    return picked;
+}
+
+/** All Output instructions of the module. */
+std::vector<InstrId>
+outputInstrs(const ir::Module &module)
+{
+    std::vector<InstrId> out;
+    for (InstrId id = 0; id < module.numInstrs(); ++id)
+        if (module.instr(id).op == ir::Opcode::Output)
+            out.push_back(id);
+    return out;
+}
+
+/** Static slices for all endpoints at one analysis level. */
+struct SliceSet
+{
+    std::vector<std::set<InstrId>> slices;
+    bool contextSensitive = false;
+    bool complete = false;
+    std::uint64_t workUnits = 0;
+};
+
+/**
+ * Compute static slices for @p endpoints with fallback: try the
+ * picked (possibly CS) points-to result; if any slice blows the work
+ * budget, retry context-insensitively.  An incomplete static slice
+ * must never become an instrumentation plan — it is not closed, so
+ * the dynamic slicer would silently lose dependencies.
+ */
+SliceSet
+computeAllSlices(const ir::Module &module,
+                 const std::vector<InstrId> &endpoints,
+                 const inv::InvariantSet *invariants,
+                 const OptSliceConfig &config,
+                 const analysis::AndersenResult &picked, bool pickedCs)
+{
+    SliceSet out;
+
+    analysis::SlicerOptions options;
+    options.invariants = invariants;
+    options.maxWork = config.sliceWorkBudget;
+
+    auto attempt = [&](const analysis::AndersenResult &pts) {
+        std::vector<std::set<InstrId>> slices;
+        const analysis::StaticSlicer slicer(module, pts, options);
+        for (InstrId endpoint : endpoints) {
+            auto slice = slicer.slice(endpoint);
+            out.workUnits += slice.workUnits;
+            if (!slice.completed)
+                return false;
+            slices.push_back(std::move(slice.instructions));
+        }
+        out.slices = std::move(slices);
+        return true;
+    };
+
+    if (attempt(picked)) {
+        out.contextSensitive = pickedCs;
+        out.complete = true;
+        return out;
+    }
+    if (pickedCs) {
+        analysis::AndersenOptions ciOptions;
+        ciOptions.invariants = invariants;
+        const analysis::AndersenResult ciPts =
+            analysis::runAndersen(module, ciOptions);
+        out.workUnits += ciPts.workUnits;
+        if (attempt(ciPts)) {
+            out.contextSensitive = false;
+            out.complete = true;
+            return out;
+        }
+    }
+    // Static slicing failed entirely: the caller must fall back to
+    // full instrumentation (pure Giri).
+    out.slices.assign(endpoints.size(), {});
+    return out;
+}
+
+struct GiriRun
+{
+    exec::RunResult result;
+    std::map<InstrId, std::set<InstrId>> slices;
+    exec::EventCounts delivered;
+    exec::EventCounts checkerDelivered;
+    std::uint64_t slowChecks = 0;
+    bool violated = false;
+    std::uint64_t missingDeps = 0;
+};
+
+GiriRun
+runGiri(const ir::Module &module, const exec::ExecConfig &config,
+        const exec::InstrumentationPlan &plan,
+        const std::vector<InstrId> &endpoints,
+        dyn::InvariantChecker *checker = nullptr)
+{
+    GiriRun out;
+    dyn::GiriSlicer tool(module);
+    exec::Interpreter interp(module, config);
+    interp.attach(&tool, &plan);
+    if (checker) {
+        checker->setInterpreter(&interp);
+        interp.attach(checker, &checker->plan());
+    }
+    out.result = interp.run();
+    for (InstrId endpoint : endpoints)
+        out.slices[endpoint] = tool.slice(endpoint);
+    out.delivered = out.result.delivered[0];
+    if (checker) {
+        out.checkerDelivered = out.result.delivered[1];
+        out.slowChecks = checker->slowContextChecks();
+        out.violated = checker->violated();
+    }
+    out.missingDeps = tool.missingDependencies();
+    return out;
+}
+
+} // namespace
+
+OptSliceResult
+runOptSlice(const workloads::Workload &workload,
+            const OptSliceConfig &config)
+{
+    OHA_ASSERT(!workload.race, "runOptSlice needs a slicing workload");
+    const ir::Module &module = *workload.module;
+    const CostModel &cost = config.cost;
+
+    OptSliceResult result;
+    result.name = workload.name;
+
+    // ---- Phase 1: profiling -------------------------------------------
+    prof::ProfileOptions profOptions;
+    profOptions.callContexts = true;
+    prof::ProfilingCampaign campaign(module, profOptions);
+    std::size_t unchanged = 0;
+    for (const auto &input : workload.profilingSet) {
+        if (campaign.numRuns() >= config.maxProfileRuns ||
+            unchanged >= config.convergenceWindow) {
+            break;
+        }
+        unchanged = campaign.addRun(input) ? 0 : unchanged + 1;
+    }
+    const inv::InvariantSet invariants =
+        config.aggressiveLucMinVisits > 1
+            ? campaign.invariantsWithAggressiveLuc(
+                  config.aggressiveLucMinVisits)
+            : campaign.invariants();
+    result.profileRunsUsed = campaign.numRuns();
+    result.profileSeconds = double(campaign.profiledSteps()) *
+                            cost.profilingOverhead / cost.unitsPerSecond * cost.offlineScale;
+
+    // ---- Phase 2: static analyses --------------------------------------
+    PickedAndersen soundPts = pickAndersen(module, nullptr, config);
+    result.soundPts = soundPts.pick;
+    PickedAndersen optPts = pickAndersen(module, &invariants, config);
+    result.optPts = optPts.pick;
+
+    // ---- Phase 3: endpoint selection ------------------------------------
+    // Rank candidate endpoints by (cheap) CI sound slice size and keep
+    // the non-trivial ones (Section 6.1.2).
+    std::vector<InstrId> endpoints;
+    {
+        std::optional<analysis::AndersenResult> ciPts;
+        const analysis::AndersenResult *rankPts = &soundPts.result;
+        if (soundPts.pick.contextSensitive) {
+            ciPts = analysis::runAndersen(module, {});
+            rankPts = &*ciPts;
+        }
+        analysis::SlicerOptions rankOptions;
+        rankOptions.maxWork = config.sliceWorkBudget;
+        const analysis::StaticSlicer ranker(module, *rankPts,
+                                            rankOptions);
+        std::vector<std::pair<std::size_t, InstrId>> candidates;
+        for (InstrId endpoint : outputInstrs(module))
+            candidates.push_back(
+                {ranker.slice(endpoint).instructions.size(), endpoint});
+        std::sort(candidates.rbegin(), candidates.rend());
+        for (const auto &[size, endpoint] : candidates) {
+            if (endpoints.size() >= config.maxEndpoints)
+                break;
+            if (size >= config.minSliceSize || endpoints.empty())
+                endpoints.push_back(endpoint);
+        }
+    }
+
+    // Per-endpoint static slices with CS -> CI fallback; incomplete
+    // slices must never be used as instrumentation plans.
+    const SliceSet soundSlices =
+        computeAllSlices(module, endpoints, nullptr, config,
+                         soundPts.result, soundPts.pick.contextSensitive);
+    const SliceSet optSlices =
+        computeAllSlices(module, endpoints, &invariants, config,
+                         optPts.result, optPts.pick.contextSensitive);
+    result.soundSlice.contextSensitive = soundSlices.contextSensitive;
+    result.optSlice.contextSensitive = optSlices.contextSensitive;
+    result.soundSlice.seconds =
+        double(soundSlices.workUnits) / cost.staticUnitsPerSecond * cost.offlineScale;
+    result.optSlice.seconds =
+        double(optSlices.workUnits) / cost.staticUnitsPerSecond * cost.offlineScale;
+
+    std::vector<exec::InstrumentationPlan> hybridPlans, optPlans;
+    double soundSizeSum = 0, optSizeSum = 0;
+    for (std::size_t e = 0; e < endpoints.size(); ++e) {
+        hybridPlans.push_back(
+            soundSlices.complete
+                ? dyn::sliceGiriPlan(module, soundSlices.slices[e])
+                : dyn::fullGiriPlan(module));
+        optPlans.push_back(
+            optSlices.complete
+                ? dyn::sliceGiriPlan(module, optSlices.slices[e])
+                : dyn::fullGiriPlan(module));
+        soundSizeSum += double(soundSlices.slices[e].size());
+        optSizeSum += double(optSlices.slices[e].size());
+    }
+    result.endpoints = endpoints.size();
+    result.soundSliceSize = soundSizeSum / double(endpoints.size());
+    result.optSliceSize = optSizeSum / double(endpoints.size());
+
+    result.soundAliasRate =
+        soundPts.result.aliasRate(module, &invariants);
+    result.optAliasRate = optPts.result.aliasRate(module, &invariants);
+
+    // ---- Phase 4: dynamic slicing over the testing corpus ---------------
+    dyn::CheckerConfig checkerConfig;
+    checkerConfig.callContexts = invariants.hasCallContexts;
+    checkerConfig.guardingLocks = false;
+    checkerConfig.singletonThreads = false;
+
+    for (const auto &input : workload.testingSet) {
+        for (std::size_t e = 0; e < endpoints.size(); ++e) {
+            const std::vector<InstrId> target = {endpoints[e]};
+
+            const GiriRun hybrid =
+                runGiri(module, input, hybridPlans[e], target);
+            result.hybrid.add(
+                priceGiriRun(cost, hybrid.result, hybrid.delivered));
+
+            dyn::InvariantChecker checker(module, invariants,
+                                          checkerConfig);
+            const GiriRun optimistic =
+                runGiri(module, input, optPlans[e], target, &checker);
+            RunCost optCost = priceGiriRun(cost, optimistic.result,
+                                           optimistic.delivered,
+                                           &optimistic.checkerDelivered,
+                                           optimistic.slowChecks);
+
+            std::map<InstrId, std::set<InstrId>> finalSlices =
+                optimistic.slices;
+            if (optimistic.violated) {
+                ++result.misSpeculations;
+                const GiriRun redo =
+                    runGiri(module, input, hybridPlans[e], target);
+                optCost.rollback =
+                    priceGiriRun(cost, redo.result, redo.delivered)
+                        .total();
+                finalSlices = redo.slices;
+            }
+            result.optimistic.add(optCost);
+
+            // Soundness: the recovered optimistic slice must equal
+            // the traditional hybrid slice.
+            if (finalSlices != hybrid.slices)
+                result.sliceResultsMatch = false;
+        }
+    }
+
+    result.testRuns = workload.testingSet.size();
+    result.baselineSeconds = result.hybrid.base / cost.unitsPerSecond;
+
+    const double normHybrid = result.hybrid.normalized();
+    const double normOpt = result.optimistic.normalized();
+    if (normOpt > 0)
+        result.dynSpeedup = normHybrid / normOpt;
+
+    const double upfrontOpt = result.profileSeconds +
+                              result.optPts.seconds +
+                              result.optSlice.seconds;
+    const double upfrontHybrid =
+        result.soundPts.seconds + result.soundSlice.seconds;
+    if (normHybrid > normOpt) {
+        result.breakEven = std::max(
+            0.0, (upfrontOpt - upfrontHybrid) / (normHybrid - normOpt));
+    } else {
+        result.breakEven = -1.0;
+    }
+
+    return result;
+}
+
+} // namespace oha::core

@@ -1,0 +1,134 @@
+#include "core/report.h"
+
+#include <map>
+#include <sstream>
+
+#include "support/table.h"
+
+namespace oha::core {
+
+PaperReference
+paperReference(const std::string &benchmark)
+{
+    // Figure 5 / Table 1 (OptFT speedups) and Figure 6 / Table 2
+    // (OptSlice dynamic speedups), as printed in the paper.
+    static const std::map<std::string, PaperReference> refs = {
+        {"lusearch", {6.3, 3.0, 0}}, {"pmd", {1.6, 1.3, 0}},
+        {"raytracer", {9.8, 3.6, 0}}, {"moldyn", {6.7, 3.5, 0}},
+        {"sunflow", {2.6, 1.1, 0}},  {"montecarlo", {1.3, 0.99, 0}},
+        {"batik", {7.6, 1.2, 0}},    {"xalan", {1.0, 1.0, 0}},
+        {"luindex", {4.8, 3.6, 0}},
+        {"nginx", {0, 0, 1.2}},      {"redis", {0, 0, 13.1}},
+        {"perl", {0, 0, 1.4}},       {"vim", {0, 0, 9.9}},
+        {"sphinx", {0, 0, 3.9}},     {"go", {0, 0, 6.5}},
+        {"zlib", {0, 0, 81.2}},
+    };
+    auto it = refs.find(benchmark);
+    return it == refs.end() ? PaperReference{} : it->second;
+}
+
+std::string
+markdownRow(const OptFtResult &result)
+{
+    const PaperReference ref = paperReference(result.name);
+    std::ostringstream os;
+    os << "| " << result.name << " | "
+       << fmtDouble(result.fastTrack.normalized(), 1) << " | "
+       << fmtDouble(result.hybridFt.normalized(), 1) << " | "
+       << fmtDouble(result.optFt.normalized(), 1) << " | "
+       << fmtSpeedup(result.speedupVsFastTrack);
+    if (ref.speedupVsFastTrack > 0)
+        os << " (paper " << fmtSpeedup(ref.speedupVsFastTrack) << ")";
+    os << " | " << fmtSpeedup(result.speedupVsHybrid);
+    if (ref.speedupVsHybrid > 0)
+        os << " (paper " << fmtSpeedup(ref.speedupVsHybrid) << ")";
+    os << " | " << (result.staticallyRaceFree ? "race-free" : "")
+       << (result.raceReportsMatch ? "" : " **MISMATCH**") << " |";
+    return os.str();
+}
+
+std::string
+markdownRow(const OptSliceResult &result)
+{
+    const PaperReference ref = paperReference(result.name);
+    std::ostringstream os;
+    os << "| " << result.name << " | "
+       << fmtDouble(result.hybrid.normalized(), 1) << " | "
+       << fmtDouble(result.optimistic.normalized(), 1) << " | "
+       << fmtSpeedup(result.dynSpeedup);
+    if (ref.sliceSpeedup > 0)
+        os << " (paper " << fmtSpeedup(ref.sliceSpeedup) << ")";
+    os << " | " << fmtDouble(result.soundSliceSize, 0) << " -> "
+       << fmtDouble(result.optSliceSize, 0) << " | "
+       << result.misSpeculations << " | "
+       << (result.sliceResultsMatch ? "" : "**MISMATCH**") << " |";
+    return os.str();
+}
+
+std::string
+generateSuiteReport(const ReportOptions &options)
+{
+    std::ostringstream os;
+    os << "# OHA suite report (live)\n\n";
+    os << "Deterministic paper-vs-measured comparison regenerated "
+          "from the current library.\n\n";
+
+    if (options.includeRaceSuite) {
+        os << "## Race detection (Figure 5 / Table 1)\n\n";
+        os << "| benchmark | FastTrack | Hybrid FT | OptFT | "
+              "speedup vs FT | speedup vs hybrid | notes |\n";
+        os << "|---|---|---|---|---|---|---|\n";
+        double sumFt = 0, sumHyb = 0;
+        int interesting = 0;
+        for (const auto &name : workloads::raceWorkloadNames()) {
+            OptFtConfig config;
+            config.maxProfileRuns = options.profileRuns;
+            const auto result = runOptFt(
+                workloads::makeRaceWorkload(name, options.profileRuns,
+                                            options.raceTestRuns),
+                config);
+            os << markdownRow(result) << "\n";
+            if (!result.staticallyRaceFree) {
+                sumFt += result.speedupVsFastTrack;
+                sumHyb += result.speedupVsHybrid;
+                ++interesting;
+            }
+        }
+        if (interesting > 0) {
+            os << "\naverages over the " << interesting
+               << " non-race-free benchmarks: "
+               << fmtSpeedup(sumFt / interesting)
+               << " vs FastTrack (paper 3.5x), "
+               << fmtSpeedup(sumHyb / interesting)
+               << " vs hybrid FT (paper 1.8x)\n";
+        }
+        os << "\n";
+    }
+
+    if (options.includeSliceSuite) {
+        os << "## Dynamic slicing (Figure 6 / Table 2)\n\n";
+        os << "| benchmark | Trad. hybrid | OptSlice | speedup | "
+              "static slice | rollbacks | notes |\n";
+        os << "|---|---|---|---|---|---|---|\n";
+        double sum = 0;
+        int count = 0;
+        for (const auto &name : workloads::sliceWorkloadNames()) {
+            OptSliceConfig config;
+            config.maxProfileRuns = options.profileRuns;
+            const auto result = runOptSlice(
+                workloads::makeSliceWorkload(name, options.profileRuns,
+                                             options.sliceTestRuns),
+                config);
+            os << markdownRow(result) << "\n";
+            sum += result.dynSpeedup;
+            ++count;
+        }
+        if (count > 0) {
+            os << "\naverage OptSlice speedup: "
+               << fmtSpeedup(sum / count) << " (paper 8.3x)\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace oha::core

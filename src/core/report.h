@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Structured reporting for pipeline results: markdown rows for
+ * OptFT/OptSlice results and a whole-suite report generator that
+ * re-derives the paper-vs-measured comparison (the EXPERIMENTS.md
+ * content) from live runs.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/optft.h"
+#include "core/optslice.h"
+
+namespace oha::core {
+
+/** Paper-reported reference values for one benchmark (for the
+ *  side-by-side columns; zero means "not reported"). */
+struct PaperReference
+{
+    double speedupVsFastTrack = 0;
+    double speedupVsHybrid = 0;
+    double sliceSpeedup = 0;
+};
+
+/** Paper reference for @p benchmark (Figures 5/6, Tables 1/2). */
+PaperReference paperReference(const std::string &benchmark);
+
+/** One markdown table row for an OptFT result (with paper columns). */
+std::string markdownRow(const OptFtResult &result);
+
+/** One markdown table row for an OptSlice result. */
+std::string markdownRow(const OptSliceResult &result);
+
+/** Options for the whole-suite report. */
+struct ReportOptions
+{
+    std::size_t profileRuns = 48;
+    std::size_t raceTestRuns = 16;
+    std::size_t sliceTestRuns = 12;
+    bool includeRaceSuite = true;
+    bool includeSliceSuite = true;
+};
+
+/**
+ * Run both pipelines over every benchmark and render a markdown
+ * report with paper-vs-measured columns and aggregate averages.
+ * Deterministic; suitable for diffing across library changes.
+ */
+std::string generateSuiteReport(const ReportOptions &options = {});
+
+} // namespace oha::core

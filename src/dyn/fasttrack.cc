@@ -1,0 +1,142 @@
+#include "dyn/fasttrack.h"
+
+namespace oha::dyn {
+
+VectorClock &
+FastTrack::clockOf(ThreadId tid)
+{
+    if (tid >= threads_.size())
+        threads_.resize(tid + 1);
+    return threads_[tid];
+}
+
+void
+FastTrack::onThreadStart(ThreadId tid, ThreadId parent, InstrId spawnSite)
+{
+    VectorClock &clock = clockOf(tid);
+    if (spawnSite != kNoInstr) {
+        // Fork: child inherits parent's clock; parent advances.
+        clock.join(clockOf(parent));
+        clockOf(parent).incr(parent);
+    }
+    clock.incr(tid); // thread's own component starts at 1
+}
+
+void
+FastTrack::report(InstrId prev, InstrId cur, const exec::EventCtx &ctx)
+{
+    if (prev == kNoInstr)
+        return;
+    races_.insert({std::min(prev, cur), std::max(prev, cur), ctx.obj,
+                   ctx.off});
+}
+
+void
+FastTrack::read(ThreadId tid, const exec::EventCtx &ctx)
+{
+    VarState &var = vars_[addrKey(ctx.obj, ctx.off)];
+    const VectorClock &clock = clockOf(tid);
+    const Epoch now = clock.epochOf(tid);
+
+    // Same-epoch fast path.
+    if (!var.sharedRead && var.read == now)
+        return;
+
+    // Write-read race check.
+    if (!clock.covers(var.write) && var.write.clock() != 0)
+        report(var.lastWriteInstr, ctx.instr->id, ctx);
+
+    if (var.sharedRead) {
+        var.readVC.set(tid, now.clock());
+        var.readInstrByTid[tid] = ctx.instr->id;
+    } else if (clock.covers(var.read) || var.read.clock() == 0) {
+        // Exclusive ordered read: stay in epoch representation.
+        var.read = now;
+    } else {
+        // Concurrent readers: inflate to a vector clock.
+        var.sharedRead = true;
+        var.readVC.set(var.read.tid(), var.read.clock());
+        var.readVC.set(tid, now.clock());
+        var.readInstrByTid[var.read.tid()] = var.lastReadInstr;
+        var.readInstrByTid[tid] = ctx.instr->id;
+    }
+    var.lastReadInstr = ctx.instr->id;
+}
+
+void
+FastTrack::write(ThreadId tid, const exec::EventCtx &ctx)
+{
+    VarState &var = vars_[addrKey(ctx.obj, ctx.off)];
+    const VectorClock &clock = clockOf(tid);
+    const Epoch now = clock.epochOf(tid);
+
+    if (var.write == now)
+        return; // same-epoch fast path
+
+    if (!clock.covers(var.write) && var.write.clock() != 0)
+        report(var.lastWriteInstr, ctx.instr->id, ctx);
+
+    if (var.sharedRead) {
+        // Report every reader the write is not ordered after.
+        for (std::size_t t = 0; t < var.readVC.size(); ++t) {
+            const auto readerTid = static_cast<ThreadId>(t);
+            const Epoch reader(readerTid, var.readVC.get(readerTid));
+            if (reader.clock() != 0 && !clock.covers(reader)) {
+                auto it = var.readInstrByTid.find(readerTid);
+                report(it != var.readInstrByTid.end() ? it->second
+                                                      : var.lastReadInstr,
+                       ctx.instr->id, ctx);
+            }
+        }
+        var.sharedRead = false;
+        var.readVC = VectorClock();
+        var.read = Epoch::none();
+        var.readInstrByTid.clear();
+    } else if (var.read.clock() != 0 && !clock.covers(var.read)) {
+        report(var.lastReadInstr, ctx.instr->id, ctx);
+    }
+    var.write = now;
+    var.lastWriteInstr = ctx.instr->id;
+}
+
+void
+FastTrack::onEvent(const exec::EventCtx &ctx)
+{
+    switch (ctx.instr->op) {
+      case ir::Opcode::Load:
+        read(ctx.tid, ctx);
+        break;
+      case ir::Opcode::Store:
+        write(ctx.tid, ctx);
+        break;
+      case ir::Opcode::Lock:
+        // Acquire: thread learns everything released at this lock.
+        clockOf(ctx.tid).join(locks_[ctx.obj]);
+        break;
+      case ir::Opcode::Unlock:
+        // Release: publish and advance.
+        locks_[ctx.obj] = clockOf(ctx.tid);
+        clockOf(ctx.tid).incr(ctx.tid);
+        break;
+      case ir::Opcode::Spawn:
+        // Fork edge handled in onThreadStart (unconditional), so the
+        // happens-before edge survives even if this event is elided.
+        break;
+      case ir::Opcode::Join:
+        clockOf(ctx.tid).join(clockOf(ctx.otherTid));
+        break;
+      default:
+        break;
+    }
+}
+
+std::set<std::pair<InstrId, InstrId>>
+FastTrack::racePairs() const
+{
+    std::set<std::pair<InstrId, InstrId>> pairs;
+    for (const RaceReport &race : races_)
+        pairs.insert({race.first, race.second});
+    return pairs;
+}
+
+} // namespace oha::dyn

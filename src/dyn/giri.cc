@@ -1,0 +1,138 @@
+#include "dyn/giri.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace oha::dyn {
+
+std::uint32_t
+GiriSlicer::lookupReg(std::uint64_t frameId, ir::Reg reg)
+{
+    auto it = regDef_.find(slotKey(frameId, reg));
+    if (it == regDef_.end()) {
+        ++missing_;
+        return kNoEntry;
+    }
+    return it->second;
+}
+
+std::uint32_t
+GiriSlicer::append(InstrId instr, std::vector<std::uint32_t> deps)
+{
+    deps.erase(std::remove(deps.begin(), deps.end(), kNoEntry),
+               deps.end());
+    trace_.push_back({instr, std::move(deps)});
+    return static_cast<std::uint32_t>(trace_.size() - 1);
+}
+
+void
+GiriSlicer::onEvent(const exec::EventCtx &ctx)
+{
+    using ir::Opcode;
+    const ir::Instruction &ins = *ctx.instr;
+
+    std::vector<std::uint32_t> deps;
+    static thread_local std::vector<ir::Reg> uses;
+    ins.usedRegs(uses);
+    for (ir::Reg reg : uses)
+        deps.push_back(lookupReg(ctx.frameId, reg));
+
+    switch (ins.op) {
+      case Opcode::Load: {
+        auto it = memDef_.find(addrKey(ctx.obj, ctx.off));
+        if (it != memDef_.end())
+            deps.push_back(it->second);
+        const std::uint32_t entry = append(ins.id, std::move(deps));
+        regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+        break;
+      }
+      case Opcode::Store: {
+        const std::uint32_t entry = append(ins.id, std::move(deps));
+        memDef_[addrKey(ctx.obj, ctx.off)] = entry;
+        break;
+      }
+      case Opcode::Call:
+      case Opcode::ICall: {
+        const std::uint32_t entry = append(ins.id, std::move(deps));
+        // Callee parameters are defined by this call entry.
+        const ir::Function *callee =
+            module_.function(ctx.calleeResolved);
+        for (ir::Reg p = 0; p < callee->numParams(); ++p)
+            regDef_[slotKey(ctx.frame2, p)] = entry;
+        break;
+      }
+      case Opcode::Spawn: {
+        const std::uint32_t entry = append(ins.id, std::move(deps));
+        const ir::Function *callee = module_.function(ins.callee);
+        for (ir::Reg p = 0; p < callee->numParams(); ++p)
+            regDef_[slotKey(ctx.frame2, p)] = entry;
+        if (ins.dest != ir::kNoReg)
+            regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+        break;
+      }
+      case Opcode::Ret: {
+        const std::uint32_t entry = append(ins.id, std::move(deps));
+        if (ctx.callInstr) {
+            if (ctx.callInstr->dest != ir::kNoReg)
+                regDef_[slotKey(ctx.frame2, ctx.callInstr->dest)] = entry;
+        } else {
+            threadRet_[ctx.tid] = entry;
+        }
+        break;
+      }
+      case Opcode::Join: {
+        auto it = threadRet_.find(ctx.otherTid);
+        if (it != threadRet_.end())
+            deps.push_back(it->second);
+        const std::uint32_t entry = append(ins.id, std::move(deps));
+        if (ins.dest != ir::kNoReg)
+            regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+        break;
+      }
+      case Opcode::Output: {
+        const std::uint32_t entry = append(ins.id, std::move(deps));
+        outputs_[ins.id].push_back(entry);
+        break;
+      }
+      case Opcode::Br:
+      case Opcode::CondBr:
+        break; // data-flow slices ignore control dependencies
+      default: {
+        // Plain value producers (const, binop, gep, alloc, input...).
+        const std::uint32_t entry = append(ins.id, std::move(deps));
+        if (ins.dest != ir::kNoReg)
+            regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+        break;
+      }
+    }
+}
+
+std::set<InstrId>
+GiriSlicer::slice(InstrId endpoint) const
+{
+    std::set<InstrId> result;
+    auto it = outputs_.find(endpoint);
+    if (it == outputs_.end())
+        return result;
+
+    std::vector<bool> visited(trace_.size(), false);
+    std::deque<std::uint32_t> work;
+    for (std::uint32_t entry : it->second) {
+        visited[entry] = true;
+        work.push_back(entry);
+    }
+    while (!work.empty()) {
+        const std::uint32_t cur = work.front();
+        work.pop_front();
+        result.insert(trace_[cur].instr);
+        for (std::uint32_t dep : trace_[cur].deps) {
+            if (!visited[dep]) {
+                visited[dep] = true;
+                work.push_back(dep);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace oha::dyn

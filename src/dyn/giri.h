@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A Giri-style dynamic backward slicer (Sahoo et al. [45]) as an
+ * interpreter Tool.
+ *
+ * During execution it appends one trace entry per instrumented
+ * instruction, linking each entry to the entries that produced its
+ * register operands (and, for loads, the entry of the last store to
+ * the loaded address; for calls/returns/joins, the matching
+ * inter-procedural producer).  A backward slice is then the BFS
+ * closure over those links from an Output endpoint.
+ *
+ * When instrumentation is elided (hybrid / optimistic modes), entries
+ * for elided instructions are simply never created.  If a needed
+ * producer is missing the dependency is dropped and counted in
+ * missingDependencies() — with a sound (closed) static slice this
+ * never happens; with a predicated slice it can only happen when a
+ * likely invariant was violated, which triggers rollback instead
+ * (Figure 2).
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/event.h"
+
+namespace oha::dyn {
+
+/** Dynamic data-flow backward slicer. */
+class GiriSlicer : public exec::Tool
+{
+  public:
+    explicit GiriSlicer(const ir::Module &module) : module_(module) {}
+
+    void onEvent(const exec::EventCtx &ctx) override;
+
+    /** Dynamic backward slice (instruction ids) from every dynamic
+     *  occurrence of @p endpoint. */
+    std::set<InstrId> slice(InstrId endpoint) const;
+
+    /** Entries recorded (the dominant dynamic cost). */
+    std::uint64_t traceLength() const { return trace_.size(); }
+
+    /** Operand producers that were not instrumented. */
+    std::uint64_t missingDependencies() const { return missing_; }
+
+  private:
+    static constexpr std::uint32_t kNoEntry =
+        static_cast<std::uint32_t>(-1);
+
+    struct TraceEntry
+    {
+        InstrId instr;
+        std::vector<std::uint32_t> deps;
+    };
+
+    static std::uint64_t
+    slotKey(std::uint64_t frameId, ir::Reg reg)
+    {
+        return frameId * 0x10000ULL + reg;
+    }
+
+    static std::uint64_t
+    addrKey(exec::ObjectId obj, std::uint32_t off)
+    {
+        return (static_cast<std::uint64_t>(obj) << 32) | off;
+    }
+
+    /** Producer of (frame, reg), or kNoEntry (counted as missing). */
+    std::uint32_t lookupReg(std::uint64_t frameId, ir::Reg reg);
+
+    std::uint32_t append(InstrId instr, std::vector<std::uint32_t> deps);
+
+    const ir::Module &module_;
+    std::vector<TraceEntry> trace_;
+    std::unordered_map<std::uint64_t, std::uint32_t> regDef_;
+    std::unordered_map<std::uint64_t, std::uint32_t> memDef_;
+    std::unordered_map<ThreadId, std::uint32_t> threadRet_;
+    std::map<InstrId, std::vector<std::uint32_t>> outputs_;
+    std::uint64_t missing_ = 0;
+};
+
+} // namespace oha::dyn

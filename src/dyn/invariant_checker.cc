@@ -1,0 +1,179 @@
+#include "dyn/invariant_checker.h"
+
+namespace oha::dyn {
+
+InvariantChecker::InvariantChecker(const ir::Module &module,
+                                   const inv::InvariantSet &invariants,
+                                   CheckerConfig config)
+    : module_(module), invariants_(invariants), config_(config),
+      plan_(exec::InstrumentationPlan::none(module))
+{
+    // Likely-unreachable code: hook entries of unvisited blocks only —
+    // the check is "if you ever get here, mis-speculate".
+    if (config_.unreachableCode) {
+        for (BlockId block = 0; block < module.numBlocks(); ++block)
+            if (!invariants.blockVisited(block))
+                plan_.setBlock(block, true);
+    }
+
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        switch (ins.op) {
+          case ir::Opcode::ICall:
+            if (config_.calleeSets &&
+                invariants.calleeSets.count(ins.id)) {
+                plan_.setInstr(id, true);
+            }
+            if (config_.callContexts)
+                plan_.setInstr(id, true);
+            break;
+          case ir::Opcode::Call:
+          case ir::Opcode::Ret:
+            if (config_.callContexts)
+                plan_.setInstr(id, true);
+            break;
+          case ir::Opcode::Lock:
+            break; // handled below via pair membership
+          case ir::Opcode::Spawn:
+            if (config_.singletonThreads &&
+                invariants.singletonSpawnSites.count(ins.id)) {
+                plan_.setInstr(id, true);
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    if (config_.guardingLocks) {
+        for (const auto &[a, b] : invariants.mustAliasLocks) {
+            plan_.setInstr(a, true);
+            plan_.setInstr(b, true);
+            if (a != b) {
+                lockPartners_[a].push_back(b);
+                lockPartners_[b].push_back(a);
+            } else {
+                lockPartners_[a]; // ensure single-object tracking
+            }
+        }
+    }
+
+    if (config_.callContexts) {
+        for (std::uint64_t hash : invariants.contextHashes)
+            contextBloom_.insert(hash);
+    }
+}
+
+void
+InvariantChecker::violate(const std::string &reason)
+{
+    if (violated_)
+        return;
+    violated_ = true;
+    reason_ = reason;
+    if (interp_)
+        interp_->requestAbort("invariant violation: " + reason);
+}
+
+void
+InvariantChecker::onBlockEnter(ThreadId, BlockId block)
+{
+    // Only likely-unreachable blocks are hooked.
+    violate("likely-unreachable code reached (block " +
+            std::to_string(block) + ")");
+}
+
+void
+InvariantChecker::onThreadStart(ThreadId tid, ThreadId, InstrId)
+{
+    if (config_.callContexts)
+        ctxState_[tid].hashStack.clear();
+}
+
+void
+InvariantChecker::onEvent(const exec::EventCtx &ctx)
+{
+    const ir::Instruction &ins = *ctx.instr;
+
+    switch (ins.op) {
+      case ir::Opcode::Call:
+      case ir::Opcode::ICall: {
+        if (ins.op == ir::Opcode::ICall && config_.calleeSets) {
+            auto it = invariants_.calleeSets.find(ins.id);
+            if (it != invariants_.calleeSets.end() &&
+                !it->second.count(ctx.calleeResolved)) {
+                violate("unexpected indirect-call target at site " +
+                        std::to_string(ins.id));
+                return;
+            }
+        }
+        if (config_.callContexts) {
+            auto &stack = ctxState_[ctx.tid].hashStack;
+            const std::uint64_t parent =
+                stack.empty() ? 0x51ed270b0a1f39c1ULL : stack.back();
+            const std::uint64_t hash =
+                inv::contextHashPush(parent, ins.id);
+            stack.push_back(hash);
+            // Contexts deeper than the profiler records are exempt
+            // (the profiler skipped them symmetrically).
+            if (stack.size() <= 64 && !confirmedContexts_.count(hash)) {
+                if (!contextBloom_.mayContain(hash)) {
+                    violate("unobserved call context at site " +
+                            std::to_string(ins.id));
+                    return;
+                }
+                // Bloom positive: confirm against the exact set.
+                ++slowChecks_;
+                if (!invariants_.contextHashes.count(hash)) {
+                    violate("unobserved call context at site " +
+                            std::to_string(ins.id));
+                    return;
+                }
+                confirmedContexts_.insert(hash);
+            }
+        }
+        break;
+      }
+      case ir::Opcode::Ret: {
+        if (config_.callContexts) {
+            auto &stack = ctxState_[ctx.tid].hashStack;
+            if (!stack.empty())
+                stack.pop_back();
+        }
+        break;
+      }
+      case ir::Opcode::Lock: {
+        auto partnersIt = lockPartners_.find(ins.id);
+        if (partnersIt == lockPartners_.end())
+            break;
+        auto [boundIt, isNew] =
+            boundLockObject_.emplace(ins.id, ctx.obj);
+        if (!isNew && boundIt->second != ctx.obj) {
+            violate("lock site " + std::to_string(ins.id) +
+                    " locked a second object");
+            return;
+        }
+        for (InstrId partner : partnersIt->second) {
+            auto other = boundLockObject_.find(partner);
+            if (other != boundLockObject_.end() &&
+                other->second != ctx.obj) {
+                violate("must-alias lock pair (" + std::to_string(ins.id) +
+                        ", " + std::to_string(partner) + ") diverged");
+                return;
+            }
+        }
+        break;
+      }
+      case ir::Opcode::Spawn: {
+        if (++spawnCounts_[ins.id] > 1) {
+            violate("singleton spawn site " + std::to_string(ins.id) +
+                    " spawned again");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+} // namespace oha::dyn

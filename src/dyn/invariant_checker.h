@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Runtime verification of likely invariants (the speculation checks
+ * of Section 2.3).
+ *
+ * The checker is a Tool attached alongside the main dynamic analysis.
+ * Its InstrumentationPlan covers exactly the cheap check sites:
+ *  - entries of likely-unreachable blocks (a bare violation call);
+ *  - indirect call sites with likely callee sets;
+ *  - all call/return sites when call-context checking is on, with a
+ *    per-thread incremental context hash, a confirmed-context cache,
+ *    and a Bloom filter in front of the exact set (Section 5.2.3);
+ *  - lock sites involved in must-alias pairs;
+ *  - likely-singleton spawn sites.
+ *
+ * On the first violated check it aborts the execution; the driver
+ * rolls back and re-runs under traditional hybrid analysis.
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/interpreter.h"
+#include "invariants/invariant_set.h"
+#include "support/bloom_filter.h"
+
+namespace oha::dyn {
+
+/** Which invariant families the client analysis relies on. */
+struct CheckerConfig
+{
+    bool unreachableCode = true;
+    bool calleeSets = true;
+    bool callContexts = false;
+    bool guardingLocks = true;
+    bool singletonThreads = true;
+};
+
+/** Runtime likely-invariant checker. */
+class InvariantChecker : public exec::Tool
+{
+  public:
+    InvariantChecker(const ir::Module &module,
+                     const inv::InvariantSet &invariants,
+                     CheckerConfig config);
+
+    /** The plan covering exactly this checker's check sites. */
+    const exec::InstrumentationPlan &plan() const { return plan_; }
+
+    /** Must be set before the run so violations can abort it. */
+    void setInterpreter(exec::Interpreter *interp) { interp_ = interp; }
+
+    void onEvent(const exec::EventCtx &ctx) override;
+    void onBlockEnter(ThreadId tid, BlockId block) override;
+    void onThreadStart(ThreadId tid, ThreadId parent,
+                       InstrId spawnSite) override;
+
+    bool violated() const { return violated_; }
+    const std::string &violationReason() const { return reason_; }
+
+    /** Exact-set context probes that the Bloom filter + confirmed
+     *  cache could not elide (the expensive path of Section 5.2.3). */
+    std::uint64_t slowContextChecks() const { return slowChecks_; }
+
+  private:
+    void violate(const std::string &reason);
+
+    const ir::Module &module_;
+    const inv::InvariantSet &invariants_;
+    CheckerConfig config_;
+    exec::InstrumentationPlan plan_;
+    exec::Interpreter *interp_ = nullptr;
+
+    // Call-context tracking.
+    struct ThreadCtxState
+    {
+        std::vector<std::uint64_t> hashStack; ///< hash per depth
+    };
+    std::unordered_map<ThreadId, ThreadCtxState> ctxState_;
+    BloomFilter contextBloom_;
+    std::unordered_set<std::uint64_t> confirmedContexts_;
+
+    // Guarding-lock tracking: first object each checked site locked.
+    std::map<InstrId, exec::ObjectId> boundLockObject_;
+    /** site -> partner sites in must-alias pairs. */
+    std::map<InstrId, std::vector<InstrId>> lockPartners_;
+
+    // Singleton-spawn tracking.
+    std::map<InstrId, std::uint32_t> spawnCounts_;
+
+    bool violated_ = false;
+    std::string reason_;
+    std::uint64_t slowChecks_ = 0;
+};
+
+} // namespace oha::dyn

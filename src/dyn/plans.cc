@@ -1,0 +1,89 @@
+#include "dyn/plans.h"
+
+namespace oha::dyn {
+
+namespace {
+
+bool
+isSyncOp(ir::Opcode op)
+{
+    return op == ir::Opcode::Lock || op == ir::Opcode::Unlock ||
+           op == ir::Opcode::Spawn || op == ir::Opcode::Join;
+}
+
+} // namespace
+
+exec::InstrumentationPlan
+fullFastTrackPlan(const ir::Module &module)
+{
+    auto plan = exec::InstrumentationPlan::none(module);
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        if (ins.isMemAccess() || isSyncOp(ins.op))
+            plan.setInstr(id, true);
+    }
+    return plan;
+}
+
+exec::InstrumentationPlan
+hybridFastTrackPlan(const ir::Module &module,
+                    const std::set<InstrId> &racyAccesses)
+{
+    auto plan = exec::InstrumentationPlan::none(module);
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        if (ins.isMemAccess()) {
+            if (racyAccesses.count(id))
+                plan.setInstr(id, true);
+        } else if (isSyncOp(ins.op)) {
+            plan.setInstr(id, true);
+        }
+    }
+    return plan;
+}
+
+exec::InstrumentationPlan
+optimisticFastTrackPlan(const ir::Module &module,
+                        const std::set<InstrId> &racyAccesses,
+                        const inv::InvariantSet &invariants)
+{
+    auto plan = hybridFastTrackPlan(module, racyAccesses);
+    for (InstrId site : invariants.elidableLockSites)
+        plan.setInstr(site, false);
+    return plan;
+}
+
+exec::InstrumentationPlan
+fullGiriPlan(const ir::Module &module)
+{
+    auto plan = exec::InstrumentationPlan::none(module);
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        // Branches produce no trace entries; locks are irrelevant to
+        // data-flow slices.
+        if (ins.op == ir::Opcode::Br || ins.op == ir::Opcode::CondBr ||
+            ins.op == ir::Opcode::Lock || ins.op == ir::Opcode::Unlock) {
+            continue;
+        }
+        plan.setInstr(id, true);
+    }
+    return plan;
+}
+
+exec::InstrumentationPlan
+sliceGiriPlan(const ir::Module &module,
+              const std::set<InstrId> &staticSlice)
+{
+    auto plan = exec::InstrumentationPlan::none(module);
+    for (InstrId id : staticSlice) {
+        const ir::Instruction &ins = module.instr(id);
+        if (ins.op == ir::Opcode::Br || ins.op == ir::Opcode::CondBr ||
+            ins.op == ir::Opcode::Lock || ins.op == ir::Opcode::Unlock) {
+            continue;
+        }
+        plan.setInstr(id, true);
+    }
+    return plan;
+}
+
+} // namespace oha::dyn

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Instrumentation-plan builders: which runtime checks each dynamic
+ * analysis configuration keeps (Section 2.3, "elide instrumentation
+ * for checks that static analysis has proven unnecessary").
+ */
+
+#pragma once
+
+#include <set>
+
+#include "exec/event.h"
+#include "invariants/invariant_set.h"
+
+namespace oha::dyn {
+
+/** Full FastTrack: every load/store/lock/unlock/spawn/join. */
+exec::InstrumentationPlan fullFastTrackPlan(const ir::Module &module);
+
+/**
+ * Hybrid FastTrack: loads/stores restricted to @p racyAccesses (from
+ * the sound static detector); all synchronization kept.
+ */
+exec::InstrumentationPlan
+hybridFastTrackPlan(const ir::Module &module,
+                    const std::set<InstrId> &racyAccesses);
+
+/**
+ * OptFT: loads/stores restricted to the predicated detector's
+ * @p racyAccesses; lock/unlock sites in
+ * @p invariants.elidableLockSites elided under the
+ * no-custom-synchronization invariant (Section 4.2.4).
+ */
+exec::InstrumentationPlan
+optimisticFastTrackPlan(const ir::Module &module,
+                        const std::set<InstrId> &racyAccesses,
+                        const inv::InvariantSet &invariants);
+
+/** Full Giri: every instruction that produces a trace entry. */
+exec::InstrumentationPlan fullGiriPlan(const ir::Module &module);
+
+/** Hybrid/optimistic Giri: only instructions in the static slice. */
+exec::InstrumentationPlan
+sliceGiriPlan(const ir::Module &module,
+              const std::set<InstrId> &staticSlice);
+
+} // namespace oha::dyn

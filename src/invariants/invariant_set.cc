@@ -1,0 +1,130 @@
+#include "invariants/invariant_set.h"
+
+#include <sstream>
+
+namespace oha::inv {
+
+std::size_t
+InvariantSet::factCount() const
+{
+    std::size_t n = visitedBlocks.size();
+    for (const auto &[site, callees] : calleeSets)
+        n += callees.size();
+    n += callContexts.size();
+    n += mustAliasLocks.size();
+    n += singletonSpawnSites.size();
+    n += elidableLockSites.size();
+    return n;
+}
+
+std::string
+InvariantSet::saveText() const
+{
+    std::ostringstream os;
+    os << "oha-invariants v1\n";
+    os << "numblocks " << numBlocks << "\n";
+
+    os << "visited";
+    visitedBlocks.forEach([&](std::uint32_t b) { os << " " << b; });
+    os << "\n";
+
+    for (const auto &[site, callees] : calleeSets) {
+        os << "callees " << site;
+        for (FuncId f : callees)
+            os << " " << f;
+        os << "\n";
+    }
+
+    if (hasCallContexts)
+        os << "contexts-profiled\n";
+    for (const CallContext &context : callContexts) {
+        os << "context";
+        for (InstrId site : context)
+            os << " " << site;
+        os << "\n";
+    }
+
+    for (const auto &[a, b] : mustAliasLocks)
+        os << "lockalias " << a << " " << b << "\n";
+
+    for (InstrId site : singletonSpawnSites)
+        os << "singleton " << site << "\n";
+
+    for (InstrId site : elidableLockSites)
+        os << "elidable-lock " << site << "\n";
+
+    return os.str();
+}
+
+InvariantSet
+InvariantSet::loadText(const std::string &text)
+{
+    InvariantSet set;
+    std::istringstream is(text);
+    std::string line;
+
+    if (!std::getline(is, line) || line != "oha-invariants v1")
+        OHA_FATAL("bad invariant file header");
+
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string kind;
+        ls >> kind;
+        if (kind == "numblocks") {
+            ls >> set.numBlocks;
+        } else if (kind == "visited") {
+            std::uint32_t b;
+            while (ls >> b)
+                set.visitedBlocks.insert(b);
+        } else if (kind == "callees") {
+            InstrId site;
+            ls >> site;
+            auto &callees = set.calleeSets[site];
+            FuncId f;
+            while (ls >> f)
+                callees.insert(f);
+        } else if (kind == "contexts-profiled") {
+            set.hasCallContexts = true;
+        } else if (kind == "context") {
+            CallContext context;
+            InstrId site;
+            while (ls >> site)
+                context.push_back(site);
+            set.callContexts.insert(std::move(context));
+        } else if (kind == "lockalias") {
+            InstrId a, b;
+            ls >> a >> b;
+            set.mustAliasLocks.insert({a, b});
+        } else if (kind == "singleton") {
+            InstrId site;
+            ls >> site;
+            set.singletonSpawnSites.insert(site);
+        } else if (kind == "elidable-lock") {
+            InstrId site;
+            ls >> site;
+            set.elidableLockSites.insert(site);
+        } else {
+            OHA_FATAL("bad invariant line kind '%s'", kind.c_str());
+        }
+    }
+
+    set.rehashContexts();
+    return set;
+}
+
+bool
+InvariantSet::operator==(const InvariantSet &other) const
+{
+    return numBlocks == other.numBlocks &&
+           visitedBlocks == other.visitedBlocks &&
+           calleeSets == other.calleeSets &&
+           callContexts == other.callContexts &&
+           mustAliasLocks == other.mustAliasLocks &&
+           singletonSpawnSites == other.singletonSpawnSites &&
+           elidableLockSites == other.elidableLockSites &&
+           hasCallContexts == other.hasCallContexts;
+}
+
+} // namespace oha::inv

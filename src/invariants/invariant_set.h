@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Likely invariants: the dynamically-gathered, statically-assumed
+ * facts at the heart of optimistic hybrid analysis (Section 2.1).
+ *
+ * An InvariantSet is the *merged* artifact of a profiling campaign:
+ * reachable-style invariants (visited blocks, callee sets, call
+ * contexts) are unions over runs, while constraint-style invariants
+ * (must-alias locks, singleton threads) hold only if no profiled run
+ * violated them.  The set is (de)serializable as a text file, exactly
+ * as the paper's tools store it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/common.h"
+#include "support/sparse_bit_set.h"
+
+namespace oha::inv {
+
+/** A call context: chain of call-site instruction ids, outermost first. */
+using CallContext = std::vector<InstrId>;
+
+/** Incremental hash of a call context (push one call site at a time). */
+inline std::uint64_t
+contextHashPush(std::uint64_t parent, InstrId site)
+{
+    std::uint64_t x = parent ^ (site + 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return x;
+}
+
+/** Hash a full call context from the root. */
+inline std::uint64_t
+contextHash(const CallContext &context)
+{
+    std::uint64_t h = 0x51ed270b0a1f39c1ULL;
+    for (InstrId site : context)
+        h = contextHashPush(h, site);
+    return h;
+}
+
+/** The merged likely-invariant artifact consumed by predicated
+ *  static analysis and the runtime invariant checker. */
+struct InvariantSet
+{
+    /** Number of blocks in the module (for LUC complement). */
+    std::uint32_t numBlocks = 0;
+
+    /** Blocks observed executed in some profiled run.  Likely
+     *  unreachable code = complement (Section 4.2.1). */
+    SparseBitSet visitedBlocks;
+
+    /** Indirect call site -> functions observed as targets
+     *  (Section 5.2.2).  Union across runs. */
+    std::map<InstrId, std::set<FuncId>> calleeSets;
+
+    /** Observed call contexts including every prefix
+     *  (Section 5.2.3).  Union across runs. */
+    std::set<CallContext> callContexts;
+
+    /** Hashes of callContexts, for the cheap runtime check. */
+    std::set<std::uint64_t> contextHashes;
+
+    /** Lock-site pairs (a <= b, reflexive included) observed to
+     *  always lock one and the same dynamic object (Section 4.2.2). */
+    std::set<std::pair<InstrId, InstrId>> mustAliasLocks;
+
+    /** Spawn sites observed to create exactly one thread in every
+     *  profiled run (Section 4.2.3). */
+    std::set<InstrId> singletonSpawnSites;
+
+    /** Lock sites whose instrumentation may be elided under the
+     *  no-custom-synchronization invariant (Section 4.2.4). */
+    std::set<InstrId> elidableLockSites;
+
+    /** Whether call-context invariants were profiled (OptSlice only:
+     *  profiling them is pointless for a context-insensitive client). */
+    bool hasCallContexts = false;
+
+    /** True if @p block was visited in some profiled run. */
+    bool
+    blockVisited(BlockId block) const
+    {
+        return visitedBlocks.contains(block);
+    }
+
+    /** True if (a, b) — order-normalized — is a must-alias lock pair. */
+    bool
+    locksMustAlias(InstrId a, InstrId b) const
+    {
+        if (a > b)
+            std::swap(a, b);
+        return mustAliasLocks.count({a, b}) > 0;
+    }
+
+    /** Rebuild contextHashes from callContexts. */
+    void
+    rehashContexts()
+    {
+        contextHashes.clear();
+        for (const CallContext &context : callContexts)
+            contextHashes.insert(contextHash(context));
+    }
+
+    /** Total number of individual invariant facts (for convergence). */
+    std::size_t factCount() const;
+
+    /** Serialize to the paper's text-file format. */
+    std::string saveText() const;
+
+    /** Parse the text-file format; fatal on malformed input. */
+    static InvariantSet loadText(const std::string &text);
+
+    bool operator==(const InvariantSet &other) const;
+};
+
+} // namespace oha::inv

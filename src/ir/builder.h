@@ -1,0 +1,361 @@
+/**
+ * @file
+ * IRBuilder: the ergonomic construction API for OHA IR modules.
+ *
+ * Mirrors the shape of LLVM's IRBuilder: hold an insertion point,
+ * emit instructions that auto-allocate destination registers.
+ * Workload generators and tests build programs exclusively through
+ * this class.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace oha::ir {
+
+/** Streaming instruction builder with an insertion point. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module &module) : module_(module) {}
+
+    /** Create a function and position the builder in a fresh entry block. */
+    Function *
+    createFunction(const std::string &name, unsigned numParams)
+    {
+        Function *func = module_.addFunction(name, numParams);
+        setInsertPoint(module_.addBlock(func, "entry"));
+        return func;
+    }
+
+    /** Create an (unpositioned) block in @p func. */
+    BasicBlock *
+    createBlock(Function *func, const std::string &label)
+    {
+        return module_.addBlock(func, label);
+    }
+
+    void setInsertPoint(BasicBlock *block) { block_ = block; }
+    BasicBlock *insertBlock() const { return block_; }
+    Function *currentFunction() const { return block_->parent(); }
+    Module &module() { return module_; }
+
+    // ---- value-producing instructions -------------------------------
+
+    /** dest = imm */
+    Reg
+    constInt(std::int64_t value)
+    {
+        Instruction instr;
+        instr.op = Opcode::ConstInt;
+        instr.imm = value;
+        return emitDef(instr);
+    }
+
+    /** dest = new object with @p cells cells (allocation site) */
+    Reg
+    alloc(std::uint32_t cells)
+    {
+        Instruction instr;
+        instr.op = Opcode::Alloc;
+        instr.imm = cells;
+        return emitDef(instr);
+    }
+
+    /** dest = src */
+    Reg
+    assign(Reg src)
+    {
+        Instruction instr;
+        instr.op = Opcode::Assign;
+        instr.a = src;
+        return emitDef(instr);
+    }
+
+    /**
+     * Redefine an existing register: dest = src.  Registers are
+     * normally single-assignment (emitDef allocates a fresh one), but
+     * loop-carried variables need explicit redefinition.
+     */
+    void
+    assignTo(Reg dest, Reg src)
+    {
+        Instruction instr;
+        instr.op = Opcode::Assign;
+        instr.dest = dest;
+        instr.a = src;
+        emit(instr);
+    }
+
+    /** Redefine an existing register: dest = lhs <kind> rhs. */
+    void
+    binopTo(Reg dest, BinOpKind kind, Reg lhs, Reg rhs)
+    {
+        Instruction instr;
+        instr.op = Opcode::BinOp;
+        instr.dest = dest;
+        instr.binop = kind;
+        instr.a = lhs;
+        instr.b = rhs;
+        emit(instr);
+    }
+
+    /** Redefine an existing register with a constant: dest = imm. */
+    void
+    constTo(Reg dest, std::int64_t value)
+    {
+        Instruction instr;
+        instr.op = Opcode::ConstInt;
+        instr.dest = dest;
+        instr.imm = value;
+        emit(instr);
+    }
+
+    /** dest = lhs <kind> rhs */
+    Reg
+    binop(BinOpKind kind, Reg lhs, Reg rhs)
+    {
+        Instruction instr;
+        instr.op = Opcode::BinOp;
+        instr.binop = kind;
+        instr.a = lhs;
+        instr.b = rhs;
+        return emitDef(instr);
+    }
+
+    Reg add(Reg a, Reg b) { return binop(BinOpKind::Add, a, b); }
+    Reg sub(Reg a, Reg b) { return binop(BinOpKind::Sub, a, b); }
+    Reg mul(Reg a, Reg b) { return binop(BinOpKind::Mul, a, b); }
+    Reg mod(Reg a, Reg b) { return binop(BinOpKind::Mod, a, b); }
+    Reg lt(Reg a, Reg b) { return binop(BinOpKind::Lt, a, b); }
+    Reg le(Reg a, Reg b) { return binop(BinOpKind::Le, a, b); }
+    Reg eq(Reg a, Reg b) { return binop(BinOpKind::Eq, a, b); }
+    Reg ne(Reg a, Reg b) { return binop(BinOpKind::Ne, a, b); }
+    Reg bxor(Reg a, Reg b) { return binop(BinOpKind::Xor, a, b); }
+    Reg band(Reg a, Reg b) { return binop(BinOpKind::And, a, b); }
+
+    /** dest = &global */
+    Reg
+    globalAddr(std::uint32_t globalId)
+    {
+        Instruction instr;
+        instr.op = Opcode::GlobalAddr;
+        instr.globalId = globalId;
+        return emitDef(instr);
+    }
+
+    /** dest = function pointer */
+    Reg
+    funcAddr(Function *func)
+    {
+        Instruction instr;
+        instr.op = Opcode::FuncAddr;
+        instr.callee = func->id();
+        return emitDef(instr);
+    }
+
+    /** dest = &base[field], constant field index */
+    Reg
+    gep(Reg base, std::int64_t field)
+    {
+        Instruction instr;
+        instr.op = Opcode::Gep;
+        instr.a = base;
+        instr.imm = field;
+        return emitDef(instr);
+    }
+
+    /** dest = &base[index], dynamic index register */
+    Reg
+    gepDyn(Reg base, Reg index)
+    {
+        Instruction instr;
+        instr.op = Opcode::Gep;
+        instr.a = base;
+        instr.b = index;
+        return emitDef(instr);
+    }
+
+    /** dest = *ptr */
+    Reg
+    load(Reg ptr)
+    {
+        Instruction instr;
+        instr.op = Opcode::Load;
+        instr.a = ptr;
+        return emitDef(instr);
+    }
+
+    /** *ptr = value */
+    void
+    store(Reg ptr, Reg value)
+    {
+        Instruction instr;
+        instr.op = Opcode::Store;
+        instr.a = ptr;
+        instr.b = value;
+        emit(instr);
+    }
+
+    /** dest = callee(args...) */
+    Reg
+    call(Function *callee, std::vector<Reg> args = {})
+    {
+        Instruction instr;
+        instr.op = Opcode::Call;
+        instr.callee = callee->id();
+        instr.args = std::move(args);
+        return emitDef(instr);
+    }
+
+    /** dest = (*fp)(args...) */
+    Reg
+    icall(Reg funcPtr, std::vector<Reg> args = {})
+    {
+        Instruction instr;
+        instr.op = Opcode::ICall;
+        instr.a = funcPtr;
+        instr.args = std::move(args);
+        return emitDef(instr);
+    }
+
+    /** dest = input[(imm + index) mod inputLength] */
+    Reg
+    input(std::int64_t index)
+    {
+        Instruction instr;
+        instr.op = Opcode::Input;
+        instr.imm = index;
+        return emitDef(instr);
+    }
+
+    /** dest = input[(imm + value(indexReg)) mod inputLength] */
+    Reg
+    inputDyn(Reg indexReg, std::int64_t base = 0)
+    {
+        Instruction instr;
+        instr.op = Opcode::Input;
+        instr.b = indexReg;
+        instr.imm = base;
+        return emitDef(instr);
+    }
+
+    /** dest = spawn callee(args...) */
+    Reg
+    spawn(Function *callee, std::vector<Reg> args = {})
+    {
+        Instruction instr;
+        instr.op = Opcode::Spawn;
+        instr.callee = callee->id();
+        instr.args = std::move(args);
+        return emitDef(instr);
+    }
+
+    /** dest = join(handle) */
+    Reg
+    join(Reg handle)
+    {
+        Instruction instr;
+        instr.op = Opcode::Join;
+        instr.a = handle;
+        return emitDef(instr);
+    }
+
+    // ---- void instructions ------------------------------------------
+
+    /** lock(*ptr) */
+    void
+    lock(Reg ptr)
+    {
+        Instruction instr;
+        instr.op = Opcode::Lock;
+        instr.a = ptr;
+        emit(instr);
+    }
+
+    /** unlock(*ptr) */
+    void
+    unlock(Reg ptr)
+    {
+        Instruction instr;
+        instr.op = Opcode::Unlock;
+        instr.a = ptr;
+        emit(instr);
+    }
+
+    /** output(value) — observable sink / slice endpoint */
+    void
+    output(Reg value)
+    {
+        Instruction instr;
+        instr.op = Opcode::Output;
+        instr.a = value;
+        emit(instr);
+    }
+
+    // ---- terminators -------------------------------------------------
+
+    void
+    ret()
+    {
+        Instruction instr;
+        instr.op = Opcode::Ret;
+        emit(instr);
+    }
+
+    void
+    ret(Reg value)
+    {
+        Instruction instr;
+        instr.op = Opcode::Ret;
+        instr.a = value;
+        emit(instr);
+    }
+
+    void
+    br(BasicBlock *target)
+    {
+        Instruction instr;
+        instr.op = Opcode::Br;
+        instr.target = target->id();
+        emit(instr);
+    }
+
+    void
+    condBr(Reg cond, BasicBlock *ifTrue, BasicBlock *ifFalse)
+    {
+        Instruction instr;
+        instr.op = Opcode::CondBr;
+        instr.a = cond;
+        instr.target = ifTrue->id();
+        instr.target2 = ifFalse->id();
+        emit(instr);
+    }
+
+  private:
+    void
+    emit(Instruction instr)
+    {
+        OHA_ASSERT(block_ != nullptr, "no insertion point");
+        block_->instructions().push_back(std::move(instr));
+    }
+
+    Reg
+    emitDef(Instruction instr)
+    {
+        OHA_ASSERT(block_ != nullptr, "no insertion point");
+        instr.dest = block_->parent()->allocReg();
+        const Reg dest = instr.dest;
+        block_->instructions().push_back(std::move(instr));
+        return dest;
+    }
+
+    Module &module_;
+    BasicBlock *block_ = nullptr;
+};
+
+} // namespace oha::ir

@@ -1,0 +1,116 @@
+#include "ir/cfg.h"
+
+#include <queue>
+
+namespace oha::ir {
+
+Cfg::Cfg(const Function &func) : func_(func)
+{
+    const std::size_t n = func.blocks().size();
+    succs_.resize(n);
+    preds_.resize(n);
+    reach_.resize(n);
+
+    for (std::size_t i = 0; i < n; ++i)
+        local_.emplace(func.blocks()[i]->id(), i);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        succs_[i] = func.blocks()[i]->successors();
+        for (BlockId succ : succs_[i])
+            preds_[localIndex(succ)].push_back(func.blocks()[i]->id());
+    }
+
+    // Transitive closure by per-block BFS.  Functions in this IR are
+    // small (tens of blocks), so the quadratic closure is cheap and
+    // the bitset answers are O(1) afterwards.
+    for (std::size_t i = 0; i < n; ++i) {
+        std::queue<std::size_t> work;
+        for (BlockId succ : succs_[i]) {
+            const std::size_t si = localIndex(succ);
+            if (reach_[i].insert(static_cast<std::uint32_t>(si)))
+                work.push(si);
+        }
+        while (!work.empty()) {
+            const std::size_t cur = work.front();
+            work.pop();
+            for (BlockId succ : succs_[cur]) {
+                const std::size_t si = localIndex(succ);
+                if (reach_[i].insert(static_cast<std::uint32_t>(si)))
+                    work.push(si);
+            }
+        }
+    }
+
+    // Iterative dominator computation: dom(entry) = {entry},
+    // dom(b) = {b} ∪ ⋂_{p ∈ preds(b)} dom(p).
+    dom_.resize(n);
+    SparseBitSet all;
+    for (std::size_t i = 0; i < n; ++i)
+        all.insert(static_cast<std::uint32_t>(i));
+    for (std::size_t i = 0; i < n; ++i)
+        dom_[i] = all;
+    dom_[0].clear();
+    dom_[0].insert(0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 1; i < n; ++i) {
+            SparseBitSet next = all;
+            bool anyPred = false;
+            for (BlockId pred : preds_[i]) {
+                next.intersectWith(dom_[localIndex(pred)]);
+                anyPred = true;
+            }
+            if (!anyPred)
+                next.clear(); // unreachable block
+            next.insert(static_cast<std::uint32_t>(i));
+            if (!(next == dom_[i])) {
+                dom_[i] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+
+    // fromEntry_ is exposed publicly, so it stores BlockIds (not the
+    // local indices reach_ uses internally).
+    fromEntry_.insert(func.blocks()[0]->id());
+    reach_[0].forEach([&](std::uint32_t li) {
+        fromEntry_.insert(func.blocks()[li]->id());
+    });
+}
+
+std::size_t
+Cfg::localIndex(BlockId block) const
+{
+    auto it = local_.find(block);
+    OHA_ASSERT(it != local_.end(), "block not in this function");
+    return it->second;
+}
+
+const std::vector<BlockId> &
+Cfg::successors(BlockId block) const
+{
+    return succs_[localIndex(block)];
+}
+
+const std::vector<BlockId> &
+Cfg::predecessors(BlockId block) const
+{
+    return preds_[localIndex(block)];
+}
+
+bool
+Cfg::reaches(BlockId from, BlockId to) const
+{
+    return reach_[localIndex(from)].contains(
+        static_cast<std::uint32_t>(localIndex(to)));
+}
+
+bool
+Cfg::dominates(BlockId from, BlockId to) const
+{
+    return dom_[localIndex(to)].contains(
+        static_cast<std::uint32_t>(localIndex(from)));
+}
+
+} // namespace oha::ir

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-function control-flow graph utilities: predecessor/successor
+ * lists and an intra-procedural may-reach relation.
+ *
+ * The static slicer (Section 5.1.1) is flow-sensitive when resolving
+ * load/store edges: a store only feeds a load if the store's block may
+ * precede the load's block on some CFG path.  Cfg::reaches() answers
+ * that query.
+ */
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+#include "support/sparse_bit_set.h"
+
+namespace oha::ir {
+
+/** CFG view over one function (blocks indexed locally). */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &func);
+
+    /** Successor block ids of @p block. */
+    const std::vector<BlockId> &successors(BlockId block) const;
+
+    /** Predecessor block ids of @p block. */
+    const std::vector<BlockId> &predecessors(BlockId block) const;
+
+    /**
+     * True if control can flow from the end of @p from to the start
+     * of @p to along one or more CFG edges (not reflexive unless the
+     * block is on a cycle).
+     */
+    bool reaches(BlockId from, BlockId to) const;
+
+    /** Blocks reachable from the function entry. */
+    const SparseBitSet &reachableFromEntry() const { return fromEntry_; }
+
+    /**
+     * True if every path from the function entry to @p to passes
+     * through @p from (classic dominance; reflexive).  Used by the
+     * static MHP analysis to prove "access always follows this join".
+     */
+    bool dominates(BlockId from, BlockId to) const;
+
+    /**
+     * True if a store at (storeBlock, storeIdx) may execute before a
+     * load at (loadBlock, loadIdx) in some run of the function.
+     */
+    bool
+    mayPrecede(BlockId storeBlock, std::size_t storeIdx, BlockId loadBlock,
+               std::size_t loadIdx) const
+    {
+        if (storeBlock == loadBlock) {
+            return storeIdx < loadIdx || reaches(storeBlock, loadBlock);
+        }
+        return reaches(storeBlock, loadBlock);
+    }
+
+  private:
+    std::size_t localIndex(BlockId block) const;
+
+    const Function &func_;
+    std::unordered_map<BlockId, std::size_t> local_;
+    std::vector<std::vector<BlockId>> succs_;
+    std::vector<std::vector<BlockId>> preds_;
+    /** reach_[i] = set of local indices reachable from block i. */
+    std::vector<SparseBitSet> reach_;
+    /** dom_[i] = set of local indices dominating block i. */
+    std::vector<SparseBitSet> dom_;
+    SparseBitSet fromEntry_;
+};
+
+} // namespace oha::ir

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Basic blocks and functions of the OHA IR.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+#include "support/common.h"
+
+namespace oha::ir {
+
+class Function;
+
+/**
+ * A straight-line sequence of instructions ending in a terminator.
+ * Block ids are module-unique after Module::finalize().
+ */
+class BasicBlock
+{
+  public:
+    BasicBlock(Function *parent, std::string label)
+        : parent_(parent), label_(std::move(label))
+    {}
+
+    Function *parent() const { return parent_; }
+    const std::string &label() const { return label_; }
+
+    BlockId id() const { return id_; }
+    void setId(BlockId id) { id_ = id; }
+
+    std::vector<Instruction> &instructions() { return instrs_; }
+    const std::vector<Instruction> &instructions() const { return instrs_; }
+
+    /** The terminator (last instruction); block must be non-empty. */
+    const Instruction &
+    terminator() const
+    {
+        OHA_ASSERT(!instrs_.empty());
+        return instrs_.back();
+    }
+
+    /** Successor block ids implied by the terminator. */
+    std::vector<BlockId>
+    successors() const
+    {
+        if (instrs_.empty())
+            return {};
+        const Instruction &term = instrs_.back();
+        switch (term.op) {
+          case Opcode::Br:
+            return {term.target};
+          case Opcode::CondBr:
+            return {term.target, term.target2};
+          default:
+            return {};
+        }
+    }
+
+  private:
+    Function *parent_;
+    std::string label_;
+    BlockId id_ = kNoBlock;
+    std::vector<Instruction> instrs_;
+};
+
+/**
+ * A function: a register file size, a parameter count and an ordered
+ * list of basic blocks, the first of which is the entry block.
+ * Parameters occupy registers [0, numParams).
+ */
+class Function
+{
+  public:
+    Function(std::string name, unsigned numParams)
+        : name_(std::move(name)), numParams_(numParams),
+          nextReg_(numParams)
+    {}
+
+    const std::string &name() const { return name_; }
+    unsigned numParams() const { return numParams_; }
+
+    FuncId id() const { return id_; }
+    void setId(FuncId id) { id_ = id; }
+
+    /** Total virtual registers used (parameters included). */
+    unsigned numRegs() const { return nextReg_; }
+
+    /** Allocate a fresh virtual register. */
+    Reg allocReg() { return nextReg_++; }
+
+    /** Grow the register file to at least @p count registers (used by
+     *  the IR parser, which sees register numbers before defs). */
+    void reserveRegs(unsigned count) { nextReg_ = std::max(nextReg_, count); }
+
+    /** Append a new block; the first block created is the entry. */
+    BasicBlock *
+    addBlock(std::string label)
+    {
+        blocks_.push_back(
+            std::make_unique<BasicBlock>(this, std::move(label)));
+        return blocks_.back().get();
+    }
+
+    BasicBlock *
+    entry() const
+    {
+        OHA_ASSERT(!blocks_.empty());
+        return blocks_.front().get();
+    }
+
+    const std::vector<std::unique_ptr<BasicBlock>> &
+    blocks() const
+    {
+        return blocks_;
+    }
+
+  private:
+    std::string name_;
+    unsigned numParams_;
+    unsigned nextReg_;
+    FuncId id_ = kNoFunc;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+} // namespace oha::ir

@@ -1,0 +1,83 @@
+#include "ir/instruction.h"
+
+namespace oha::ir {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Alloc: return "alloc";
+      case Opcode::ConstInt: return "const";
+      case Opcode::Assign: return "assign";
+      case Opcode::BinOp: return "binop";
+      case Opcode::GlobalAddr: return "gaddr";
+      case Opcode::FuncAddr: return "faddr";
+      case Opcode::Gep: return "gep";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Call: return "call";
+      case Opcode::ICall: return "icall";
+      case Opcode::Ret: return "ret";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "condbr";
+      case Opcode::Lock: return "lock";
+      case Opcode::Unlock: return "unlock";
+      case Opcode::Spawn: return "spawn";
+      case Opcode::Join: return "join";
+      case Opcode::Output: return "output";
+      case Opcode::Input: return "input";
+    }
+    return "?";
+}
+
+const char *
+binopName(BinOpKind kind)
+{
+    switch (kind) {
+      case BinOpKind::Add: return "+";
+      case BinOpKind::Sub: return "-";
+      case BinOpKind::Mul: return "*";
+      case BinOpKind::Div: return "/";
+      case BinOpKind::Mod: return "%";
+      case BinOpKind::And: return "&";
+      case BinOpKind::Or: return "|";
+      case BinOpKind::Xor: return "^";
+      case BinOpKind::Shl: return "<<";
+      case BinOpKind::Shr: return ">>";
+      case BinOpKind::Lt: return "<";
+      case BinOpKind::Le: return "<=";
+      case BinOpKind::Gt: return ">";
+      case BinOpKind::Ge: return ">=";
+      case BinOpKind::Eq: return "==";
+      case BinOpKind::Ne: return "!=";
+    }
+    return "?";
+}
+
+std::int64_t
+evalBinOp(BinOpKind kind, std::int64_t lhs, std::int64_t rhs)
+{
+    switch (kind) {
+      case BinOpKind::Add: return lhs + rhs;
+      case BinOpKind::Sub: return lhs - rhs;
+      case BinOpKind::Mul: return lhs * rhs;
+      case BinOpKind::Div: return rhs == 0 ? 0 : lhs / rhs;
+      case BinOpKind::Mod: return rhs == 0 ? 0 : lhs % rhs;
+      case BinOpKind::And: return lhs & rhs;
+      case BinOpKind::Or: return lhs | rhs;
+      case BinOpKind::Xor: return lhs ^ rhs;
+      case BinOpKind::Shl: return lhs << (rhs & 63);
+      case BinOpKind::Shr:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(lhs) >> (rhs & 63));
+      case BinOpKind::Lt: return lhs < rhs;
+      case BinOpKind::Le: return lhs <= rhs;
+      case BinOpKind::Gt: return lhs > rhs;
+      case BinOpKind::Ge: return lhs >= rhs;
+      case BinOpKind::Eq: return lhs == rhs;
+      case BinOpKind::Ne: return lhs != rhs;
+    }
+    return 0;
+}
+
+} // namespace oha::ir

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Text-format parser for OHA IR.
+ *
+ * Accepts exactly the syntax printer.cc emits (comments after ';' are
+ * ignored), so modules round-trip:
+ *
+ *     global counter[2]
+ *
+ *     func main() {
+ *       entry:
+ *         r0 = 41
+ *         r1 = &counter
+ *         *r1 = r0
+ *         r2 = *r1
+ *         output r2
+ *         ret
+ *     }
+ *
+ * Functions may be used before their definition (two-pass parse).
+ * Errors are reported with 1-based line numbers via OHA_FATAL.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/module.h"
+
+namespace oha::ir {
+
+/** Parse @p text into a finalized module; fatal on malformed input. */
+std::unique_ptr<Module> parseModule(const std::string &text);
+
+} // namespace oha::ir

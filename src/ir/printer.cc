@@ -1,0 +1,153 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "ir/module.h"
+
+namespace oha::ir {
+
+namespace {
+
+std::string
+regName(Reg reg)
+{
+    if (reg == kNoReg)
+        return "_";
+    return "r" + std::to_string(reg);
+}
+
+} // namespace
+
+std::string
+printInstruction(const Module &module, const Instruction &instr)
+{
+    std::ostringstream os;
+    auto callee = [&] { return module.function(instr.callee)->name(); };
+    auto argList = [&] {
+        std::string s = "(";
+        for (std::size_t i = 0; i < instr.args.size(); ++i) {
+            if (i)
+                s += ", ";
+            s += regName(instr.args[i]);
+        }
+        return s + ")";
+    };
+
+    switch (instr.op) {
+      case Opcode::Alloc:
+        os << regName(instr.dest) << " = alloc " << instr.imm;
+        break;
+      case Opcode::ConstInt:
+        os << regName(instr.dest) << " = " << instr.imm;
+        break;
+      case Opcode::Assign:
+        os << regName(instr.dest) << " = " << regName(instr.a);
+        break;
+      case Opcode::BinOp:
+        os << regName(instr.dest) << " = " << regName(instr.a) << " "
+           << binopName(instr.binop) << " " << regName(instr.b);
+        break;
+      case Opcode::GlobalAddr:
+        os << regName(instr.dest) << " = &"
+           << module.globals()[instr.globalId].name;
+        break;
+      case Opcode::FuncAddr:
+        os << regName(instr.dest) << " = &" << callee();
+        break;
+      case Opcode::Gep:
+        os << regName(instr.dest) << " = &" << regName(instr.a) << "[";
+        if (instr.b != kNoReg)
+            os << regName(instr.b);
+        else
+            os << instr.imm;
+        os << "]";
+        break;
+      case Opcode::Load:
+        os << regName(instr.dest) << " = *" << regName(instr.a);
+        break;
+      case Opcode::Store:
+        os << "*" << regName(instr.a) << " = " << regName(instr.b);
+        break;
+      case Opcode::Call:
+        os << regName(instr.dest) << " = call " << callee() << argList();
+        break;
+      case Opcode::ICall:
+        os << regName(instr.dest) << " = icall *" << regName(instr.a)
+           << argList();
+        break;
+      case Opcode::Ret:
+        os << "ret";
+        if (instr.a != kNoReg)
+            os << " " << regName(instr.a);
+        break;
+      case Opcode::Br:
+        os << "br " << module.block(instr.target)->label();
+        break;
+      case Opcode::CondBr:
+        os << "condbr " << regName(instr.a) << ", "
+           << module.block(instr.target)->label() << ", "
+           << module.block(instr.target2)->label();
+        break;
+      case Opcode::Lock:
+        os << "lock " << regName(instr.a);
+        break;
+      case Opcode::Unlock:
+        os << "unlock " << regName(instr.a);
+        break;
+      case Opcode::Spawn:
+        os << regName(instr.dest) << " = spawn " << callee() << argList();
+        break;
+      case Opcode::Join:
+        os << regName(instr.dest) << " = join " << regName(instr.a);
+        break;
+      case Opcode::Output:
+        os << "output " << regName(instr.a);
+        break;
+      case Opcode::Input:
+        os << regName(instr.dest) << " = input[" << instr.imm;
+        if (instr.b != kNoReg)
+            os << " + " << regName(instr.b);
+        os << "]";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+printFunction(const Module &module, const Function &func)
+{
+    std::ostringstream os;
+    os << "func " << func.name() << "(";
+    for (unsigned i = 0; i < func.numParams(); ++i) {
+        if (i)
+            os << ", ";
+        os << "r" << i;
+    }
+    os << ") {\n";
+    for (const auto &block : func.blocks()) {
+        os << "  " << block->label() << ":  ; b" << block->id() << "\n";
+        for (const Instruction &instr : block->instructions()) {
+            os << "    " << printInstruction(module, instr);
+            if (instr.id != kNoInstr)
+                os << "  ; i" << instr.id;
+            os << "\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+printModule(const Module &module)
+{
+    std::ostringstream os;
+    for (const auto &global : module.globals())
+        os << "global " << global.name << "[" << global.size << "]\n";
+    if (!module.globals().empty())
+        os << "\n";
+    for (const auto &func : module.functions())
+        os << printFunction(module, *func) << "\n";
+    return os.str();
+}
+
+} // namespace oha::ir

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Human-readable dumping of OHA IR, for debugging and examples.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace oha::ir {
+
+class Module;
+class Function;
+struct Instruction;
+
+/** Render one instruction as text (without trailing newline). */
+std::string printInstruction(const Module &module, const Instruction &instr);
+
+/** Render a whole function. */
+std::string printFunction(const Module &module, const Function &func);
+
+/** Render the whole module. */
+std::string printModule(const Module &module);
+
+} // namespace oha::ir

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Structural verifier for OHA IR modules.
+ */
+
+#pragma once
+
+namespace oha::ir {
+
+class Module;
+
+/**
+ * Check that @p module is structurally well-formed: every block ends
+ * with exactly one terminator, branch targets stay within their
+ * function, register operands are in range, and call arities match
+ * their callees.  Fatal on the first violation.
+ */
+void verifyModule(const Module &module);
+
+} // namespace oha::ir

@@ -1,0 +1,117 @@
+#include "profile/profiler.h"
+
+#include "profile/profilers.h"
+
+namespace oha::prof {
+
+ProfilingCampaign::ProfilingCampaign(const ir::Module &module,
+                                     ProfileOptions options)
+    : module_(module), options_(options)
+{
+    invariants_.numBlocks = static_cast<std::uint32_t>(module.numBlocks());
+    invariants_.hasCallContexts = options.callContexts;
+}
+
+void
+ProfilingCampaign::mergeLockObservations(
+    const std::map<InstrId, std::set<exec::ObjectId>> &objects)
+{
+    // A pair (a, b) is a must-alias candidate in this run if both
+    // sites locked exactly one object and it was the same one; it is
+    // violated if either site locked several objects or the two
+    // singleton objects differ.  Reflexive pairs (a, a) capture
+    // "site always locks a single object".
+    for (auto ia = objects.begin(); ia != objects.end(); ++ia) {
+        for (auto ib = ia; ib != objects.end(); ++ib) {
+            const auto pair = std::make_pair(ia->first, ib->first);
+            const bool bothSingle =
+                ia->second.size() == 1 && ib->second.size() == 1;
+            if (bothSingle && *ia->second.begin() == *ib->second.begin())
+                lockCandidates_.insert(pair);
+            else
+                lockViolated_.insert(pair);
+        }
+    }
+
+    invariants_.mustAliasLocks.clear();
+    for (const auto &pair : lockCandidates_)
+        if (!lockViolated_.count(pair))
+            invariants_.mustAliasLocks.insert(pair);
+}
+
+inv::InvariantSet
+ProfilingCampaign::invariantsWithAggressiveLuc(
+    std::uint64_t minVisits) const
+{
+    inv::InvariantSet aggressive = invariants_;
+    if (minVisits <= 1)
+        return aggressive;
+    aggressive.visitedBlocks.clear();
+    for (const auto &[block, count] : blockCounts_)
+        if (count >= minVisits)
+            aggressive.visitedBlocks.insert(block);
+    return aggressive;
+}
+
+bool
+ProfilingCampaign::addRun(const exec::ExecConfig &config)
+{
+    const std::size_t before = invariants_.factCount();
+    const auto beforeLocks = invariants_.mustAliasLocks;
+    const auto beforeSingleton = invariants_.singletonSpawnSites;
+
+    BlockCountProfiler blocks;
+    CalleeSetProfiler callees;
+    CallContextProfiler contexts;
+    LockObjectProfiler locks;
+    SpawnCountProfiler spawns;
+
+    exec::Interpreter interp(module_, config);
+    const exec::InstrumentationPlan plan =
+        exec::InstrumentationPlan::all(module_);
+    interp.attach(&blocks, &plan);
+    interp.attach(&callees, &plan);
+    if (options_.callContexts)
+        interp.attach(&contexts, &plan);
+    interp.attach(&locks, &plan);
+    interp.attach(&spawns, &plan);
+
+    const exec::RunResult result = interp.run();
+    if (!result.finished()) {
+        OHA_WARN("profiling run did not finish cleanly (status %d)",
+                 static_cast<int>(result.status));
+    }
+    profiledSteps_ += result.steps;
+    ++numRuns_;
+
+    // Reachable-style invariants: union.
+    for (const auto &[block, count] : blocks.counts()) {
+        invariants_.visitedBlocks.insert(block);
+        blockCounts_[block] += count;
+    }
+    for (const auto &[site, funcs] : callees.callees())
+        invariants_.calleeSets[site].insert(funcs.begin(), funcs.end());
+    if (options_.callContexts) {
+        for (const auto &context : contexts.contexts())
+            invariants_.callContexts.insert(context);
+        invariants_.rehashContexts();
+    }
+
+    // Constraint-style invariants: survive only if never violated.
+    mergeLockObservations(locks.objects());
+
+    for (const auto &[site, count] : spawns.counts()) {
+        auto &maxCount = maxSpawnCounts_[site];
+        maxCount = std::max(maxCount, count);
+    }
+    invariants_.singletonSpawnSites.clear();
+    for (const auto &[site, maxCount] : maxSpawnCounts_)
+        if (maxCount == 1)
+            invariants_.singletonSpawnSites.insert(site);
+
+    return invariants_.factCount() != before ||
+           invariants_.mustAliasLocks != beforeLocks ||
+           invariants_.singletonSpawnSites != beforeSingleton;
+}
+
+} // namespace oha::prof

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The likely-invariant profiling campaign (phase 1 of optimistic
+ * hybrid analysis, Section 2.1).
+ *
+ * A campaign executes profiling inputs one at a time, merging each
+ * run's observations into the accumulated InvariantSet:
+ *  - reachable-style invariants (visited blocks, callee sets, call
+ *    contexts) are unions across runs;
+ *  - constraint-style invariants (must-alias lock pairs, singleton
+ *    spawn sites) survive only if no run violated them.
+ *
+ * Callers typically addRun() until the invariant set stabilizes —
+ * the "profile until the number of learned dynamic invariants
+ * stabilizes" methodology of Section 6.1.
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "exec/interpreter.h"
+#include "invariants/invariant_set.h"
+
+namespace oha::prof {
+
+/** What to profile (contexts are only useful to OptSlice's CS client). */
+struct ProfileOptions
+{
+    bool callContexts = false;
+};
+
+/** Accumulates likely invariants over a sequence of profiled runs. */
+class ProfilingCampaign
+{
+  public:
+    ProfilingCampaign(const ir::Module &module, ProfileOptions options);
+
+    /**
+     * Execute the program on @p config with full profiling
+     * instrumentation and merge the observations.
+     * @return true if the merged invariant set changed.
+     */
+    bool addRun(const exec::ExecConfig &config);
+
+    /** The merged invariant set so far. */
+    const inv::InvariantSet &invariants() const { return invariants_; }
+
+    /**
+     * The strength/stability trade-off of Section 2.1: "aggressively
+     * assume a property that is infrequently violated during
+     * profiling".  Returns the invariant set with likely-unreachable
+     * code extended to blocks executed fewer than @p minVisits times
+     * across the whole campaign — stronger pruning, more
+     * mis-speculations.  minVisits <= 1 reproduces invariants().
+     */
+    inv::InvariantSet invariantsWithAggressiveLuc(
+        std::uint64_t minVisits) const;
+
+    /** Guest instructions executed across all profiled runs
+     *  (profiling cost accounting). */
+    std::uint64_t profiledSteps() const { return profiledSteps_; }
+
+    std::size_t numRuns() const { return numRuns_; }
+
+  private:
+    void mergeLockObservations(
+        const std::map<InstrId, std::set<exec::ObjectId>> &objects);
+
+    const ir::Module &module_;
+    ProfileOptions options_;
+    inv::InvariantSet invariants_;
+
+    /** Candidate and violated must-alias lock pairs across runs. */
+    std::set<std::pair<InstrId, InstrId>> lockCandidates_;
+    std::set<std::pair<InstrId, InstrId>> lockViolated_;
+    /** Max spawn count per site across runs. */
+    std::map<InstrId, std::uint64_t> maxSpawnCounts_;
+    /** Total visit count per block across runs (aggressive LUC). */
+    std::map<BlockId, std::uint64_t> blockCounts_;
+
+    std::uint64_t profiledSteps_ = 0;
+    std::size_t numRuns_ = 0;
+};
+
+} // namespace oha::prof

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Per-invariant profiling passes (Sections 4.2 and 5.2).
+ *
+ * Each profiler is an interpreter Tool run with full instrumentation;
+ * it observes one kind of program behaviour during a single execution
+ * and exposes the raw observations.  ProfilingCampaign (profiler.h)
+ * merges observations across runs into an InvariantSet.
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/event.h"
+#include "invariants/invariant_set.h"
+
+namespace oha::prof {
+
+/** Counts executions of each basic block (likely-unreachable code). */
+class BlockCountProfiler : public exec::Tool
+{
+  public:
+    void
+    onBlockEnter(ThreadId, BlockId block) override
+    {
+        ++counts_[block];
+    }
+
+    const std::map<BlockId, std::uint64_t> &counts() const
+    {
+        return counts_;
+    }
+
+  private:
+    std::map<BlockId, std::uint64_t> counts_;
+};
+
+/** Records observed targets of each indirect call (likely callee sets). */
+class CalleeSetProfiler : public exec::Tool
+{
+  public:
+    void
+    onEvent(const exec::EventCtx &ctx) override
+    {
+        if (ctx.instr->op == ir::Opcode::ICall)
+            callees_[ctx.instr->id].insert(ctx.calleeResolved);
+    }
+
+    const std::map<InstrId, std::set<FuncId>> &callees() const
+    {
+        return callees_;
+    }
+
+  private:
+    std::map<InstrId, std::set<FuncId>> callees_;
+};
+
+/**
+ * Records every distinct call stack, as a chain of call-site ids
+ * (likely-unused call contexts).  Stacks deeper than kMaxDepth are
+ * not recorded (and the matching runtime check skips them too).
+ */
+class CallContextProfiler : public exec::Tool
+{
+  public:
+    static constexpr std::size_t kMaxDepth = 64;
+
+    void
+    onEvent(const exec::EventCtx &ctx) override
+    {
+        switch (ctx.instr->op) {
+          case ir::Opcode::Call:
+          case ir::Opcode::ICall: {
+            auto &stack = stacks_[ctx.tid];
+            stack.push_back(ctx.instr->id);
+            if (stack.size() <= kMaxDepth)
+                contexts_.insert(stack);
+            break;
+          }
+          case ir::Opcode::Ret: {
+            auto &stack = stacks_[ctx.tid];
+            if (!stack.empty())
+                stack.pop_back();
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    void
+    onThreadStart(ThreadId tid, ThreadId, InstrId) override
+    {
+        stacks_[tid].clear();
+    }
+
+    const std::set<inv::CallContext> &contexts() const { return contexts_; }
+
+  private:
+    std::unordered_map<ThreadId, inv::CallContext> stacks_;
+    std::set<inv::CallContext> contexts_;
+};
+
+/** Records the dynamic objects locked at each lock site
+ *  (likely guarding locks). */
+class LockObjectProfiler : public exec::Tool
+{
+  public:
+    void
+    onEvent(const exec::EventCtx &ctx) override
+    {
+        if (ctx.instr->op == ir::Opcode::Lock)
+            objects_[ctx.instr->id].insert(ctx.obj);
+    }
+
+    const std::map<InstrId, std::set<exec::ObjectId>> &objects() const
+    {
+        return objects_;
+    }
+
+  private:
+    std::map<InstrId, std::set<exec::ObjectId>> objects_;
+};
+
+/** Counts threads created at each spawn site (likely singleton thread). */
+class SpawnCountProfiler : public exec::Tool
+{
+  public:
+    void
+    onEvent(const exec::EventCtx &ctx) override
+    {
+        if (ctx.instr->op == ir::Opcode::Spawn)
+            ++counts_[ctx.instr->id];
+    }
+
+    const std::map<InstrId, std::uint64_t> &counts() const
+    {
+        return counts_;
+    }
+
+  private:
+    std::map<InstrId, std::uint64_t> counts_;
+};
+
+} // namespace oha::prof

@@ -1,0 +1,139 @@
+#include "support/bdd.h"
+
+namespace oha {
+
+namespace {
+
+/** Pack three 21-bit fields into a 64-bit cache key. */
+std::uint64_t
+pack3(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    return (a << 42) ^ (b << 21) ^ c ^ (a * 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace
+
+BddManager::BddManager(unsigned numVars) : numVars_(numVars)
+{
+    // Slots 0 and 1 are the terminals; var == numVars_ marks them and
+    // sorts them below every real variable in the order.
+    nodes_.push_back({numVars_, 0, 0});
+    nodes_.push_back({numVars_, 1, 1});
+}
+
+std::uint32_t
+BddManager::topVar(BddRef f) const
+{
+    return nodes_[f].var;
+}
+
+BddRef
+BddManager::makeNode(std::uint32_t var, BddRef low, BddRef high)
+{
+    if (low == high)
+        return low;
+    const std::uint64_t key = pack3(var, low, high);
+    auto it = unique_.find(key);
+    if (it != unique_.end())
+        return it->second;
+    const BddRef ref = static_cast<BddRef>(nodes_.size());
+    nodes_.push_back({var, low, high});
+    unique_.emplace(key, ref);
+    return ref;
+}
+
+BddRef
+BddManager::var(unsigned v)
+{
+    OHA_ASSERT(v < numVars_);
+    return makeNode(v, falseBdd(), trueBdd());
+}
+
+BddRef
+BddManager::nvar(unsigned v)
+{
+    OHA_ASSERT(v < numVars_);
+    return makeNode(v, trueBdd(), falseBdd());
+}
+
+BddRef
+BddManager::ite(BddRef f, BddRef g, BddRef h)
+{
+    // Terminal cases.
+    if (f == trueBdd())
+        return g;
+    if (f == falseBdd())
+        return h;
+    if (g == h)
+        return g;
+    if (g == trueBdd() && h == falseBdd())
+        return f;
+
+    const std::uint64_t key =
+        pack3(f, g, h) ^ 0xabcdef0123456789ULL;
+    auto it = iteCache_.find(key);
+    if (it != iteCache_.end())
+        return it->second;
+
+    const std::uint32_t vf = topVar(f);
+    const std::uint32_t vg = topVar(g);
+    const std::uint32_t vh = topVar(h);
+    std::uint32_t top = vf;
+    if (vg < top)
+        top = vg;
+    if (vh < top)
+        top = vh;
+
+    auto cofactor = [&](BddRef r, bool hi) {
+        if (topVar(r) != top)
+            return r;
+        return hi ? nodes_[r].high : nodes_[r].low;
+    };
+
+    const BddRef hi = ite(cofactor(f, true), cofactor(g, true),
+                          cofactor(h, true));
+    const BddRef lo = ite(cofactor(f, false), cofactor(g, false),
+                          cofactor(h, false));
+    const BddRef result = makeNode(top, lo, hi);
+    iteCache_.emplace(key, result);
+    return result;
+}
+
+double
+BddManager::satCount(BddRef f)
+{
+    if (f == falseBdd())
+        return 0.0;
+
+    // count(f) over the remaining vars below f's level, then scale by
+    // 2^(level of f) to account for free variables above it.
+    struct Rec
+    {
+        BddManager *mgr;
+        double
+        operator()(BddRef r)
+        {
+            if (r == falseBdd())
+                return 0.0;
+            if (r == trueBdd())
+                return 1.0;
+            auto it = mgr->countCache_.find(r);
+            if (it != mgr->countCache_.end())
+                return it->second;
+            const auto &node = mgr->nodes_[r];
+            const std::uint32_t lowVar = mgr->topVar(node.low);
+            const std::uint32_t highVar = mgr->topVar(node.high);
+            const double low = (*this)(node.low) *
+                double(1ULL << (lowVar - node.var - 1));
+            const double high = (*this)(node.high) *
+                double(1ULL << (highVar - node.var - 1));
+            const double total = low + high;
+            mgr->countCache_.emplace(r, total);
+            return total;
+        }
+    } rec{this};
+
+    return rec(f) * double(1ULL << topVar(f));
+}
+
+} // namespace oha

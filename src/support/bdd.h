@@ -1,0 +1,154 @@
+/**
+ * @file
+ * A small reduced-ordered binary decision diagram (ROBDD) package in
+ * the style of Brace, Rudell & Bryant (DAC 1990): hash-consed node
+ * table, ITE-based apply with a computed cache.
+ *
+ * The paper tracks points-to sets and the slicer's visited-node set
+ * with BDDs (Sections 5.1.1-5.1.2, citing [6, 9]).  BddSet layers an
+ * integer-set abstraction on top: a set of uint32 ids is the
+ * characteristic function of their binary encodings.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/common.h"
+
+namespace oha {
+
+/** Handle to a BDD node owned by a BddManager. */
+using BddRef = std::uint32_t;
+
+/** Hash-consed ROBDD node store with ITE-based operations. */
+class BddManager
+{
+  public:
+    /** @param numVars number of boolean variables (order = index order). */
+    explicit BddManager(unsigned numVars);
+
+    /** The constant-false BDD. */
+    static constexpr BddRef falseBdd() { return 0; }
+    /** The constant-true BDD. */
+    static constexpr BddRef trueBdd() { return 1; }
+
+    /** BDD of the single variable @p var. */
+    BddRef var(unsigned var);
+    /** BDD of the negation of variable @p var. */
+    BddRef nvar(unsigned var);
+
+    /** If-then-else: ite(f, g, h) = f·g + ¬f·h. */
+    BddRef ite(BddRef f, BddRef g, BddRef h);
+
+    BddRef bddAnd(BddRef a, BddRef b) { return ite(a, b, falseBdd()); }
+    BddRef bddOr(BddRef a, BddRef b) { return ite(a, trueBdd(), b); }
+    BddRef bddNot(BddRef a) { return ite(a, falseBdd(), trueBdd()); }
+    BddRef bddDiff(BddRef a, BddRef b) { return ite(b, falseBdd(), a); }
+
+    /** Number of satisfying assignments over all declared variables. */
+    double satCount(BddRef f);
+
+    /** Number of live nodes in the table (for memory accounting). */
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    unsigned numVars() const { return numVars_; }
+
+  private:
+    struct Node
+    {
+        std::uint32_t var;
+        BddRef low;
+        BddRef high;
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const std::uint64_t &k) const
+        {
+            std::uint64_t x = k;
+            x ^= x >> 33;
+            x *= 0xff51afd7ed558ccdULL;
+            x ^= x >> 29;
+            return static_cast<std::size_t>(x);
+        }
+    };
+
+    BddRef makeNode(std::uint32_t var, BddRef low, BddRef high);
+    std::uint32_t topVar(BddRef f) const;
+
+    unsigned numVars_;
+    std::vector<Node> nodes_;
+    std::unordered_map<std::uint64_t, BddRef, KeyHash> unique_;
+    std::unordered_map<std::uint64_t, BddRef, KeyHash> iteCache_;
+    std::unordered_map<std::uint64_t, double, KeyHash> countCache_;
+};
+
+/**
+ * A set of uint32 ids represented as a BDD over the bits of the id.
+ *
+ * All sets sharing a BddSetUniverse share structure, so overlapping
+ * points-to sets cost little memory — the property that makes BDDs
+ * attractive for points-to analysis.
+ */
+class BddSetUniverse
+{
+  public:
+    /** @param log2Universe bit width of element ids (<= 32). */
+    explicit BddSetUniverse(unsigned log2Universe)
+        : bits_(log2Universe), mgr_(log2Universe)
+    {
+        OHA_ASSERT(log2Universe <= 32);
+    }
+
+    /** BDD cube recognizing exactly the element @p id. */
+    BddRef
+    elem(std::uint32_t id)
+    {
+        auto it = elemCache_.find(id);
+        if (it != elemCache_.end())
+            return it->second;
+        BddRef f = BddManager::trueBdd();
+        for (int bit = 0; bit < static_cast<int>(bits_); ++bit) {
+            const unsigned var = bits_ - 1 - static_cast<unsigned>(bit);
+            const bool on = (id >> bit) & 1;
+            f = mgr_.ite(mgr_.var(var), on ? f : BddManager::falseBdd(),
+                         on ? BddManager::falseBdd() : f);
+        }
+        elemCache_.emplace(id, f);
+        return f;
+    }
+
+    BddRef empty() const { return BddManager::falseBdd(); }
+    BddRef insert(BddRef set, std::uint32_t id)
+    {
+        return mgr_.bddOr(set, elem(id));
+    }
+    BddRef unite(BddRef a, BddRef b) { return mgr_.bddOr(a, b); }
+    BddRef intersect(BddRef a, BddRef b) { return mgr_.bddAnd(a, b); }
+
+    bool
+    contains(BddRef set, std::uint32_t id)
+    {
+        return mgr_.bddAnd(set, elem(id)) != BddManager::falseBdd();
+    }
+
+    /** Exact number of elements in @p set. */
+    std::uint64_t
+    size(BddRef set)
+    {
+        return static_cast<std::uint64_t>(mgr_.satCount(set));
+    }
+
+    BddManager &manager() { return mgr_; }
+
+  private:
+    unsigned bits_;
+    BddManager mgr_;
+    std::unordered_map<std::uint32_t, BddRef> elemCache_;
+};
+
+} // namespace oha

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fixed-size Bloom filter over 64-bit keys.
+ *
+ * OptSlice's likely-unused-call-context invariant needs a set-inclusion
+ * check at every call site (Section 5.2.3).  A naive hash-set probe was
+ * too slow for the paper's authors, so — exactly as they describe — the
+ * fast path is a Bloom filter: a negative answer proves the context was
+ * never observed (invariant violation), and positives fall back to the
+ * exact set.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace oha {
+
+/** Bloom filter with k=3 derived hash probes. */
+class BloomFilter
+{
+  public:
+    /** @param log2Bits log2 of the bit-array size (default 2^16 bits). */
+    explicit BloomFilter(unsigned log2Bits = 16)
+        : mask_((1ULL << log2Bits) - 1),
+          words_((1ULL << log2Bits) / 64, 0)
+    {}
+
+    /** Insert a 64-bit key. */
+    void
+    insert(std::uint64_t key)
+    {
+        std::uint64_t h = mix(key);
+        for (int i = 0; i < 3; ++i) {
+            setBit(h & mask_);
+            h = mix(h + 0x9e3779b97f4a7c15ULL);
+        }
+    }
+
+    /**
+     * Probe for a key.
+     * @retval false the key was definitely never inserted.
+     * @retval true the key may have been inserted.
+     */
+    bool
+    mayContain(std::uint64_t key) const
+    {
+        std::uint64_t h = mix(key);
+        for (int i = 0; i < 3; ++i) {
+            if (!getBit(h & mask_))
+                return false;
+            h = mix(h + 0x9e3779b97f4a7c15ULL);
+        }
+        return true;
+    }
+
+  private:
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        x *= 0xc4ceb9fe1a85ec53ULL;
+        x ^= x >> 33;
+        return x;
+    }
+
+    void setBit(std::uint64_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+    bool
+    getBit(std::uint64_t i) const
+    {
+        return words_[i >> 6] & (1ULL << (i & 63));
+    }
+
+    std::uint64_t mask_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace oha

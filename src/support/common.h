@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Common definitions shared across the OHA library: fixed-width id
+ * types, error-reporting helpers and assertion macros.
+ *
+ * Following the gem5 convention, panic() flags an internal library bug
+ * (it aborts), while fatal() flags a user error (bad configuration,
+ * malformed program) and exits cleanly.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace oha {
+
+/** Module-unique id of an IR instruction. */
+using InstrId = std::uint32_t;
+/** Module-unique id of a basic block. */
+using BlockId = std::uint32_t;
+/** Module-unique id of a function. */
+using FuncId = std::uint32_t;
+/** Dynamic thread id assigned by the interpreter. */
+using ThreadId = std::uint32_t;
+
+/** Sentinel for "no instruction". */
+constexpr InstrId kNoInstr = static_cast<InstrId>(-1);
+/** Sentinel for "no block". */
+constexpr BlockId kNoBlock = static_cast<BlockId>(-1);
+/** Sentinel for "no function". */
+constexpr FuncId kNoFunc = static_cast<FuncId>(-1);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+void warnImpl(const char *fmt, ...);
+
+} // namespace detail
+
+} // namespace oha
+
+/** Report an internal library bug and abort. */
+#define OHA_PANIC(...) \
+    ::oha::detail::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Report an unrecoverable user error and exit(1). */
+#define OHA_FATAL(...) \
+    ::oha::detail::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Print a warning to stderr; execution continues. */
+#define OHA_WARN(...) ::oha::detail::warnImpl(__VA_ARGS__)
+
+/** Internal invariant check; active in all build types. */
+#define OHA_ASSERT(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::oha::detail::panicImpl(__FILE__, __LINE__,                \
+                                     "assertion failed: %s", #cond);   \
+        }                                                               \
+    } while (0)

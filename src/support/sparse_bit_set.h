@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Sparse bit set keyed by 32-bit element ids.
+ *
+ * Points-to sets and slicer visited sets are sparse subsets of a large
+ * universe (every memory cell / instruction in the module), so the set
+ * is stored as a sorted vector of (word-index, 64-bit word) pairs.
+ * The representation favors the operations the Andersen solver needs:
+ * unionWith (returning whether anything changed), containment and
+ * ordered iteration.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/common.h"
+
+namespace oha {
+
+/** Sparse set of uint32 ids backed by sorted 64-bit chunks. */
+class SparseBitSet
+{
+  public:
+    SparseBitSet() = default;
+
+    /** Insert @p id; returns true if it was newly added. */
+    bool
+    insert(std::uint32_t id)
+    {
+        const std::uint32_t word = id >> 6;
+        const std::uint64_t mask = 1ULL << (id & 63);
+        auto it = lowerBound(word);
+        if (it != chunks_.end() && it->first == word) {
+            if (it->second & mask)
+                return false;
+            it->second |= mask;
+            return true;
+        }
+        chunks_.insert(it, {word, mask});
+        return true;
+    }
+
+    /** Remove @p id; returns true if it was present. */
+    bool
+    erase(std::uint32_t id)
+    {
+        const std::uint32_t word = id >> 6;
+        const std::uint64_t mask = 1ULL << (id & 63);
+        auto it = lowerBound(word);
+        if (it == chunks_.end() || it->first != word ||
+            !(it->second & mask)) {
+            return false;
+        }
+        it->second &= ~mask;
+        if (it->second == 0)
+            chunks_.erase(it);
+        return true;
+    }
+
+    /** Membership test. */
+    bool
+    contains(std::uint32_t id) const
+    {
+        const std::uint32_t word = id >> 6;
+        auto it = lowerBound(word);
+        return it != chunks_.end() && it->first == word &&
+               (it->second & (1ULL << (id & 63)));
+    }
+
+    /** Union @p other into this set; returns true if this set grew. */
+    bool
+    unionWith(const SparseBitSet &other)
+    {
+        if (other.chunks_.empty())
+            return false;
+        bool changed = false;
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+        merged.reserve(chunks_.size() + other.chunks_.size());
+        auto a = chunks_.begin();
+        auto b = other.chunks_.begin();
+        while (a != chunks_.end() || b != other.chunks_.end()) {
+            if (b == other.chunks_.end() ||
+                (a != chunks_.end() && a->first < b->first)) {
+                merged.push_back(*a++);
+            } else if (a == chunks_.end() || b->first < a->first) {
+                merged.push_back(*b++);
+                changed = true;
+            } else {
+                const std::uint64_t joined = a->second | b->second;
+                changed = changed || joined != a->second;
+                merged.push_back({a->first, joined});
+                ++a;
+                ++b;
+            }
+        }
+        chunks_ = std::move(merged);
+        return changed;
+    }
+
+    /** Intersect this set with @p other in place. */
+    void
+    intersectWith(const SparseBitSet &other)
+    {
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+        auto a = chunks_.begin();
+        auto b = other.chunks_.begin();
+        while (a != chunks_.end() && b != other.chunks_.end()) {
+            if (a->first < b->first) {
+                ++a;
+            } else if (b->first < a->first) {
+                ++b;
+            } else {
+                const std::uint64_t meet = a->second & b->second;
+                if (meet)
+                    merged.push_back({a->first, meet});
+                ++a;
+                ++b;
+            }
+        }
+        chunks_ = std::move(merged);
+    }
+
+    /** True if this set and @p other share at least one element. */
+    bool
+    intersects(const SparseBitSet &other) const
+    {
+        auto a = chunks_.begin();
+        auto b = other.chunks_.begin();
+        while (a != chunks_.end() && b != other.chunks_.end()) {
+            if (a->first < b->first)
+                ++a;
+            else if (b->first < a->first)
+                ++b;
+            else if (a->second & b->second)
+                return true;
+            else {
+                ++a;
+                ++b;
+            }
+        }
+        return false;
+    }
+
+    /** Number of elements. */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const auto &[word, bits] : chunks_)
+            n += static_cast<std::size_t>(__builtin_popcountll(bits));
+        return n;
+    }
+
+    bool empty() const { return chunks_.empty(); }
+    void clear() { chunks_.clear(); }
+
+    bool
+    operator==(const SparseBitSet &other) const
+    {
+        return chunks_ == other.chunks_;
+    }
+
+    /** Invoke @p fn for every element in ascending order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[word, bits] : chunks_) {
+            std::uint64_t rest = bits;
+            while (rest) {
+                const int bit = __builtin_ctzll(rest);
+                fn(static_cast<std::uint32_t>((word << 6) + bit));
+                rest &= rest - 1;
+            }
+        }
+    }
+
+    /** Materialize the elements in ascending order. */
+    std::vector<std::uint32_t>
+    toVector() const
+    {
+        std::vector<std::uint32_t> out;
+        out.reserve(size());
+        forEach([&](std::uint32_t id) { out.push_back(id); });
+        return out;
+    }
+
+    /** FNV-style hash of the set contents (used by HVN). */
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (const auto &[word, bits] : chunks_) {
+            h = (h ^ word) * 0x100000001b3ULL;
+            h = (h ^ bits) * 0x100000001b3ULL;
+        }
+        return h;
+    }
+
+  private:
+    using Chunks = std::vector<std::pair<std::uint32_t, std::uint64_t>>;
+
+    Chunks::iterator
+    lowerBound(std::uint32_t word)
+    {
+        auto it = chunks_.begin();
+        auto last = chunks_.end();
+        while (it != last) {
+            auto mid = it + (last - it) / 2;
+            if (mid->first < word)
+                it = mid + 1;
+            else
+                last = mid;
+        }
+        return it;
+    }
+
+    Chunks::const_iterator
+    lowerBound(std::uint32_t word) const
+    {
+        return const_cast<SparseBitSet *>(this)->lowerBound(word);
+    }
+
+    Chunks chunks_;
+};
+
+} // namespace oha

@@ -1,0 +1,93 @@
+#include "support/table.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/common.h"
+
+namespace oha {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    OHA_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = renderRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtTime(double seconds)
+{
+    if (seconds < 0)
+        return "-";
+    if (seconds < 1.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+        return buf;
+    }
+    const long total = std::lround(seconds);
+    const long hours = total / 3600;
+    const long mins = (total % 3600) / 60;
+    const long secs = total % 60;
+    char buf[64];
+    if (hours > 0)
+        std::snprintf(buf, sizeof(buf), "%ldh %ldm %lds", hours, mins, secs);
+    else if (mins > 0)
+        std::snprintf(buf, sizeof(buf), "%ldm %lds", mins, secs);
+    else
+        std::snprintf(buf, sizeof(buf), "%lds", secs);
+    return buf;
+}
+
+std::string
+fmtSpeedup(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1fx", value);
+    return buf;
+}
+
+} // namespace oha

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.  Every
+ * bench binary regenerates one paper table or figure as an aligned
+ * text table / data series, so the formatting lives in one place.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace oha {
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with padded columns and a header separator. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p value with @p decimals fractional digits. */
+std::string fmtDouble(double value, int decimals = 1);
+
+/** Format a duration in seconds as the paper does, e.g. "1m 15s". */
+std::string fmtTime(double seconds);
+
+/** Render @p value as "3.5x" speedup notation. */
+std::string fmtSpeedup(double value);
+
+} // namespace oha

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Vector clocks and epochs for the FastTrack race detector.
+ *
+ * Follows the representation of Flanagan & Freund (PLDI 2009): an
+ * Epoch packs (thread id, clock) into one word; a VectorClock is a
+ * growable vector of clocks indexed by thread id.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/common.h"
+
+namespace oha {
+
+/** A (thread, clock) pair packed into 64 bits: tid in the top 16. */
+class Epoch
+{
+  public:
+    Epoch() : raw_(0) {}
+    Epoch(ThreadId tid, std::uint64_t clock)
+        : raw_((static_cast<std::uint64_t>(tid) << 48) | clock)
+    {}
+
+    ThreadId tid() const { return static_cast<ThreadId>(raw_ >> 48); }
+    std::uint64_t clock() const { return raw_ & ((1ULL << 48) - 1); }
+    std::uint64_t raw() const { return raw_; }
+
+    bool operator==(const Epoch &other) const { return raw_ == other.raw_; }
+
+    /** The distinguished "never accessed" epoch (tid 0, clock 0). */
+    static Epoch none() { return Epoch(); }
+
+  private:
+    std::uint64_t raw_;
+};
+
+/** Growable vector clock; absent entries read as 0. */
+class VectorClock
+{
+  public:
+    /** Clock component for @p tid. */
+    std::uint64_t
+    get(ThreadId tid) const
+    {
+        return tid < clocks_.size() ? clocks_[tid] : 0;
+    }
+
+    /** Set the component for @p tid. */
+    void
+    set(ThreadId tid, std::uint64_t value)
+    {
+        if (tid >= clocks_.size())
+            clocks_.resize(tid + 1, 0);
+        clocks_[tid] = value;
+    }
+
+    /** Increment the component for @p tid. */
+    void incr(ThreadId tid) { set(tid, get(tid) + 1); }
+
+    /** Pointwise maximum: this := this ⊔ other. */
+    void
+    join(const VectorClock &other)
+    {
+        if (other.clocks_.size() > clocks_.size())
+            clocks_.resize(other.clocks_.size(), 0);
+        for (std::size_t i = 0; i < other.clocks_.size(); ++i)
+            clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    }
+
+    /** True if epoch @p e happens-before this clock (e.clock <= V[e.tid]). */
+    bool
+    covers(Epoch e) const
+    {
+        return e.clock() <= get(e.tid());
+    }
+
+    /** True if every component of @p other is <= this clock's. */
+    bool
+    coversAll(const VectorClock &other) const
+    {
+        for (std::size_t i = 0; i < other.clocks_.size(); ++i)
+            if (other.clocks_[i] > get(static_cast<ThreadId>(i)))
+                return false;
+        return true;
+    }
+
+    /** The epoch of thread @p tid at this clock. */
+    Epoch epochOf(ThreadId tid) const { return Epoch(tid, get(tid)); }
+
+    std::size_t size() const { return clocks_.size(); }
+
+  private:
+    std::vector<std::uint64_t> clocks_;
+};
+
+} // namespace oha

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Construction helpers shared by the workload generators.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ir/builder.h"
+
+namespace oha::workloads {
+
+/** Emit `for (i = 0; i < n; ++i) body(i)` at the current insertion
+ *  point; the builder ends up in the loop exit block. */
+inline void
+emitCountedLoop(ir::IRBuilder &b, ir::Reg n,
+                const std::function<void(ir::Reg)> &body,
+                const std::string &tag = "loop")
+{
+    static int unique = 0;
+    const std::string suffix = tag + std::to_string(unique++);
+    ir::Function *func = b.currentFunction();
+    ir::BasicBlock *head = b.createBlock(func, "head_" + suffix);
+    ir::BasicBlock *bodyBlk = b.createBlock(func, "body_" + suffix);
+    ir::BasicBlock *exit = b.createBlock(func, "exit_" + suffix);
+
+    const ir::Reg i = b.constInt(0);
+    const ir::Reg one = b.constInt(1);
+    b.br(head);
+    b.setInsertPoint(head);
+    b.condBr(b.lt(i, n), bodyBlk, exit);
+    b.setInsertPoint(bodyBlk);
+    body(i);
+    b.binopTo(i, ir::BinOpKind::Add, i, one);
+    b.br(head);
+    b.setInsertPoint(exit);
+}
+
+/** Emit `if (cond) thenFn()` (no else); builder ends after the if. */
+inline void
+emitIf(ir::IRBuilder &b, ir::Reg cond, const std::function<void()> &thenFn,
+       const std::string &tag = "if")
+{
+    static int unique = 0;
+    const std::string suffix = tag + std::to_string(unique++);
+    ir::Function *func = b.currentFunction();
+    ir::BasicBlock *thenBlk = b.createBlock(func, "then_" + suffix);
+    ir::BasicBlock *cont = b.createBlock(func, "cont_" + suffix);
+    b.condBr(cond, thenBlk, cont);
+    b.setInsertPoint(thenBlk);
+    thenFn();
+    b.br(cont);
+    b.setInsertPoint(cont);
+}
+
+} // namespace oha::workloads

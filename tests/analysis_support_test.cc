@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for analysis support structures: the abstract memory model,
+ * CFG dominators, the call graph, and the aggressive-LUC profiling
+ * extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/callgraph.h"
+#include "analysis/memory_model.h"
+#include "ir/builder.h"
+#include "ir/cfg.h"
+#include "profile/profiler.h"
+
+namespace oha {
+namespace {
+
+using analysis::AbsObjectKind;
+using analysis::MemoryModel;
+using ir::BasicBlock;
+using ir::Function;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Reg;
+
+TEST(MemoryModel, CellsAreDenseAndFieldAddressable)
+{
+    MemoryModel memory;
+    const auto g = memory.addObject(AbsObjectKind::Global, 0, 3);
+    const auto f = memory.addObject(AbsObjectKind::Function, 7, 1);
+    const auto h = memory.addObject(AbsObjectKind::AllocSite, 42, 2, 5);
+
+    EXPECT_EQ(memory.numCells(), 6u);
+    EXPECT_EQ(memory.cellOf(g, 0), 0u);
+    EXPECT_EQ(memory.cellOf(g, 2), 2u);
+    EXPECT_EQ(memory.cellOf(g, 3), analysis::kNoCell);
+    EXPECT_EQ(memory.cellOf(f, 0), 3u);
+    EXPECT_EQ(memory.cellOf(h, 1), 5u);
+
+    EXPECT_EQ(memory.objectOfCell(2), g);
+    EXPECT_EQ(memory.fieldOfCell(2), 2u);
+    EXPECT_EQ(memory.object(h).contextId, 5u);
+}
+
+TEST(MemoryModel, ShiftStaysWithinObject)
+{
+    MemoryModel memory;
+    const auto g = memory.addObject(AbsObjectKind::Global, 0, 4);
+    const auto base = memory.cellOf(g, 1);
+    EXPECT_EQ(memory.shiftCell(base, 2), memory.cellOf(g, 3));
+    EXPECT_EQ(memory.shiftCell(base, -1), memory.cellOf(g, 0));
+    EXPECT_EQ(memory.shiftCell(base, 3), analysis::kNoCell);
+    EXPECT_EQ(memory.shiftCell(base, -2), analysis::kNoCell);
+}
+
+TEST(MemoryModel, FunctionCellsAreRecognized)
+{
+    MemoryModel memory;
+    memory.addObject(AbsObjectKind::Global, 0, 1);
+    const auto f = memory.addObject(AbsObjectKind::Function, 9, 1);
+    EXPECT_FALSE(memory.isFunctionCell(0));
+    EXPECT_TRUE(memory.isFunctionCell(memory.cellOf(f, 0)));
+    EXPECT_EQ(memory.functionOfCell(memory.cellOf(f, 0)), 9u);
+}
+
+TEST(CfgDominators, DiamondAndLoop)
+{
+    Module module;
+    IRBuilder b(module);
+    Function *main = b.createFunction("main", 0);
+    BasicBlock *left = b.createBlock(main, "left");
+    BasicBlock *right = b.createBlock(main, "right");
+    BasicBlock *merge = b.createBlock(main, "merge");
+    BasicBlock *loop = b.createBlock(main, "loop");
+    BasicBlock *exit = b.createBlock(main, "exit");
+    b.condBr(b.input(0), left, right);
+    b.setInsertPoint(left);
+    b.br(merge);
+    b.setInsertPoint(right);
+    b.br(merge);
+    b.setInsertPoint(merge);
+    b.br(loop);
+    b.setInsertPoint(loop);
+    b.condBr(b.input(1), loop, exit);
+    b.setInsertPoint(exit);
+    b.ret();
+    module.finalize();
+
+    const ir::Cfg cfg(*main);
+    const BlockId entry = main->entry()->id();
+    EXPECT_TRUE(cfg.dominates(entry, merge->id()));
+    EXPECT_TRUE(cfg.dominates(merge->id(), exit->id()));
+    EXPECT_FALSE(cfg.dominates(left->id(), merge->id()));
+    EXPECT_FALSE(cfg.dominates(right->id(), merge->id()));
+    EXPECT_TRUE(cfg.dominates(loop->id(), exit->id()));
+    EXPECT_TRUE(cfg.dominates(exit->id(), exit->id())) << "reflexive";
+    EXPECT_FALSE(cfg.dominates(exit->id(), loop->id()));
+}
+
+TEST(CallGraph, ResolvesDirectIndirectAndSpawnEdges)
+{
+    Module module;
+    IRBuilder b(module);
+    Function *leaf = b.createFunction("leaf", 0);
+    b.ret(b.constInt(1));
+    Function *viaPtr = b.createFunction("via_ptr", 0);
+    b.ret(b.constInt(2));
+    Function *worker = b.createFunction("worker", 0);
+    b.call(leaf, {});
+    b.ret(b.constInt(3));
+    Function *main = b.createFunction("main", 0);
+    b.call(leaf, {});
+    b.icall(b.funcAddr(viaPtr), {});
+    const Reg h = b.spawn(worker, {});
+    b.join(h);
+    b.ret();
+    module.finalize();
+
+    const auto pts = analysis::runAndersen(module, {});
+    const analysis::CallGraph graph(module, pts, nullptr);
+
+    EXPECT_EQ(graph.callees(main->id()),
+              (std::set<FuncId>{leaf->id(), viaPtr->id()}))
+        << "spawn is not a call edge";
+    EXPECT_EQ(graph.spawnSites().size(), 1u);
+    EXPECT_TRUE(graph.reachableFrom(main->id()).count(viaPtr->id()));
+    EXPECT_FALSE(graph.reachableFrom(main->id()).count(worker->id()))
+        << "thread bodies are their own region";
+    EXPECT_TRUE(graph.reachableFrom(worker->id()).count(leaf->id()));
+    EXPECT_TRUE(graph.isCalleeSomewhere(leaf->id()));
+    EXPECT_FALSE(graph.isCalleeSomewhere(main->id()));
+}
+
+TEST(AggressiveLuc, ThresholdShrinksVisitedSet)
+{
+    // A loop body runs many times; a once-per-run branch only once.
+    Module module;
+    IRBuilder b(module);
+    Function *main = b.createFunction("main", 0);
+    BasicBlock *rare = b.createBlock(main, "rare");
+    BasicBlock *head = b.createBlock(main, "head");
+    BasicBlock *body = b.createBlock(main, "body");
+    BasicBlock *done = b.createBlock(main, "done");
+    const Reg i = b.constInt(0);
+    const Reg n = b.constInt(20);
+    const Reg one = b.constInt(1);
+    b.condBr(b.input(0), rare, head);
+    b.setInsertPoint(rare);
+    b.br(head);
+    b.setInsertPoint(head);
+    b.condBr(b.lt(i, n), body, done);
+    b.setInsertPoint(body);
+    b.binopTo(i, ir::BinOpKind::Add, i, one);
+    b.br(head);
+    b.setInsertPoint(done);
+    b.ret();
+    module.finalize();
+
+    prof::ProfilingCampaign campaign(module, {});
+    exec::ExecConfig rareRun;
+    rareRun.input = {1};
+    exec::ExecConfig commonRun;
+    commonRun.input = {0};
+    campaign.addRun(rareRun);
+    campaign.addRun(commonRun);
+    campaign.addRun(commonRun);
+
+    // Plain invariants: everything observed is visited.
+    EXPECT_TRUE(campaign.invariants().blockVisited(rare->id()));
+    EXPECT_TRUE(campaign.invariants().blockVisited(body->id()));
+
+    // Threshold 1 (off) reproduces the plain set.
+    EXPECT_TRUE(campaign.invariantsWithAggressiveLuc(1) ==
+                campaign.invariants());
+
+    // Threshold 2: the once-visited rare branch is now assumed
+    // unreachable; the hot loop survives.
+    const auto aggressive = campaign.invariantsWithAggressiveLuc(2);
+    EXPECT_FALSE(aggressive.blockVisited(rare->id()));
+    EXPECT_TRUE(aggressive.blockVisited(body->id()));
+    EXPECT_TRUE(aggressive.blockVisited(head->id()));
+}
+
+} // namespace
+} // namespace oha

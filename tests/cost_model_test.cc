@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the deterministic cost model: pricing arithmetic,
+ * normalized-runtime semantics, and the additive breakdown used by
+ * the Figure 5/6 harnesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+
+namespace oha::core {
+namespace {
+
+using exec::EventClass;
+
+exec::RunResult
+runWith(std::uint64_t steps, std::uint64_t loads, std::uint64_t stores,
+        std::uint64_t locks)
+{
+    exec::RunResult run;
+    run.steps = steps;
+    run.totalEvents[EventClass::Load] = loads;
+    run.totalEvents[EventClass::Store] = stores;
+    run.totalEvents[EventClass::Lock] = locks;
+    run.totalEvents[EventClass::Unlock] = locks;
+    return run;
+}
+
+TEST(CostModel, BaselineIsStepsTimesBaseCost)
+{
+    CostModel model;
+    const auto run = runWith(1000, 0, 0, 0);
+    exec::EventCounts none;
+    const RunCost cost = priceFastTrackRun(model, run, none);
+    EXPECT_DOUBLE_EQ(cost.base, 1000.0 * model.baseInstr);
+    EXPECT_DOUBLE_EQ(cost.analysis, 0.0);
+}
+
+TEST(CostModel, FrameworkChargesAllMemSyncEventsRegardlessOfElision)
+{
+    CostModel model;
+    const auto run = runWith(1000, 100, 50, 10);
+    exec::EventCounts none;
+    const RunCost cost = priceFastTrackRun(model, run, none);
+    EXPECT_DOUBLE_EQ(cost.framework,
+                     (100 + 50 + 10 + 10) * model.framework);
+}
+
+TEST(CostModel, FastTrackChecksPricedPerDeliveredEvent)
+{
+    CostModel model;
+    const auto run = runWith(1000, 100, 50, 10);
+    exec::EventCounts delivered;
+    delivered[EventClass::Load] = 60;
+    delivered[EventClass::Store] = 20;
+    delivered[EventClass::Lock] = 10;
+    delivered[EventClass::Unlock] = 10;
+    delivered[EventClass::Join] = 2;
+    const RunCost cost = priceFastTrackRun(model, run, delivered);
+    EXPECT_DOUBLE_EQ(cost.analysis,
+                     (60 + 20) * model.ftMemCheck +
+                         (10 + 10 + 2) * model.ftSync);
+}
+
+TEST(CostModel, GiriPricesEveryDeliveredEvent)
+{
+    CostModel model;
+    const auto run = runWith(2000, 0, 0, 0);
+    exec::EventCounts delivered;
+    delivered[EventClass::Load] = 100;
+    delivered[EventClass::Other] = 300;
+    delivered[EventClass::Call] = 40;
+    const RunCost cost = priceGiriRun(model, run, delivered);
+    EXPECT_DOUBLE_EQ(cost.analysis, 440 * model.giriEvent);
+    EXPECT_DOUBLE_EQ(cost.framework, 0.0)
+        << "Giri is compile-time instrumented: no framework band";
+}
+
+TEST(CostModel, InvariantChecksPricedByClass)
+{
+    CostModel model;
+    const auto run = runWith(1000, 0, 0, 0);
+    exec::EventCounts giri;
+    exec::EventCounts checker;
+    checker[EventClass::BlockEnter] = 4;
+    checker[EventClass::Call] = 10;
+    checker[EventClass::Ret] = 10;
+    checker[EventClass::Lock] = 6;
+    checker[EventClass::Spawn] = 1;
+    const RunCost cost =
+        priceGiriRun(model, run, giri, &checker, /*slow=*/3);
+    const double expected =
+        4 * model.lucCheck +
+        10 * std::max(model.calleeCheck, model.contextCheckFast) +
+        10 * model.contextCheckFast + 6 * model.lockCheck +
+        1 * model.spawnCheck + 3 * model.contextCheckSlow;
+    EXPECT_DOUBLE_EQ(cost.invariants, expected);
+}
+
+TEST(CostModel, NormalizedIsTotalOverBase)
+{
+    RunCost cost;
+    cost.base = 100;
+    cost.framework = 50;
+    cost.analysis = 150;
+    cost.invariants = 10;
+    cost.rollback = 90;
+    EXPECT_DOUBLE_EQ(cost.total(), 400.0);
+    EXPECT_DOUBLE_EQ(cost.normalized(), 4.0);
+}
+
+TEST(CostModel, AddAccumulatesComponentwise)
+{
+    RunCost a, b;
+    a.base = 1;
+    a.analysis = 2;
+    b.base = 10;
+    b.rollback = 5;
+    a.add(b);
+    EXPECT_DOUBLE_EQ(a.base, 11.0);
+    EXPECT_DOUBLE_EQ(a.analysis, 2.0);
+    EXPECT_DOUBLE_EQ(a.rollback, 5.0);
+}
+
+TEST(CostModel, EventCountsTotalAndAdd)
+{
+    exec::EventCounts counts;
+    counts[EventClass::Load] = 3;
+    counts[EventClass::Output] = 2;
+    EXPECT_EQ(counts.total(), 5u);
+    exec::EventCounts more;
+    more[EventClass::Load] = 1;
+    counts.add(more);
+    EXPECT_EQ(counts[EventClass::Load], 4u);
+}
+
+} // namespace
+} // namespace oha::core

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the Giri dynamic slicer: dynamic data-flow closure,
+ * memory/call/thread dependencies, and the interaction between
+ * instrumentation elision and the static slice (closure ⇒ no missing
+ * metadata; broken closure ⇒ detectable missing metadata, Figure 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/slicer.h"
+#include "dyn/giri.h"
+#include "dyn/plans.h"
+#include "exec/interpreter.h"
+#include "ir/builder.h"
+
+namespace oha::dyn {
+namespace {
+
+using ir::Function;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Opcode;
+using ir::Reg;
+
+InstrId
+firstOutput(const Module &module)
+{
+    for (InstrId id = 0; id < module.numInstrs(); ++id)
+        if (module.instr(id).op == Opcode::Output)
+            return id;
+    OHA_PANIC("no output");
+}
+
+InstrId
+defOf(const Module &module, FuncId func, Reg reg)
+{
+    for (InstrId id = 0; id < module.numInstrs(); ++id)
+        if (module.instr(id).func == func && module.instr(id).dest == reg)
+            return id;
+    OHA_PANIC("no def");
+}
+
+struct GiriOutcome
+{
+    std::set<InstrId> slice;
+    std::uint64_t missing;
+    std::uint64_t traceLength;
+};
+
+GiriOutcome
+runGiri(const Module &module, const exec::InstrumentationPlan &plan,
+        InstrId endpoint, std::vector<std::int64_t> input = {})
+{
+    GiriSlicer tool(module);
+    exec::ExecConfig config;
+    config.input = std::move(input);
+    exec::Interpreter interp(module, config);
+    interp.attach(&tool, &plan);
+    EXPECT_TRUE(interp.run().finished());
+    return {tool.slice(endpoint), tool.missingDependencies(),
+            tool.traceLength()};
+}
+
+TEST(Giri, DynamicSliceFollowsDataFlow)
+{
+    Module module;
+    IRBuilder b(module);
+    Function *main = b.createFunction("main", 0);
+    const Reg a = b.input(0);
+    const Reg noise = b.constInt(1000);
+    const Reg c = b.mul(a, a);
+    b.output(c);
+    b.output(noise);
+    b.ret();
+    module.finalize();
+
+    const auto outcome = runGiri(module, fullGiriPlan(module),
+                                 firstOutput(module), {6});
+    EXPECT_TRUE(outcome.slice.count(defOf(module, main->id(), a)));
+    EXPECT_TRUE(outcome.slice.count(defOf(module, main->id(), c)));
+    EXPECT_FALSE(outcome.slice.count(defOf(module, main->id(), noise)));
+    EXPECT_EQ(outcome.missing, 0u);
+}
+
+TEST(Giri, MemoryDependenceIsExact)
+{
+    // Dynamic slicing resolves which store actually fed the load —
+    // more precise than the static may-alias edge.
+    Module module;
+    IRBuilder b(module);
+    Function *main = b.createFunction("main", 0);
+    const Reg buf = b.alloc(2);
+    const Reg v0 = b.constInt(10);
+    const Reg v1 = b.constInt(20);
+    b.store(b.gep(buf, 0), v0);
+    b.store(b.gep(buf, 1), v1);
+    b.output(b.load(b.gep(buf, 1)));
+    b.ret();
+    module.finalize();
+
+    const auto outcome =
+        runGiri(module, fullGiriPlan(module), firstOutput(module));
+    EXPECT_TRUE(outcome.slice.count(defOf(module, main->id(), v1)));
+    EXPECT_FALSE(outcome.slice.count(defOf(module, main->id(), v0)));
+}
+
+TEST(Giri, InterproceduralDependencies)
+{
+    Module module;
+    IRBuilder b(module);
+    Function *twice = b.createFunction("twice", 1);
+    const Reg doubled = b.add(0, 0);
+    b.ret(doubled);
+    Function *main = b.createFunction("main", 0);
+    const Reg seed = b.input(0);
+    b.output(b.call(twice, {seed}));
+    b.ret();
+    module.finalize();
+
+    const auto outcome = runGiri(module, fullGiriPlan(module),
+                                 firstOutput(module), {4});
+    EXPECT_TRUE(outcome.slice.count(defOf(module, twice->id(), doubled)));
+    EXPECT_TRUE(outcome.slice.count(defOf(module, main->id(), seed)));
+    EXPECT_EQ(outcome.missing, 0u);
+}
+
+TEST(Giri, ThreadReturnDependency)
+{
+    Module module;
+    IRBuilder b(module);
+    Function *worker = b.createFunction("worker", 1);
+    const Reg sq = b.mul(0, 0);
+    b.ret(sq);
+    b.createFunction("main", 0);
+    const Reg x = b.input(0);
+    const Reg h = b.spawn(worker, {x});
+    b.output(b.join(h));
+    b.ret();
+    module.finalize();
+
+    const auto outcome = runGiri(module, fullGiriPlan(module),
+                                 firstOutput(module), {7});
+    EXPECT_TRUE(outcome.slice.count(defOf(module, worker->id(), sq)));
+    EXPECT_EQ(outcome.missing, 0u);
+}
+
+/** Program with a relevant and an irrelevant computation chain. */
+void
+buildTwoChain(Module &module)
+{
+    IRBuilder b(module);
+    Function *main = b.createFunction("main", 0);
+    (void)main;
+    const Reg buf = b.alloc(1);
+    const Reg important = b.input(0);
+    b.store(buf, important);
+    // Big irrelevant chain.
+    Reg junk = b.constInt(3);
+    for (int i = 0; i < 20; ++i)
+        junk = b.mul(junk, b.constInt(i + 2));
+    b.output(b.load(buf));
+    b.output(junk);
+    b.ret();
+    module.finalize();
+}
+
+TEST(Giri, HybridPlanFromStaticSliceHasNoMissingMetadata)
+{
+    Module module;
+    buildTwoChain(module);
+    const InstrId endpoint = firstOutput(module);
+
+    // Static slice closure -> plan -> dynamic slice must be complete
+    // and equal to the full-instrumentation dynamic slice.
+    const auto andersen = analysis::runAndersen(module, {});
+    analysis::StaticSlicer slicer(module, andersen, {});
+    const auto staticSlice = slicer.slice(endpoint);
+
+    const auto hybridPlan =
+        sliceGiriPlan(module, staticSlice.instructions);
+    const auto hybrid = runGiri(module, hybridPlan, endpoint, {5});
+    const auto full =
+        runGiri(module, fullGiriPlan(module), endpoint, {5});
+
+    EXPECT_EQ(hybrid.missing, 0u);
+    EXPECT_EQ(hybrid.slice, full.slice);
+    EXPECT_LT(hybrid.traceLength, full.traceLength)
+        << "hybrid instrumentation must be cheaper";
+}
+
+TEST(Giri, BrokenClosureIsDetectedAsMissingMetadata)
+{
+    // Eliding a producer that the slice needs (what happens when a
+    // likely invariant is wrong and no check catches it) surfaces as
+    // a missing dependency — the Figure 2 situation.
+    Module module;
+    buildTwoChain(module);
+    const InstrId endpoint = firstOutput(module);
+
+    auto plan = fullGiriPlan(module);
+    // Elide the store feeding the load.
+    for (InstrId id = 0; id < module.numInstrs(); ++id)
+        if (module.instr(id).op == Opcode::Store)
+            plan.setInstr(id, false);
+
+    const auto broken = runGiri(module, plan, endpoint, {5});
+    const auto full = runGiri(module, fullGiriPlan(module), endpoint, {5});
+    EXPECT_NE(broken.slice, full.slice);
+}
+
+TEST(Giri, SliceIsDeterministic)
+{
+    Module module;
+    buildTwoChain(module);
+    const InstrId endpoint = firstOutput(module);
+    const auto a = runGiri(module, fullGiriPlan(module), endpoint, {5});
+    const auto b = runGiri(module, fullGiriPlan(module), endpoint, {5});
+    EXPECT_EQ(a.slice, b.slice);
+    EXPECT_EQ(a.traceLength, b.traceLength);
+}
+
+} // namespace
+} // namespace oha::dyn

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the InvariantSet artifact: text (de)serialization
+ * round-trips, context hashing, fact counting and query helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "invariants/invariant_set.h"
+
+namespace oha::inv {
+namespace {
+
+InvariantSet
+sample()
+{
+    InvariantSet set;
+    set.numBlocks = 10;
+    set.visitedBlocks.insert(0);
+    set.visitedBlocks.insert(3);
+    set.visitedBlocks.insert(9);
+    set.calleeSets[42] = {1, 2};
+    set.calleeSets[77] = {0};
+    set.hasCallContexts = true;
+    set.callContexts.insert({5});
+    set.callContexts.insert({5, 9});
+    set.mustAliasLocks.insert({11, 11});
+    set.mustAliasLocks.insert({11, 23});
+    set.singletonSpawnSites.insert(31);
+    set.elidableLockSites.insert(11);
+    set.rehashContexts();
+    return set;
+}
+
+TEST(InvariantSet, TextRoundTrip)
+{
+    const InvariantSet original = sample();
+    const std::string text = original.saveText();
+    const InvariantSet reloaded = InvariantSet::loadText(text);
+    EXPECT_TRUE(reloaded == original);
+}
+
+TEST(InvariantSet, RoundTripOfEmptySet)
+{
+    InvariantSet empty;
+    empty.numBlocks = 0;
+    const InvariantSet reloaded =
+        InvariantSet::loadText(empty.saveText());
+    EXPECT_TRUE(reloaded == empty);
+}
+
+TEST(InvariantSet, SaveIsHumanReadable)
+{
+    const std::string text = sample().saveText();
+    EXPECT_NE(text.find("oha-invariants v1"), std::string::npos);
+    EXPECT_NE(text.find("visited"), std::string::npos);
+    EXPECT_NE(text.find("callees 42 1 2"), std::string::npos);
+    EXPECT_NE(text.find("lockalias 11 23"), std::string::npos);
+    EXPECT_NE(text.find("singleton 31"), std::string::npos);
+    EXPECT_NE(text.find("context 5 9"), std::string::npos);
+}
+
+TEST(InvariantSet, FactCountCoversEveryFamily)
+{
+    EXPECT_EQ(sample().factCount(),
+              3u /*blocks*/ + 3u /*callees*/ + 2u /*contexts*/ +
+                  2u /*locks*/ + 1u /*singleton*/ + 1u /*elidable*/);
+}
+
+TEST(InvariantSet, LocksMustAliasIsOrderNormalized)
+{
+    const InvariantSet set = sample();
+    EXPECT_TRUE(set.locksMustAlias(11, 23));
+    EXPECT_TRUE(set.locksMustAlias(23, 11));
+    EXPECT_FALSE(set.locksMustAlias(23, 23));
+}
+
+TEST(InvariantSet, ContextHashIsIncremental)
+{
+    const CallContext context = {4, 8, 15};
+    std::uint64_t h = 0x51ed270b0a1f39c1ULL;
+    for (InstrId site : context)
+        h = contextHashPush(h, site);
+    EXPECT_EQ(h, contextHash(context));
+}
+
+TEST(InvariantSet, ContextHashesDistinguishOrderAndDepth)
+{
+    EXPECT_NE(contextHash({1, 2}), contextHash({2, 1}));
+    EXPECT_NE(contextHash({1}), contextHash({1, 1}));
+    EXPECT_NE(contextHash({}), contextHash({0}));
+}
+
+TEST(InvariantSet, RehashMatchesStoredContexts)
+{
+    InvariantSet set = sample();
+    for (const CallContext &context : set.callContexts)
+        EXPECT_TRUE(set.contextHashes.count(contextHash(context)));
+    EXPECT_EQ(set.contextHashes.size(), set.callContexts.size());
+}
+
+TEST(InvariantSet, BlockVisitedOutOfRangeIsFalse)
+{
+    const InvariantSet set = sample();
+    EXPECT_FALSE(set.blockVisited(1000));
+    EXPECT_TRUE(set.blockVisited(3));
+    EXPECT_FALSE(set.blockVisited(4));
+}
+
+} // namespace
+} // namespace oha::inv

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Direct unit tests for the lockset and may-happen-in-parallel
+ * analyses that feed the static race detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/lockset.h"
+#include "analysis/mhp.h"
+#include "ir/builder.h"
+
+namespace oha::analysis {
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Opcode;
+using ir::Reg;
+
+InstrId
+nth(const Module &module, Opcode op, int index = 0)
+{
+    for (InstrId id = 0; id < module.numInstrs(); ++id)
+        if (module.instr(id).op == op && index-- == 0)
+            return id;
+    OHA_PANIC("not found");
+}
+
+TEST(Lockset, StraightLineHeldSet)
+{
+    Module module;
+    IRBuilder b(module);
+    const auto m = module.addGlobal("m", 1);
+    b.createFunction("main", 0);
+    const Reg g = b.alloc(1);
+    b.load(g); // before: held = {}
+    const Reg p = b.globalAddr(m);
+    b.lock(p);
+    b.load(g); // inside: held = {lock}
+    b.unlock(p);
+    b.load(g); // after: held = {}
+    b.ret();
+    module.finalize();
+
+    const auto pts = runAndersen(module, {});
+    LocksetAnalysis locks(module, pts, nullptr);
+    const InstrId lockSite = nth(module, Opcode::Lock);
+    EXPECT_TRUE(locks.locksHeldAt(nth(module, Opcode::Load, 0)).empty());
+    EXPECT_EQ(locks.locksHeldAt(nth(module, Opcode::Load, 1)),
+              (std::set<InstrId>{lockSite}));
+    EXPECT_TRUE(locks.locksHeldAt(nth(module, Opcode::Load, 2)).empty());
+}
+
+TEST(Lockset, BranchMeetIsIntersection)
+{
+    // One arm holds the lock, the other does not: after the merge
+    // nothing is guaranteed held.
+    Module module;
+    IRBuilder b(module);
+    const auto m = module.addGlobal("m", 1);
+    Function *main = b.createFunction("main", 0);
+    BasicBlock *locked = b.createBlock(main, "locked");
+    BasicBlock *merge = b.createBlock(main, "merge");
+    const Reg g = b.alloc(1);
+    const Reg p = b.globalAddr(m);
+    b.condBr(b.input(0), locked, merge);
+    b.setInsertPoint(locked);
+    b.lock(p);
+    b.br(merge);
+    b.setInsertPoint(merge);
+    b.load(g);
+    b.ret();
+    module.finalize();
+
+    const auto pts = runAndersen(module, {});
+    LocksetAnalysis locks(module, pts, nullptr);
+    EXPECT_TRUE(locks.locksHeldAt(nth(module, Opcode::Load)).empty());
+}
+
+TEST(Lockset, CalleeInheritsIntersectionOfCallSites)
+{
+    Module module;
+    IRBuilder b(module);
+    const auto m = module.addGlobal("m", 1);
+    const auto g = module.addGlobal("g", 1);
+
+    Function *helper = b.createFunction("helper", 0);
+    b.load(b.globalAddr(g));
+    b.ret(b.constInt(0));
+
+    b.createFunction("main", 0);
+    const Reg p = b.globalAddr(m);
+    b.lock(p);
+    b.call(helper, {}); // held here
+    b.unlock(p);
+    b.call(helper, {}); // not held here
+    b.ret();
+    module.finalize();
+
+    const auto pts = runAndersen(module, {});
+    LocksetAnalysis locks(module, pts, nullptr);
+    // Called both with and without the lock: nothing guaranteed.
+    EXPECT_TRUE(locks.locksHeldAt(nth(module, Opcode::Load)).empty());
+}
+
+TEST(Lockset, CalleeKeepsLockHeldAtEveryCallSite)
+{
+    Module module;
+    IRBuilder b(module);
+    const auto m = module.addGlobal("m", 1);
+    const auto g = module.addGlobal("g", 1);
+
+    Function *helper = b.createFunction("helper", 0);
+    b.load(b.globalAddr(g));
+    b.ret(b.constInt(0));
+
+    b.createFunction("main", 0);
+    const Reg p = b.globalAddr(m);
+    b.lock(p);
+    b.call(helper, {});
+    b.call(helper, {});
+    b.unlock(p);
+    b.ret();
+    module.finalize();
+
+    const auto pts = runAndersen(module, {});
+    LocksetAnalysis locks(module, pts, nullptr);
+    EXPECT_EQ(locks.locksHeldAt(nth(module, Opcode::Load)).size(), 1u);
+}
+
+TEST(Lockset, UnlockReleasesMayAliasedSites)
+{
+    // Two locks; the unlock may release either -> both drop.
+    Module module;
+    IRBuilder b(module);
+    const auto m1 = module.addGlobal("m1", 1);
+    const auto m2 = module.addGlobal("m2", 1);
+    Function *main = b.createFunction("main", 0);
+    BasicBlock *sel2 = b.createBlock(main, "sel2");
+    BasicBlock *after = b.createBlock(main, "after");
+    const Reg g = b.alloc(1);
+    const Reg box = b.alloc(1);
+    b.store(box, b.globalAddr(m1));
+    b.condBr(b.input(0), sel2, after);
+    b.setInsertPoint(sel2);
+    b.store(box, b.globalAddr(m2));
+    b.br(after);
+    b.setInsertPoint(after);
+    const Reg which = b.load(box);
+    b.lock(which);
+    b.load(g);
+    b.unlock(which); // may release m1 or m2
+    b.load(g);
+    b.ret();
+    module.finalize();
+
+    const auto pts = runAndersen(module, {});
+    LocksetAnalysis locks(module, pts, nullptr);
+    EXPECT_EQ(locks.locksHeldAt(nth(module, Opcode::Load, 1)).size(),
+              1u);
+    EXPECT_TRUE(locks.locksHeldAt(nth(module, Opcode::Load, 2)).empty());
+}
+
+/** main: pre-store, spawn, mid-load, join, post-store. */
+struct MhpProgram
+{
+    Module module;
+    InstrId preStore = kNoInstr;
+    InstrId midLoad = kNoInstr;
+    InstrId postStore = kNoInstr;
+    InstrId workerStore = kNoInstr;
+};
+
+void
+buildMhp(MhpProgram &prog)
+{
+    IRBuilder b(prog.module);
+    const auto g = prog.module.addGlobal("g", 1);
+    Function *worker = b.createFunction("worker", 0);
+    b.store(b.globalAddr(g), b.constInt(2));
+    b.ret();
+    b.createFunction("main", 0);
+    b.store(b.globalAddr(g), b.constInt(1)); // pre
+    const Reg h = b.spawn(worker, {});
+    b.load(b.globalAddr(g)); // mid: concurrent with the worker
+    b.join(h);
+    b.store(b.globalAddr(g), b.constInt(3)); // post
+    b.ret();
+    prog.module.finalize();
+
+    int stores = 0;
+    for (InstrId id = 0; id < prog.module.numInstrs(); ++id) {
+        const auto &ins = prog.module.instr(id);
+        if (ins.op == Opcode::Store) {
+            if (prog.module.function(ins.func)->name() == "worker")
+                prog.workerStore = id;
+            else if (stores++ == 0)
+                prog.preStore = id;
+            else
+                prog.postStore = id;
+        }
+        if (ins.op == Opcode::Load)
+            prog.midLoad = id;
+    }
+}
+
+TEST(Mhp, ForkJoinWindow)
+{
+    MhpProgram prog;
+    buildMhp(prog);
+    const auto pts = runAndersen(prog.module, {});
+    const CallGraph graph(prog.module, pts, nullptr);
+    const MhpAnalysis mhp(prog.module, pts, graph, nullptr);
+
+    EXPECT_FALSE(
+        mhp.mayHappenInParallel(prog.preStore, prog.workerStore))
+        << "before the spawn";
+    EXPECT_TRUE(mhp.mayHappenInParallel(prog.midLoad, prog.workerStore))
+        << "inside the fork-join window";
+    EXPECT_FALSE(
+        mhp.mayHappenInParallel(prog.postStore, prog.workerStore))
+        << "after the dominating join";
+    EXPECT_FALSE(mhp.mayHappenInParallel(prog.preStore, prog.postStore))
+        << "same thread is always ordered";
+}
+
+TEST(Mhp, MatchedJoinTracksAssignChains)
+{
+    MhpProgram prog;
+    buildMhp(prog);
+    const auto pts = runAndersen(prog.module, {});
+    const CallGraph graph(prog.module, pts, nullptr);
+    const MhpAnalysis mhp(prog.module, pts, graph, nullptr);
+    const InstrId spawn = nth(prog.module, Opcode::Spawn);
+    EXPECT_NE(mhp.matchedJoin(spawn), kNoInstr);
+    EXPECT_EQ(mhp.singletonSites().count(spawn), 1u);
+}
+
+TEST(Mhp, TwoSpawnSitesOverlapUnlessJoinDominates)
+{
+    Module module;
+    IRBuilder b(module);
+    const auto g = module.addGlobal("g", 1);
+    Function *worker = b.createFunction("worker", 0);
+    b.store(b.globalAddr(g), b.constInt(1));
+    b.ret();
+    b.createFunction("main", 0);
+    const Reg h1 = b.spawn(worker, {});
+    b.join(h1); // thread 1 fully retired ...
+    const Reg h2 = b.spawn(worker, {}); // ... before thread 2 starts
+    b.join(h2);
+    b.ret();
+    module.finalize();
+
+    const auto pts = runAndersen(module, {});
+    const CallGraph graph(module, pts, nullptr);
+    const MhpAnalysis mhp(module, pts, graph, nullptr);
+    const InstrId store = nth(module, Opcode::Store);
+    EXPECT_FALSE(mhp.mayHappenInParallel(store, store))
+        << "sequential spawn-join-spawn-join cannot overlap";
+}
+
+TEST(Mhp, LoopSpawnIsNotSingleton)
+{
+    Module module;
+    IRBuilder b(module);
+    Function *worker = b.createFunction("worker", 0);
+    const auto g = module.addGlobal("g", 1);
+    b.store(b.globalAddr(g), b.constInt(1));
+    b.ret();
+    Function *main = b.createFunction("main", 0);
+    BasicBlock *loop = b.createBlock(main, "loop");
+    BasicBlock *body = b.createBlock(main, "body");
+    BasicBlock *done = b.createBlock(main, "done");
+    const Reg i = b.constInt(0);
+    const Reg one = b.constInt(1);
+    b.br(loop);
+    b.setInsertPoint(loop);
+    b.condBr(b.lt(i, b.constInt(3)), body, done);
+    b.setInsertPoint(body);
+    b.spawn(worker, {});
+    b.binopTo(i, ir::BinOpKind::Add, i, one);
+    b.br(loop);
+    b.setInsertPoint(done);
+    b.ret();
+    module.finalize();
+
+    const auto pts = runAndersen(module, {});
+    const CallGraph graph(module, pts, nullptr);
+
+    const MhpAnalysis sound(module, pts, graph, nullptr);
+    const InstrId spawn = nth(module, Opcode::Spawn);
+    const InstrId store = nth(module, Opcode::Store);
+    EXPECT_EQ(sound.singletonSites().count(spawn), 0u);
+    EXPECT_TRUE(sound.mayHappenInParallel(store, store));
+
+    // The singleton invariant flips the verdict.
+    inv::InvariantSet inv;
+    inv.numBlocks = static_cast<std::uint32_t>(module.numBlocks());
+    for (BlockId blk = 0; blk < module.numBlocks(); ++blk)
+        inv.visitedBlocks.insert(blk);
+    inv.singletonSpawnSites.insert(spawn);
+    const MhpAnalysis predicated(module, pts, graph, &inv);
+    EXPECT_FALSE(predicated.mayHappenInParallel(store, store));
+}
+
+TEST(Mhp, AccessesInDeadFunctionsNeverHappen)
+{
+    Module module;
+    IRBuilder b(module);
+    const auto g = module.addGlobal("g", 1);
+    b.createFunction("orphan", 0); // never called or spawned
+    b.store(b.globalAddr(g), b.constInt(9));
+    b.ret();
+    b.createFunction("main", 0);
+    b.load(b.globalAddr(g));
+    b.ret();
+    module.finalize();
+
+    const auto pts = runAndersen(module, {});
+    const CallGraph graph(module, pts, nullptr);
+    const MhpAnalysis mhp(module, pts, graph, nullptr);
+    EXPECT_FALSE(mhp.mayHappenInParallel(nth(module, Opcode::Store),
+                                         nth(module, Opcode::Load)));
+}
+
+} // namespace
+} // namespace oha::analysis

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Extra end-to-end properties: hybrid slicing equals *pure Giri* on
+ * small runs (the comparison the paper cannot afford on real
+ * benchmarks), pipeline-level determinism, aggressive-LUC soundness,
+ * and break-even arithmetic sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/slicer.h"
+#include "core/optft.h"
+#include "core/optslice.h"
+#include "dyn/giri.h"
+#include "dyn/plans.h"
+
+namespace oha::core {
+namespace {
+
+TEST(PipelineExtra, HybridSlicesEqualPureGiri)
+{
+    // The paper omits pure Giri because it exhausts resources; on our
+    // scaled corpus we CAN run it, closing the soundness chain:
+    // pure Giri == hybrid == optimistic(+rollback).
+    const auto workload = workloads::makeSliceWorkload("redis", 8, 3);
+    const ir::Module &module = *workload.module;
+
+    const auto pts = analysis::runAndersen(module, {});
+    const analysis::StaticSlicer slicer(module, pts, {});
+
+    std::vector<InstrId> endpoints;
+    for (InstrId id = 0; id < module.numInstrs(); ++id)
+        if (module.instr(id).op == ir::Opcode::Output)
+            endpoints.push_back(id);
+
+    const auto fullPlan = dyn::fullGiriPlan(module);
+    for (const auto &config : workload.testingSet) {
+        dyn::GiriSlicer pure(module);
+        {
+            exec::Interpreter interp(module, config);
+            interp.attach(&pure, &fullPlan);
+            ASSERT_TRUE(interp.run().finished());
+        }
+        for (InstrId endpoint : endpoints) {
+            const auto staticSlice = slicer.slice(endpoint);
+            ASSERT_TRUE(staticSlice.completed);
+            const auto plan =
+                dyn::sliceGiriPlan(module, staticSlice.instructions);
+            dyn::GiriSlicer hybrid(module);
+            exec::Interpreter interp(module, config);
+            interp.attach(&hybrid, &plan);
+            ASSERT_TRUE(interp.run().finished());
+            EXPECT_EQ(hybrid.slice(endpoint), pure.slice(endpoint))
+                << "endpoint " << endpoint;
+            EXPECT_EQ(hybrid.missingDependencies(), 0u);
+        }
+    }
+}
+
+TEST(PipelineExtra, OptFtPipelineIsDeterministic)
+{
+    const auto w1 = workloads::makeRaceWorkload("raytracer", 8, 4);
+    const auto w2 = workloads::makeRaceWorkload("raytracer", 8, 4);
+    const auto a = runOptFt(w1);
+    const auto b = runOptFt(w2);
+    EXPECT_DOUBLE_EQ(a.optFt.total(), b.optFt.total());
+    EXPECT_DOUBLE_EQ(a.fastTrack.total(), b.fastTrack.total());
+    EXPECT_EQ(a.misSpeculations, b.misSpeculations);
+    EXPECT_EQ(a.profileRunsUsed, b.profileRunsUsed);
+    EXPECT_EQ(a.racesObserved, b.racesObserved);
+}
+
+TEST(PipelineExtra, OptSlicePipelineIsDeterministic)
+{
+    const auto a = runOptSlice(workloads::makeSliceWorkload("go", 6, 4));
+    const auto b = runOptSlice(workloads::makeSliceWorkload("go", 6, 4));
+    EXPECT_DOUBLE_EQ(a.optimistic.total(), b.optimistic.total());
+    EXPECT_EQ(a.misSpeculations, b.misSpeculations);
+    EXPECT_DOUBLE_EQ(a.optSliceSize, b.optSliceSize);
+}
+
+TEST(PipelineExtra, AggressiveLucStaysSoundUnderHeavyMisSpeculation)
+{
+    // Threshold high enough to mis-speculate often: rollbacks must
+    // keep slice results equal to the hybrid slicer's everywhere.
+    const auto workload = workloads::makeSliceWorkload("vim", 12, 8);
+    OptSliceConfig config;
+    config.maxProfileRuns = 12;
+    config.aggressiveLucMinVisits = 4;
+    const auto result = runOptSlice(workload, config);
+    EXPECT_TRUE(result.sliceResultsMatch);
+    EXPECT_GT(result.misSpeculations, 0u)
+        << "the aggressive threshold is meant to bite";
+}
+
+TEST(PipelineExtra, AggressiveLucStaysSoundForRaces)
+{
+    const auto workload = workloads::makeRaceWorkload("pmd", 12, 8);
+    OptFtConfig config;
+    config.maxProfileRuns = 12;
+    config.aggressiveLucMinVisits = 8;
+    const auto result = runOptFt(workload, config);
+    EXPECT_TRUE(result.raceReportsMatch);
+}
+
+TEST(PipelineExtra, BreakEvenIsConsistentWithItsInputs)
+{
+    const auto workload = workloads::makeRaceWorkload("raytracer", 12, 8);
+    const auto r = runOptFt(workload);
+    ASSERT_GT(r.speedupVsHybrid, 1.0);
+    ASSERT_GE(r.breakEvenVsHybrid, 0.0);
+    // At T = breakEven, total costs are equal by definition.
+    const double upfrontOpt = r.profileSeconds + r.predStaticSeconds;
+    const double lhs =
+        upfrontOpt + r.optFt.normalized() * r.breakEvenVsHybrid;
+    const double rhs = r.soundStaticSeconds +
+                       r.hybridFt.normalized() * r.breakEvenVsHybrid;
+    EXPECT_NEAR(lhs, rhs, 1e-6 * std::max(lhs, rhs));
+}
+
+TEST(PipelineExtra, MoreTestTimeAmortizesUpfrontCosts)
+{
+    // Doubling the testing corpus must not change normalized runtimes
+    // (they are per-baseline ratios) but leaves break-even fixed.
+    const auto small = runOptFt(workloads::makeRaceWorkload("moldyn", 12, 4));
+    const auto large = runOptFt(workloads::makeRaceWorkload("moldyn", 12, 12));
+    EXPECT_NEAR(small.optFt.normalized(), large.optFt.normalized(),
+                0.35 * small.optFt.normalized());
+}
+
+} // namespace
+} // namespace oha::core

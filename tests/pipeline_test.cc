@@ -1,0 +1,173 @@
+/**
+ * @file
+ * End-to-end integration tests: the full OptFT and OptSlice
+ * pipelines over the synthetic benchmark workloads, checking the
+ * paper's soundness theorem (optimistic results == sound results)
+ * and the expected performance direction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/optft.h"
+#include "core/optslice.h"
+
+namespace oha::core {
+namespace {
+
+TEST(Workloads, AllRaceWorkloadsBuildAndRun)
+{
+    for (const auto &name : workloads::raceWorkloadNames()) {
+        const auto workload = workloads::makeRaceWorkload(name, 2, 2);
+        ASSERT_TRUE(workload.module->finalized()) << name;
+        exec::Interpreter interp(*workload.module,
+                                 workload.testingSet.front());
+        const auto result = interp.run();
+        EXPECT_TRUE(result.finished()) << name << ": "
+                                       << result.abortReason;
+        EXPECT_FALSE(result.outputs.empty()) << name;
+    }
+}
+
+TEST(Workloads, AllSliceWorkloadsBuildAndRun)
+{
+    for (const auto &name : workloads::sliceWorkloadNames()) {
+        const auto workload = workloads::makeSliceWorkload(name, 2, 2);
+        exec::Interpreter interp(*workload.module,
+                                 workload.testingSet.front());
+        const auto result = interp.run();
+        EXPECT_TRUE(result.finished()) << name << ": "
+                                       << result.abortReason;
+        EXPECT_FALSE(result.outputs.empty()) << name;
+    }
+}
+
+TEST(Workloads, ExecutionIsAPureFunctionOfConfig)
+{
+    const auto workload = workloads::makeRaceWorkload("lusearch", 1, 1);
+    const auto &config = workload.testingSet.front();
+    exec::Interpreter a(*workload.module, config);
+    exec::Interpreter b(*workload.module, config);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.outputs, rb.outputs);
+    EXPECT_EQ(ra.steps, rb.steps);
+}
+
+TEST(OptFtPipeline, KernelsAreStaticallyRaceFree)
+{
+    for (const auto &name : workloads::raceFreeKernelNames()) {
+        const auto workload = workloads::makeRaceWorkload(name, 6, 3);
+        const auto result = runOptFt(workload);
+        EXPECT_TRUE(result.staticallyRaceFree) << name;
+        EXPECT_TRUE(result.raceReportsMatch) << name;
+        EXPECT_EQ(result.racesObserved, 0u) << name;
+        // With no dynamic checks left, hybrid and OptFT sit at the
+        // framework floor, far below full FastTrack.
+        EXPECT_LT(result.hybridFt.normalized(),
+                  result.fastTrack.normalized())
+            << name;
+    }
+}
+
+TEST(OptFtPipeline, LockHeavyBenchmarkGains)
+{
+    const auto workload = workloads::makeRaceWorkload("raytracer", 16, 8);
+    const auto result = runOptFt(workload);
+    EXPECT_TRUE(result.raceReportsMatch);
+    EXPECT_FALSE(result.staticallyRaceFree);
+    // OptFT must beat hybrid FastTrack (guarding-locks invariant) and
+    // full FastTrack by more.
+    EXPECT_GT(result.speedupVsHybrid, 1.1) << "got "
+                                           << result.speedupVsHybrid;
+    EXPECT_GT(result.speedupVsFastTrack, result.speedupVsHybrid);
+    // Predicated analysis prunes more accesses than the sound one.
+    EXPECT_LT(result.predRacyAccesses, result.soundRacyAccesses);
+}
+
+TEST(OptFtPipeline, BarrierBenchmarkGainsLittle)
+{
+    const auto workload = workloads::makeRaceWorkload("sunflow", 12, 6);
+    const auto result = runOptFt(workload);
+    EXPECT_TRUE(result.raceReportsMatch);
+    // Lockset-based pruning is algorithmically unequipped here
+    // (Section 6.2): OptFT ~= hybrid.
+    EXPECT_LT(result.speedupVsHybrid, 1.4);
+}
+
+TEST(OptFtPipeline, CustomSyncIsCalibratedSafely)
+{
+    const auto workload = workloads::makeRaceWorkload("moldyn", 12, 8);
+    const auto result = runOptFt(workload);
+    // Whatever the calibration decided about lock elision, the final
+    // reports must match the sound detector on every test run.
+    EXPECT_TRUE(result.raceReportsMatch);
+}
+
+TEST(OptFtPipeline, RealRacesAreNeverLost)
+{
+    const auto workload = workloads::makeRaceWorkload("pmd", 12, 10);
+    const auto result = runOptFt(workload);
+    EXPECT_TRUE(result.raceReportsMatch)
+        << "OptFT must report exactly the races FastTrack reports";
+    EXPECT_GT(result.racesObserved, 0u)
+        << "the pmd corpus is tuned to exhibit its intentional race";
+}
+
+TEST(OptFtPipeline, SingletonThreadInvariantWins)
+{
+    const auto workload = workloads::makeRaceWorkload("luindex", 12, 6);
+    const auto result = runOptFt(workload);
+    EXPECT_TRUE(result.raceReportsMatch);
+    EXPECT_GT(result.speedupVsHybrid, 1.2);
+}
+
+TEST(OptSlicePipeline, ZlibTinySliceBigSpeedup)
+{
+    const auto workload = workloads::makeSliceWorkload("zlib", 10, 5);
+    const auto result = runOptSlice(workload);
+    EXPECT_TRUE(result.sliceResultsMatch);
+    EXPECT_GT(result.dynSpeedup, 2.0) << "got " << result.dynSpeedup;
+    EXPECT_LT(result.optSliceSize, result.soundSliceSize);
+}
+
+TEST(OptSlicePipeline, DispatchAppSoundAndFaster)
+{
+    const auto workload = workloads::makeSliceWorkload("redis", 12, 6);
+    const auto result = runOptSlice(workload);
+    EXPECT_TRUE(result.sliceResultsMatch);
+    EXPECT_GE(result.dynSpeedup, 1.0);
+    EXPECT_LE(result.optAliasRate, result.soundAliasRate + 1e-12);
+}
+
+TEST(OptSlicePipeline, MisSpeculationRollsBackSoundly)
+{
+    // go is tuned for unstable behaviour: with a tiny profiling set,
+    // test inputs routinely violate invariants.  Every violation must
+    // roll back and still produce the hybrid slicer's slices.
+    const auto workload = workloads::makeSliceWorkload("go", 4, 10);
+    const auto result = runOptSlice(workload);
+    EXPECT_TRUE(result.sliceResultsMatch);
+    EXPECT_GT(result.misSpeculations, 0u)
+        << "under-profiled go should mis-speculate";
+}
+
+TEST(OptSlicePipeline, MoreProfilingReducesMisSpeculation)
+{
+    const auto lean = workloads::makeSliceWorkload("vim", 3, 12);
+    OptSliceConfig leanConfig;
+    leanConfig.maxProfileRuns = 3;
+    const auto few = runOptSlice(lean, leanConfig);
+
+    const auto rich = workloads::makeSliceWorkload("vim", 40, 12);
+    OptSliceConfig richConfig;
+    richConfig.maxProfileRuns = 40;
+    richConfig.convergenceWindow = 40; // profile everything
+    const auto many = runOptSlice(rich, richConfig);
+
+    EXPECT_LE(many.misSpeculations, few.misSpeculations);
+    EXPECT_TRUE(few.sliceResultsMatch);
+    EXPECT_TRUE(many.sliceResultsMatch);
+}
+
+} // namespace
+} // namespace oha::core

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the likely-invariant profilers and the multi-run merging
+ * campaign (Sections 4.2 / 5.2): union semantics for reachable-style
+ * invariants, never-violated semantics for constraint-style ones,
+ * and convergence behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/profiler.h"
+#include "profile/profilers.h"
+#include "ir/builder.h"
+
+namespace oha::prof {
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Reg;
+
+/** Program with an input-selected branch, an icall, a lock whose
+ *  object depends on input, and an input-controlled spawn loop. */
+struct ProfiledProgram
+{
+    Module module;
+    BlockId coldBlock = kNoBlock;
+    InstrId icall = kNoInstr;
+    InstrId lockSite1 = kNoInstr;
+    InstrId lockSite2 = kNoInstr;
+    InstrId spawnSite = kNoInstr;
+    FuncId calleeA = kNoFunc, calleeB = kNoFunc;
+};
+
+void
+build(ProfiledProgram &prog)
+{
+    Module &module = prog.module;
+    IRBuilder b(module);
+    const auto m1 = module.addGlobal("m1", 1);
+    const auto m2 = module.addGlobal("m2", 1);
+
+    Function *fa = b.createFunction("callee_a", 0);
+    b.ret(b.constInt(1));
+    Function *fb = b.createFunction("callee_b", 0);
+    b.ret(b.constInt(2));
+    prog.calleeA = fa->id();
+    prog.calleeB = fb->id();
+
+    Function *worker = b.createFunction("worker", 0);
+    b.ret(b.constInt(0));
+
+    Function *main = b.createFunction("main", 0);
+    BasicBlock *cold = b.createBlock(main, "cold");
+    BasicBlock *merge = b.createBlock(main, "merge");
+    BasicBlock *loopHead = b.createBlock(main, "spawnHead");
+    BasicBlock *loopBody = b.createBlock(main, "spawnBody");
+    BasicBlock *done = b.createBlock(main, "done");
+    prog.coldBlock = cold->id();
+
+    // Input 0 selects the cold branch.
+    b.condBr(b.input(0), cold, merge);
+    b.setInsertPoint(cold);
+    b.output(b.constInt(-1));
+    b.br(merge);
+
+    b.setInsertPoint(merge);
+    // Input 1 selects the icall target.
+    const Reg fp = b.assign(b.funcAddr(fa));
+    {
+        // fp := input1 ? &b : &a, via memory to keep it simple.
+        const Reg box = b.alloc(1);
+        b.store(box, fp);
+        ir::Function *f = main;
+        BasicBlock *useB = b.createBlock(f, "useB");
+        BasicBlock *afterSel = b.createBlock(f, "afterSel");
+        b.condBr(b.input(1), useB, afterSel);
+        b.setInsertPoint(useB);
+        b.store(box, b.funcAddr(fb));
+        b.br(afterSel);
+        b.setInsertPoint(afterSel);
+        b.icall(b.load(box), {});
+    }
+    // Two lock sites; input 2 selects which mutex site 2 locks.
+    {
+        const Reg p1 = b.globalAddr(m1);
+        b.lock(p1);
+        b.unlock(p1);
+        const Reg box = b.alloc(1);
+        b.store(box, b.globalAddr(m1));
+        ir::Function *f = main;
+        BasicBlock *other = b.createBlock(f, "otherLock");
+        BasicBlock *afterLock = b.createBlock(f, "afterLock");
+        b.condBr(b.input(2), other, afterLock);
+        b.setInsertPoint(other);
+        b.store(box, b.globalAddr(m2));
+        b.br(afterLock);
+        b.setInsertPoint(afterLock);
+        const Reg p2 = b.load(box);
+        b.lock(p2);
+        b.unlock(p2);
+    }
+    // Spawn loop: input 3 = thread count.
+    const Reg count = b.input(3);
+    const Reg i = b.constInt(0);
+    const Reg one = b.constInt(1);
+    const Reg handleBox = b.alloc(1);
+    b.br(loopHead);
+    b.setInsertPoint(loopHead);
+    b.condBr(b.lt(i, count), loopBody, done);
+    b.setInsertPoint(loopBody);
+    b.store(handleBox, b.spawn(worker, {}));
+    b.join(b.load(handleBox));
+    b.binopTo(i, ir::BinOpKind::Add, i, one);
+    b.br(loopHead);
+    b.setInsertPoint(done);
+    b.ret();
+
+    module.finalize();
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const auto &ins = module.instr(id);
+        if (ins.op == ir::Opcode::ICall)
+            prog.icall = id;
+        if (ins.op == ir::Opcode::Spawn)
+            prog.spawnSite = id;
+        if (ins.op == ir::Opcode::Lock) {
+            if (prog.lockSite1 == kNoInstr)
+                prog.lockSite1 = id;
+            else
+                prog.lockSite2 = id;
+        }
+    }
+}
+
+exec::ExecConfig
+input(std::int64_t cold, std::int64_t calleeSel, std::int64_t lockSel,
+      std::int64_t threads)
+{
+    exec::ExecConfig config;
+    config.input = {cold, calleeSel, lockSel, threads};
+    return config;
+}
+
+TEST(Profiler, ColdBlockStaysUnvisited)
+{
+    ProfiledProgram prog;
+    build(prog);
+    ProfilingCampaign campaign(prog.module, {});
+    campaign.addRun(input(0, 0, 0, 1));
+    campaign.addRun(input(0, 0, 0, 1));
+    EXPECT_FALSE(campaign.invariants().blockVisited(prog.coldBlock));
+    campaign.addRun(input(1, 0, 0, 1));
+    EXPECT_TRUE(campaign.invariants().blockVisited(prog.coldBlock));
+}
+
+TEST(Profiler, CalleeSetsAreUnioned)
+{
+    ProfiledProgram prog;
+    build(prog);
+    ProfilingCampaign campaign(prog.module, {});
+    campaign.addRun(input(0, 0, 0, 1));
+    EXPECT_EQ(campaign.invariants().calleeSets.at(prog.icall),
+              (std::set<FuncId>{prog.calleeA}));
+    campaign.addRun(input(0, 1, 0, 1));
+    EXPECT_EQ(campaign.invariants().calleeSets.at(prog.icall),
+              (std::set<FuncId>{prog.calleeA, prog.calleeB}));
+}
+
+TEST(Profiler, MustAliasLockPairSurvivesConsistentRuns)
+{
+    ProfiledProgram prog;
+    build(prog);
+    ProfilingCampaign campaign(prog.module, {});
+    campaign.addRun(input(0, 0, 0, 1));
+    campaign.addRun(input(0, 1, 0, 1));
+    const auto &inv = campaign.invariants();
+    EXPECT_TRUE(inv.locksMustAlias(prog.lockSite1, prog.lockSite2));
+    EXPECT_TRUE(inv.locksMustAlias(prog.lockSite1, prog.lockSite1));
+}
+
+TEST(Profiler, MustAliasLockPairDiesOnDivergence)
+{
+    ProfiledProgram prog;
+    build(prog);
+    ProfilingCampaign campaign(prog.module, {});
+    campaign.addRun(input(0, 0, 0, 1));
+    EXPECT_TRUE(campaign.invariants().locksMustAlias(prog.lockSite1,
+                                                     prog.lockSite2));
+    campaign.addRun(input(0, 0, 1, 1)); // site 2 locks m2 this run
+    const auto &inv = campaign.invariants();
+    EXPECT_FALSE(inv.locksMustAlias(prog.lockSite1, prog.lockSite2));
+    // Site 1 alone still always locks one object.
+    EXPECT_TRUE(inv.locksMustAlias(prog.lockSite1, prog.lockSite1));
+    // Site 2 locked two distinct objects across runs... within each
+    // run it locked exactly one, so its reflexive invariant holds
+    // per-run; the cross-run merge must kill it (different objects
+    // are indistinguishable across runs only via the pair check).
+    EXPECT_TRUE(inv.locksMustAlias(prog.lockSite2, prog.lockSite2));
+}
+
+TEST(Profiler, SingletonSpawnRequiresExactlyOneEverywhere)
+{
+    ProfiledProgram prog;
+    build(prog);
+    ProfilingCampaign campaign(prog.module, {});
+    campaign.addRun(input(0, 0, 0, 1));
+    EXPECT_TRUE(campaign.invariants().singletonSpawnSites.count(
+        prog.spawnSite));
+    campaign.addRun(input(0, 0, 0, 3));
+    EXPECT_FALSE(campaign.invariants().singletonSpawnSites.count(
+        prog.spawnSite));
+}
+
+TEST(Profiler, AddRunReportsConvergence)
+{
+    ProfiledProgram prog;
+    build(prog);
+    ProfilingCampaign campaign(prog.module, {});
+    EXPECT_TRUE(campaign.addRun(input(0, 0, 0, 1)));
+    // An identical run adds nothing.
+    EXPECT_FALSE(campaign.addRun(input(0, 0, 0, 1)));
+    // A new behaviour changes the set again.
+    EXPECT_TRUE(campaign.addRun(input(1, 1, 0, 2)));
+}
+
+TEST(Profiler, ProfiledStepsAccumulate)
+{
+    ProfiledProgram prog;
+    build(prog);
+    ProfilingCampaign campaign(prog.module, {});
+    campaign.addRun(input(0, 0, 0, 1));
+    const auto once = campaign.profiledSteps();
+    EXPECT_GT(once, 0u);
+    campaign.addRun(input(0, 0, 0, 1));
+    EXPECT_EQ(campaign.profiledSteps(), 2 * once);
+}
+
+TEST(Profiler, CallContextsRecordedWithPrefixes)
+{
+    // a -> b -> c: the context set must contain [a], [a,b] chains.
+    Module module;
+    IRBuilder b(module);
+    Function *c = b.createFunction("c", 0);
+    b.ret(b.constInt(0));
+    Function *bf = b.createFunction("b", 0);
+    b.call(c, {});
+    b.ret(b.constInt(0));
+    Function *a = b.createFunction("a", 0);
+    b.call(bf, {});
+    b.ret(b.constInt(0));
+    b.createFunction("main", 0);
+    b.call(a, {});
+    b.ret();
+    module.finalize();
+
+    ProfileOptions options;
+    options.callContexts = true;
+    ProfilingCampaign campaign(module, options);
+    campaign.addRun({});
+    const auto &contexts = campaign.invariants().callContexts;
+    ASSERT_EQ(contexts.size(), 3u); // [m], [m,a], [m,a,b]
+    std::set<std::size_t> depths;
+    for (const auto &context : contexts)
+        depths.insert(context.size());
+    EXPECT_EQ(depths, (std::set<std::size_t>{1, 2, 3}));
+    EXPECT_EQ(campaign.invariants().contextHashes.size(), 3u);
+}
+
+TEST(Profiler, BlockCountsMatchExecution)
+{
+    Module module;
+    IRBuilder b(module);
+    Function *main = b.createFunction("main", 0);
+    BasicBlock *loop = b.createBlock(main, "loop");
+    BasicBlock *body = b.createBlock(main, "body");
+    BasicBlock *exit = b.createBlock(main, "exit");
+    const Reg i = b.constInt(0);
+    const Reg n = b.constInt(5);
+    const Reg one = b.constInt(1);
+    b.br(loop);
+    b.setInsertPoint(loop);
+    b.condBr(b.lt(i, n), body, exit);
+    b.setInsertPoint(body);
+    b.binopTo(i, ir::BinOpKind::Add, i, one);
+    b.br(loop);
+    b.setInsertPoint(exit);
+    b.ret();
+    module.finalize();
+
+    BlockCountProfiler profiler;
+    exec::Interpreter interp(module, {});
+    const auto plan = exec::InstrumentationPlan::all(module);
+    interp.attach(&profiler, &plan);
+    ASSERT_TRUE(interp.run().finished());
+    EXPECT_EQ(profiler.counts().at(loop->id()), 6u);
+    EXPECT_EQ(profiler.counts().at(body->id()), 5u);
+    EXPECT_EQ(profiler.counts().at(exit->id()), 1u);
+    EXPECT_EQ(profiler.counts().at(main->entry()->id()), 1u);
+}
+
+} // namespace
+} // namespace oha::prof

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the reporting module: paper references, markdown row
+ * rendering and soundness flagging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace oha::core {
+namespace {
+
+TEST(Report, PaperReferencesCoverEveryBenchmark)
+{
+    for (const auto &name : workloads::raceWorkloadNames()) {
+        const auto ref = paperReference(name);
+        const bool kernel = [&] {
+            for (const auto &k : workloads::raceFreeKernelNames())
+                if (k == name)
+                    return true;
+            return false;
+        }();
+        if (!kernel) {
+            EXPECT_GT(ref.speedupVsFastTrack, 0) << name;
+            EXPECT_GT(ref.speedupVsHybrid, 0) << name;
+        }
+    }
+    for (const auto &name : workloads::sliceWorkloadNames())
+        EXPECT_GT(paperReference(name).sliceSpeedup, 0) << name;
+    EXPECT_EQ(paperReference("nonesuch").sliceSpeedup, 0);
+}
+
+TEST(Report, OptFtRowMentionsPaperNumbers)
+{
+    OptFtResult result;
+    result.name = "lusearch";
+    result.fastTrack.base = 1;
+    result.fastTrack.analysis = 8;
+    result.hybridFt.base = 1;
+    result.hybridFt.analysis = 3;
+    result.optFt.base = 1;
+    result.optFt.analysis = 0.5;
+    result.speedupVsFastTrack = 6.0;
+    result.speedupVsHybrid = 2.7;
+    const std::string row = markdownRow(result);
+    EXPECT_NE(row.find("lusearch"), std::string::npos);
+    EXPECT_NE(row.find("paper 6.3x"), std::string::npos);
+    EXPECT_NE(row.find("paper 3.0x"), std::string::npos);
+    EXPECT_EQ(row.find("MISMATCH"), std::string::npos);
+}
+
+TEST(Report, MismatchIsFlaggedLoudly)
+{
+    OptFtResult result;
+    result.name = "pmd";
+    result.fastTrack.base = 1;
+    result.hybridFt.base = 1;
+    result.optFt.base = 1;
+    result.raceReportsMatch = false;
+    EXPECT_NE(markdownRow(result).find("MISMATCH"), std::string::npos);
+
+    OptSliceResult slice;
+    slice.name = "vim";
+    slice.hybrid.base = 1;
+    slice.optimistic.base = 1;
+    slice.sliceResultsMatch = false;
+    EXPECT_NE(markdownRow(slice).find("MISMATCH"), std::string::npos);
+}
+
+TEST(Report, SuiteReportHasBothSections)
+{
+    ReportOptions options;
+    options.profileRuns = 2;
+    options.raceTestRuns = 2;
+    options.sliceTestRuns = 2;
+    options.includeRaceSuite = true;
+    options.includeSliceSuite = false; // keep the test fast
+    const std::string race = generateSuiteReport(options);
+    EXPECT_NE(race.find("Race detection"), std::string::npos);
+    EXPECT_NE(race.find("lusearch"), std::string::npos);
+    EXPECT_EQ(race.find("Dynamic slicing"), std::string::npos);
+    EXPECT_EQ(race.find("MISMATCH"), std::string::npos)
+        << "soundness must hold even with tiny corpora";
+}
+
+} // namespace
+} // namespace oha::core

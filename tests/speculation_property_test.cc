@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Property tests of the paper's central soundness theorem, swept over
+ * schedule seeds (parameterized): a speculative analysis with
+ * invariant checking and rollback produces exactly the sound
+ * analysis' results, for both OptFT-style race detection and
+ * OptSlice-style slicing, on an adversarial program whose inputs
+ * regularly escape the profiled envelope.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/race_detector.h"
+#include "analysis/slicer.h"
+#include "dyn/fasttrack.h"
+#include "dyn/giri.h"
+#include "dyn/invariant_checker.h"
+#include "dyn/plans.h"
+#include "ir/builder.h"
+#include "profile/profiler.h"
+
+namespace oha {
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Reg;
+
+/**
+ * Adversarial program: two workers; input word 0 steers them through
+ * a profiled path (locked update), a cold path (unlocked update) or a
+ * mixed path; main outputs derived state.
+ */
+std::shared_ptr<Module>
+buildAdversarial()
+{
+    auto module = std::make_shared<Module>();
+    IRBuilder b(*module);
+    const auto g = module->addGlobal("g", 2);
+    const auto m = module->addGlobal("m", 1);
+
+    Function *worker = b.createFunction("worker", 1);
+    {
+        Function *f = worker;
+        BasicBlock *cold = b.createBlock(f, "cold");
+        BasicBlock *hot = b.createBlock(f, "hot");
+        BasicBlock *done = b.createBlock(f, "done");
+        const Reg mode = b.input(0);
+        b.condBr(b.eq(mode, b.constInt(2)), cold, hot);
+
+        b.setInsertPoint(hot);
+        const Reg p = b.globalAddr(m);
+        b.lock(p);
+        const Reg cell = b.gep(b.globalAddr(g), 0);
+        b.store(cell, b.add(b.load(cell), 0));
+        b.unlock(p);
+        b.br(done);
+
+        b.setInsertPoint(cold); // unlocked: races when reached
+        const Reg cell2 = b.gep(b.globalAddr(g), 1);
+        b.store(cell2, b.add(b.load(cell2), b.constInt(1)));
+        b.br(done);
+
+        b.setInsertPoint(done);
+        b.ret(b.constInt(0));
+    }
+
+    b.createFunction("main", 0);
+    const Reg h1 = b.spawn(worker, {b.constInt(1)});
+    const Reg h2 = b.spawn(worker, {b.constInt(2)});
+    b.join(h1);
+    b.join(h2);
+    b.output(b.load(b.gep(b.globalAddr(g), 0)));
+    b.output(b.load(b.gep(b.globalAddr(g), 1)));
+    b.ret();
+    return module;
+}
+
+exec::ExecConfig
+configFor(std::int64_t mode, std::uint64_t seed)
+{
+    exec::ExecConfig config;
+    config.input = {mode};
+    config.scheduleSeed = seed;
+    return config;
+}
+
+class SpeculationSeedTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        module_ = buildAdversarial();
+        module_->finalize();
+        prof::ProfileOptions options;
+        options.callContexts = true;
+        prof::ProfilingCampaign campaign(*module_, options);
+        // Profile only the benign mode.
+        for (std::uint64_t s = 0; s < 6; ++s)
+            campaign.addRun(configFor(1, s));
+        invariants_ = campaign.invariants();
+    }
+
+    std::shared_ptr<Module> module_;
+    inv::InvariantSet invariants_;
+};
+
+TEST_P(SpeculationSeedTest, OptimisticRaceReportsEqualSoundReports)
+{
+    const auto sound = analysis::runStaticRaceDetector(*module_, nullptr);
+    const auto predicated =
+        analysis::runStaticRaceDetector(*module_, &invariants_);
+    const auto fullPlan = dyn::fullFastTrackPlan(*module_);
+    const auto optPlan = dyn::optimisticFastTrackPlan(
+        *module_, predicated.racyAccesses, invariants_);
+
+    for (std::int64_t mode : {1, 2}) {
+        const auto config = configFor(mode, GetParam());
+
+        dyn::FastTrack reference;
+        {
+            exec::Interpreter interp(*module_, config);
+            interp.attach(&reference, &fullPlan);
+            interp.run();
+        }
+
+        dyn::FastTrack optimistic;
+        dyn::CheckerConfig checkerConfig;
+        dyn::InvariantChecker checker(*module_, invariants_,
+                                      checkerConfig);
+        exec::Interpreter interp(*module_, config);
+        checker.setInterpreter(&interp);
+        interp.attach(&optimistic, &optPlan);
+        interp.attach(&checker, &checker.plan());
+        interp.run();
+
+        auto races = optimistic.racePairs();
+        if (checker.violated()) {
+            // Roll back: deterministic sound re-analysis.
+            dyn::FastTrack redo;
+            exec::Interpreter redoInterp(*module_, config);
+            redoInterp.attach(&redo, &fullPlan);
+            redoInterp.run();
+            races = redo.racePairs();
+        } else {
+            EXPECT_NE(mode, 2)
+                << "the cold mode must always mis-speculate";
+        }
+        EXPECT_EQ(races, reference.racePairs())
+            << "mode " << mode << " seed " << GetParam();
+    }
+}
+
+TEST_P(SpeculationSeedTest, OptimisticSlicesEqualSoundSlices)
+{
+    InstrId endpoint = kNoInstr;
+    for (InstrId id = 0; id < module_->numInstrs(); ++id)
+        if (module_->instr(id).op == ir::Opcode::Output)
+            endpoint = id; // the g[1] observer (cold-fed)
+
+    analysis::AndersenOptions soundOpts;
+    const auto soundPts = analysis::runAndersen(*module_, soundOpts);
+    const analysis::StaticSlicer soundSlicer(*module_, soundPts, {});
+    const auto soundSlice = soundSlicer.slice(endpoint);
+
+    analysis::AndersenOptions optOpts;
+    optOpts.invariants = &invariants_;
+    const auto optPts = analysis::runAndersen(*module_, optOpts);
+    analysis::SlicerOptions sliceOpts;
+    sliceOpts.invariants = &invariants_;
+    const analysis::StaticSlicer optSlicer(*module_, optPts, sliceOpts);
+    const auto optSlice = optSlicer.slice(endpoint);
+
+    const auto soundPlan =
+        dyn::sliceGiriPlan(*module_, soundSlice.instructions);
+    const auto optPlan =
+        dyn::sliceGiriPlan(*module_, optSlice.instructions);
+
+    for (std::int64_t mode : {1, 2}) {
+        const auto config = configFor(mode, GetParam());
+
+        dyn::GiriSlicer reference(*module_);
+        {
+            exec::Interpreter interp(*module_, config);
+            interp.attach(&reference, &soundPlan);
+            interp.run();
+        }
+
+        dyn::GiriSlicer optimistic(*module_);
+        dyn::CheckerConfig checkerConfig;
+        checkerConfig.callContexts = true;
+        checkerConfig.guardingLocks = false;
+        checkerConfig.singletonThreads = false;
+        dyn::InvariantChecker checker(*module_, invariants_,
+                                      checkerConfig);
+        exec::Interpreter interp(*module_, config);
+        checker.setInterpreter(&interp);
+        interp.attach(&optimistic, &optPlan);
+        interp.attach(&checker, &checker.plan());
+        interp.run();
+
+        std::set<InstrId> slice = optimistic.slice(endpoint);
+        if (checker.violated()) {
+            dyn::GiriSlicer redo(*module_);
+            exec::Interpreter redoInterp(*module_, config);
+            redoInterp.attach(&redo, &soundPlan);
+            redoInterp.run();
+            slice = redo.slice(endpoint);
+        }
+        EXPECT_EQ(slice, reference.slice(endpoint))
+            << "mode " << mode << " seed " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, SpeculationSeedTest,
+                         ::testing::Values(1u, 7u, 42u, 99u, 123u, 777u,
+                                           4242u, 31337u));
+
+} // namespace
+} // namespace oha

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the support layer: sparse bit sets, BDDs, Bloom
+ * filters, vector clocks, union-find and the RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "support/bdd.h"
+#include "support/bloom_filter.h"
+#include "support/rng.h"
+#include "support/sparse_bit_set.h"
+#include "support/table.h"
+#include "support/union_find.h"
+#include "support/vector_clock.h"
+
+namespace oha {
+namespace {
+
+TEST(SparseBitSet, InsertContainsErase)
+{
+    SparseBitSet set;
+    EXPECT_TRUE(set.empty());
+    EXPECT_TRUE(set.insert(5));
+    EXPECT_FALSE(set.insert(5));
+    EXPECT_TRUE(set.insert(64));
+    EXPECT_TRUE(set.insert(1000000));
+    EXPECT_TRUE(set.contains(5));
+    EXPECT_TRUE(set.contains(64));
+    EXPECT_TRUE(set.contains(1000000));
+    EXPECT_FALSE(set.contains(6));
+    EXPECT_EQ(set.size(), 3u);
+    EXPECT_TRUE(set.erase(64));
+    EXPECT_FALSE(set.erase(64));
+    EXPECT_FALSE(set.contains(64));
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SparseBitSet, UnionReportsChange)
+{
+    SparseBitSet a, b;
+    a.insert(1);
+    a.insert(100);
+    b.insert(100);
+    EXPECT_FALSE(a.unionWith(b));
+    b.insert(200);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_TRUE(a.contains(200));
+    EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(SparseBitSet, IntersectAndIntersects)
+{
+    SparseBitSet a, b;
+    for (std::uint32_t i = 0; i < 100; i += 3)
+        a.insert(i);
+    for (std::uint32_t i = 0; i < 100; i += 5)
+        b.insert(i);
+    EXPECT_TRUE(a.intersects(b));
+    a.intersectWith(b);
+    a.forEach([](std::uint32_t v) { EXPECT_EQ(v % 15, 0u); });
+    EXPECT_EQ(a.size(), 7u); // 0,15,30,45,60,75,90
+
+    SparseBitSet c;
+    c.insert(1);
+    c.insert(2);
+    EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(SparseBitSet, OrderedIteration)
+{
+    SparseBitSet set;
+    const std::vector<std::uint32_t> values = {900, 3, 70, 64, 63, 128};
+    for (std::uint32_t v : values)
+        set.insert(v);
+    std::vector<std::uint32_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(set.toVector(), sorted);
+}
+
+TEST(SparseBitSet, HashDiffersForDifferentSets)
+{
+    SparseBitSet a, b;
+    a.insert(1);
+    b.insert(2);
+    EXPECT_NE(a.hash(), b.hash());
+    b.clear();
+    b.insert(1);
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Bdd, TerminalsAndVariables)
+{
+    BddManager mgr(4);
+    EXPECT_NE(BddManager::trueBdd(), BddManager::falseBdd());
+    const BddRef x0 = mgr.var(0);
+    EXPECT_EQ(mgr.bddAnd(x0, mgr.bddNot(x0)), BddManager::falseBdd());
+    EXPECT_EQ(mgr.bddOr(x0, mgr.bddNot(x0)), BddManager::trueBdd());
+}
+
+TEST(Bdd, SatCount)
+{
+    BddManager mgr(4);
+    EXPECT_DOUBLE_EQ(mgr.satCount(BddManager::trueBdd()), 16.0);
+    EXPECT_DOUBLE_EQ(mgr.satCount(BddManager::falseBdd()), 0.0);
+    EXPECT_DOUBLE_EQ(mgr.satCount(mgr.var(0)), 8.0);
+    const BddRef conj = mgr.bddAnd(mgr.var(0), mgr.var(3));
+    EXPECT_DOUBLE_EQ(mgr.satCount(conj), 4.0);
+}
+
+TEST(Bdd, HashConsingSharesStructure)
+{
+    BddManager mgr(8);
+    const BddRef a = mgr.bddAnd(mgr.var(1), mgr.var(2));
+    const BddRef b = mgr.bddAnd(mgr.var(2), mgr.var(1));
+    EXPECT_EQ(a, b);
+}
+
+TEST(BddSet, InsertContainsCount)
+{
+    BddSetUniverse universe(12);
+    BddRef set = universe.empty();
+    const std::set<std::uint32_t> reference = {0, 1, 7, 100, 4095};
+    for (std::uint32_t id : reference)
+        set = universe.insert(set, id);
+    for (std::uint32_t id : reference)
+        EXPECT_TRUE(universe.contains(set, id));
+    EXPECT_FALSE(universe.contains(set, 2));
+    EXPECT_FALSE(universe.contains(set, 4094));
+    EXPECT_EQ(universe.size(set), reference.size());
+}
+
+TEST(BddSet, UnionIntersect)
+{
+    BddSetUniverse universe(10);
+    BddRef a = universe.empty();
+    BddRef b = universe.empty();
+    for (std::uint32_t i = 0; i < 50; i += 2)
+        a = universe.insert(a, i);
+    for (std::uint32_t i = 0; i < 50; i += 3)
+        b = universe.insert(b, i);
+    const BddRef u = universe.unite(a, b);
+    const BddRef n = universe.intersect(a, b);
+    EXPECT_EQ(universe.size(u), 25u + 17u - 9u);
+    EXPECT_EQ(universe.size(n), 9u); // multiples of 6 below 50
+    EXPECT_TRUE(universe.contains(n, 6));
+    EXPECT_FALSE(universe.contains(n, 2));
+}
+
+TEST(BloomFilter, NoFalseNegatives)
+{
+    BloomFilter filter(12);
+    Rng rng(7);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 200; ++i)
+        keys.push_back(rng.next());
+    for (std::uint64_t k : keys)
+        filter.insert(k);
+    for (std::uint64_t k : keys)
+        EXPECT_TRUE(filter.mayContain(k));
+}
+
+TEST(BloomFilter, MostlyRejectsAbsentKeys)
+{
+    BloomFilter filter(16);
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i)
+        filter.insert(rng.next());
+    int falsePositives = 0;
+    for (int i = 0; i < 2000; ++i)
+        falsePositives += filter.mayContain(rng.next() | (1ULL << 63));
+    EXPECT_LT(falsePositives, 100);
+}
+
+TEST(VectorClock, JoinAndCovers)
+{
+    VectorClock a, b;
+    a.set(0, 5);
+    a.set(1, 2);
+    b.set(1, 7);
+    a.join(b);
+    EXPECT_EQ(a.get(0), 5u);
+    EXPECT_EQ(a.get(1), 7u);
+    EXPECT_TRUE(a.covers(Epoch(1, 7)));
+    EXPECT_FALSE(a.covers(Epoch(1, 8)));
+    EXPECT_TRUE(a.covers(Epoch(3, 0)));
+    EXPECT_TRUE(a.coversAll(b));
+    EXPECT_FALSE(b.coversAll(a));
+}
+
+TEST(Epoch, PackUnpack)
+{
+    const Epoch e(12, 123456789);
+    EXPECT_EQ(e.tid(), 12u);
+    EXPECT_EQ(e.clock(), 123456789u);
+    EXPECT_EQ(Epoch::none().clock(), 0u);
+}
+
+TEST(UnionFind, MergeFind)
+{
+    UnionFind uf(10);
+    EXPECT_FALSE(uf.same(1, 2));
+    uf.merge(1, 2);
+    uf.merge(2, 3);
+    EXPECT_TRUE(uf.same(1, 3));
+    EXPECT_FALSE(uf.same(1, 4));
+    uf.grow(20);
+    EXPECT_FALSE(uf.same(1, 15));
+    uf.merge(3, 15);
+    EXPECT_TRUE(uf.same(1, 15));
+}
+
+TEST(Rng, DeterministicStreams)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool anyDiff = false;
+    for (int i = 0; i < 100; ++i)
+        anyDiff |= a.next() != c.next();
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, BelowAndRangeInBounds)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+        const std::int64_t v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "12345"});
+    const std::string out = table.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+}
+
+TEST(Format, TimeAndSpeedup)
+{
+    EXPECT_EQ(fmtTime(75), "1m 15s");
+    EXPECT_EQ(fmtTime(3675), "1h 1m 15s");
+    EXPECT_EQ(fmtTime(9), "9s");
+    EXPECT_EQ(fmtSpeedup(3.54), "3.5x");
+    EXPECT_EQ(fmtDouble(1.266, 2), "1.27");
+}
+
+} // namespace
+} // namespace oha

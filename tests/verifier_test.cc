@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Death tests for the IR verifier and parser diagnostics: malformed
+ * modules must be rejected at finalize()/parse time with a clear
+ * message, never limp into the interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/parser.h"
+
+namespace oha::ir {
+namespace {
+
+TEST(Verifier, RejectsBlockWithoutTerminator)
+{
+    auto build = [] {
+        Module module;
+        IRBuilder b(module);
+        b.createFunction("main", 0);
+        b.constInt(1); // no terminator
+        module.finalize();
+    };
+    EXPECT_EXIT(build(), ::testing::ExitedWithCode(1),
+                "lacks a terminator");
+}
+
+TEST(Verifier, RejectsTerminatorMidBlock)
+{
+    auto build = [] {
+        Module module;
+        IRBuilder b(module);
+        b.createFunction("main", 0);
+        b.ret();
+        b.output(b.constInt(1)); // unreachable tail in the same block
+        b.ret();
+        module.finalize();
+    };
+    EXPECT_EXIT(build(), ::testing::ExitedWithCode(1), "mid-block");
+}
+
+TEST(Verifier, RejectsCrossFunctionBranch)
+{
+    auto build = [] {
+        Module module;
+        IRBuilder b(module);
+        Function *other = b.createFunction("other", 0);
+        BasicBlock *foreign = b.createBlock(other, "foreign");
+        b.setInsertPoint(foreign);
+        b.ret();
+        // "other"'s entry block needs a terminator too.
+        b.setInsertPoint(other->entry());
+        b.ret();
+        b.createFunction("main", 0);
+        b.br(foreign); // branch into another function
+        module.finalize();
+    };
+    EXPECT_EXIT(build(), ::testing::ExitedWithCode(1), "cross-function");
+}
+
+TEST(Verifier, RejectsArityMismatch)
+{
+    auto build = [] {
+        Module module;
+        IRBuilder b(module);
+        Function *callee = b.createFunction("callee", 2);
+        b.ret();
+        b.createFunction("main", 0);
+        Instruction call;
+        call.op = Opcode::Call;
+        call.callee = callee->id();
+        call.args = {}; // needs 2
+        call.dest = b.currentFunction()->allocReg();
+        b.insertBlock()->instructions().push_back(call);
+        b.ret();
+        module.finalize();
+    };
+    EXPECT_EXIT(build(), ::testing::ExitedWithCode(1), "arity mismatch");
+}
+
+TEST(Verifier, RejectsDuplicateFunctionNames)
+{
+    auto build = [] {
+        Module module;
+        module.addFunction("dup", 0);
+        module.addFunction("dup", 0);
+    };
+    EXPECT_EXIT(build(), ::testing::ExitedWithCode(1),
+                "duplicate function name");
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister)
+{
+    auto build = [] {
+        Module module;
+        IRBuilder b(module);
+        b.createFunction("main", 0);
+        Instruction bad;
+        bad.op = Opcode::Output;
+        bad.a = 999; // never allocated
+        b.insertBlock()->instructions().push_back(bad);
+        b.ret();
+        module.finalize();
+    };
+    EXPECT_EXIT(build(), ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(ParserDiagnostics, ReportsLineNumbers)
+{
+    EXPECT_EXIT(parseModule("func main() {\n  entry:\n    r0 = @\n}\n"),
+                ::testing::ExitedWithCode(1), "line 3");
+}
+
+TEST(ParserDiagnostics, RejectsUnknownBlockLabel)
+{
+    EXPECT_EXIT(
+        parseModule("func main() {\n  entry:\n    br nowhere\n}\n"),
+        ::testing::ExitedWithCode(1), "unknown block label");
+}
+
+TEST(ParserDiagnostics, RejectsUnknownFunction)
+{
+    EXPECT_EXIT(
+        parseModule(
+            "func main() {\n  entry:\n    r0 = call ghost()\n    ret\n}\n"),
+        ::testing::ExitedWithCode(1), "unknown function");
+}
+
+TEST(ParserDiagnostics, RejectsDuplicateLabels)
+{
+    EXPECT_EXIT(parseModule("func main() {\n  a:\n    ret\n  a:\n    "
+                            "ret\n}\n"),
+                ::testing::ExitedWithCode(1), "duplicate block label");
+}
+
+TEST(ParserDiagnostics, RejectsMissingCloseBrace)
+{
+    EXPECT_EXIT(parseModule("func main() {\n  entry:\n    ret\n"),
+                ::testing::ExitedWithCode(1), "missing '}'");
+}
+
+} // namespace
+} // namespace oha::ir

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Parameterized property tests over every benchmark workload:
+ * structural well-formedness, deterministic execution, schedule
+ * sensitivity, and corpus reproducibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/interpreter.h"
+#include "workloads/workloads.h"
+
+namespace oha::workloads {
+namespace {
+
+class RaceWorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+class SliceWorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+exec::RunResult
+run(const Workload &workload, const exec::ExecConfig &config)
+{
+    exec::Interpreter interp(*workload.module, config);
+    return interp.run();
+}
+
+TEST_P(RaceWorkloadTest, CorporaAreReproducible)
+{
+    const auto a = makeRaceWorkload(GetParam(), 3, 3);
+    const auto b = makeRaceWorkload(GetParam(), 3, 3);
+    ASSERT_EQ(a.profilingSet.size(), b.profilingSet.size());
+    for (std::size_t i = 0; i < a.profilingSet.size(); ++i) {
+        EXPECT_EQ(a.profilingSet[i].input, b.profilingSet[i].input);
+        EXPECT_EQ(a.profilingSet[i].scheduleSeed,
+                  b.profilingSet[i].scheduleSeed);
+    }
+}
+
+TEST_P(RaceWorkloadTest, ProfilingAndTestingSetsDiffer)
+{
+    const auto workload = makeRaceWorkload(GetParam(), 4, 4);
+    // Same distribution, different draws.
+    EXPECT_NE(workload.profilingSet[0].input,
+              workload.testingSet[0].input);
+}
+
+TEST_P(RaceWorkloadTest, EveryInputRunsToCompletion)
+{
+    const auto workload = makeRaceWorkload(GetParam(), 4, 4);
+    for (const auto &config : workload.profilingSet) {
+        const auto result = run(workload, config);
+        EXPECT_TRUE(result.finished()) << result.abortReason;
+    }
+    for (const auto &config : workload.testingSet) {
+        const auto result = run(workload, config);
+        EXPECT_TRUE(result.finished()) << result.abortReason;
+    }
+}
+
+TEST_P(RaceWorkloadTest, ExecutionIsDeterministic)
+{
+    const auto workload = makeRaceWorkload(GetParam(), 1, 1);
+    const auto &config = workload.testingSet.front();
+    const auto a = run(workload, config);
+    const auto b = run(workload, config);
+    EXPECT_EQ(a.outputs, b.outputs);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.numThreads, b.numThreads);
+}
+
+TEST_P(RaceWorkloadTest, IsMultithreaded)
+{
+    const auto workload = makeRaceWorkload(GetParam(), 1, 1);
+    const auto result = run(workload, workload.testingSet.front());
+    EXPECT_GE(result.numThreads, 3u)
+        << "race benchmarks need real concurrency";
+    EXPECT_GT(result.totalEvents[exec::EventClass::Load], 0u);
+    EXPECT_GT(result.totalEvents[exec::EventClass::Store], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRaceWorkloads, RaceWorkloadTest,
+    ::testing::ValuesIn(raceWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST_P(SliceWorkloadTest, CorporaAreReproducible)
+{
+    const auto a = makeSliceWorkload(GetParam(), 3, 3);
+    const auto b = makeSliceWorkload(GetParam(), 3, 3);
+    for (std::size_t i = 0; i < a.testingSet.size(); ++i)
+        EXPECT_EQ(a.testingSet[i].input, b.testingSet[i].input);
+}
+
+TEST_P(SliceWorkloadTest, EveryInputRunsToCompletion)
+{
+    const auto workload = makeSliceWorkload(GetParam(), 4, 4);
+    for (const auto &config : workload.testingSet) {
+        const auto result = run(workload, config);
+        EXPECT_TRUE(result.finished()) << result.abortReason;
+        EXPECT_FALSE(result.outputs.empty());
+    }
+}
+
+TEST_P(SliceWorkloadTest, ExecutionIsDeterministic)
+{
+    const auto workload = makeSliceWorkload(GetParam(), 1, 1);
+    const auto &config = workload.testingSet.front();
+    EXPECT_EQ(run(workload, config).outputs,
+              run(workload, config).outputs);
+}
+
+TEST_P(SliceWorkloadTest, HasSliceEndpoints)
+{
+    const auto workload = makeSliceWorkload(GetParam(), 1, 1);
+    int outputs = 0;
+    for (InstrId id = 0; id < workload.module->numInstrs(); ++id)
+        if (workload.module->instr(id).op == ir::Opcode::Output)
+            ++outputs;
+    EXPECT_GE(outputs, 1);
+}
+
+TEST_P(SliceWorkloadTest, InputsVaryAcrossTheCorpus)
+{
+    const auto workload = makeSliceWorkload(GetParam(), 6, 6);
+    std::set<std::vector<std::int64_t>> distinct;
+    for (const auto &config : workload.profilingSet)
+        distinct.insert(config.input);
+    EXPECT_GE(distinct.size(), 5u)
+        << "profiling corpus must exercise varied behaviour";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSliceWorkloads, SliceWorkloadTest,
+    ::testing::ValuesIn(sliceWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace oha::workloads

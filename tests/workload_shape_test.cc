@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Contract tests pinning the static-analysis phenomena each benchmark
+ * generator is engineered to exhibit (see workloads.h).  If a future
+ * change to a generator or an analysis silently destroys a
+ * phenomenon, the corresponding figure loses its meaning — these
+ * tests fail first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/race_detector.h"
+#include "core/optft.h"
+#include "core/optslice.h"
+#include "profile/profiler.h"
+
+namespace oha {
+namespace {
+
+inv::InvariantSet
+profileRace(const workloads::Workload &workload, std::size_t runs)
+{
+    prof::ProfilingCampaign campaign(*workload.module, {});
+    for (std::size_t i = 0; i < runs && i < workload.profilingSet.size();
+         ++i)
+        campaign.addRun(workload.profilingSet[i]);
+    return campaign.invariants();
+}
+
+TEST(WorkloadShape, KernelsAreRaceFreeOnlyBecauseOfThreadLocality)
+{
+    // The five kernels must be proven race-free by the *sound*
+    // analysis — that is what puts them right of Figure 5's line.
+    for (const auto &name : workloads::raceFreeKernelNames()) {
+        const auto workload = workloads::makeRaceWorkload(name, 1, 1);
+        const auto sound =
+            analysis::runStaticRaceDetector(*workload.module, nullptr);
+        EXPECT_TRUE(sound.racyAccesses.empty()) << name;
+    }
+}
+
+TEST(WorkloadShape, LockHeavyBenchmarksNeedTheGuardingLocksInvariant)
+{
+    // raytracer: sound analysis keeps the locked accesses; the
+    // invariant-predicated analysis removes every one of them.
+    const auto workload = workloads::makeRaceWorkload("raytracer", 12, 1);
+    const auto sound =
+        analysis::runStaticRaceDetector(*workload.module, nullptr);
+    EXPECT_GT(sound.racyAccesses.size(), 8u);
+
+    const auto inv = profileRace(workload, 12);
+    const auto predicated =
+        analysis::runStaticRaceDetector(*workload.module, &inv);
+    EXPECT_TRUE(predicated.racyAccesses.empty());
+    EXPECT_FALSE(predicated.usedLockAliases.empty());
+}
+
+TEST(WorkloadShape, BarrierBenchmarksResistLocksetPruning)
+{
+    // sunflow: no locks guard the disjoint-slot writes, so the
+    // predicated detector keeps them (Figure 5's flat pair).
+    const auto workload = workloads::makeRaceWorkload("sunflow", 12, 1);
+    const auto inv = profileRace(workload, 12);
+    const auto sound =
+        analysis::runStaticRaceDetector(*workload.module, nullptr);
+    const auto predicated =
+        analysis::runStaticRaceDetector(*workload.module, &inv);
+    EXPECT_FALSE(predicated.racyAccesses.empty());
+    EXPECT_TRUE(predicated.usedLockAliases.empty());
+    // LUC still trims something, but the hot barrier writes remain.
+    EXPECT_LE(predicated.racyAccesses.size(), sound.racyAccesses.size());
+}
+
+TEST(WorkloadShape, LuindexNeedsTheSingletonInvariant)
+{
+    const auto workload = workloads::makeRaceWorkload("luindex", 12, 1);
+    const auto sound =
+        analysis::runStaticRaceDetector(*workload.module, nullptr);
+    const auto inv = profileRace(workload, 12);
+    const auto predicated =
+        analysis::runStaticRaceDetector(*workload.module, &inv);
+    EXPECT_LT(predicated.racyAccesses.size(), sound.racyAccesses.size());
+    EXPECT_FALSE(predicated.usedSingletonSites.empty())
+        << "the helper-spawned indexer is only provably single via "
+           "the invariant";
+}
+
+TEST(WorkloadShape, VimSoundCsExplodesPredicatedCsFits)
+{
+    // Table 2's CI -> CS flip.
+    const auto workload = workloads::makeSliceWorkload("vim", 16, 1);
+    analysis::AndersenOptions options;
+    options.contextSensitive = true;
+    options.maxContexts = 4000;
+    const auto sound = analysis::runAndersen(*workload.module, options);
+    EXPECT_FALSE(sound.completed)
+        << "vim's cold call fan must exhaust the sound CS budget";
+
+    prof::ProfileOptions profOptions;
+    profOptions.callContexts = true;
+    prof::ProfilingCampaign campaign(*workload.module, profOptions);
+    for (std::size_t i = 0; i < 16; ++i)
+        campaign.addRun(workload.profilingSet[i]);
+    options.invariants = &campaign.invariants();
+    const auto predicated =
+        analysis::runAndersen(*workload.module, options);
+    EXPECT_TRUE(predicated.completed)
+        << "context pruning must collapse the fan (Figure 11)";
+    EXPECT_LT(predicated.contexts.size(), 400u);
+}
+
+TEST(WorkloadShape, ZlibAndSphinxSoundCsCompletes)
+{
+    // Their pipelines are linear: even the sound CS analysis fits
+    // (matching Table 2's zlib/sphinx CS rows); the speedup there
+    // comes from LUC, not from an analysis-type flip.
+    for (const char *name : {"zlib", "sphinx"}) {
+        const auto workload = workloads::makeSliceWorkload(name, 1, 1);
+        analysis::AndersenOptions options;
+        options.contextSensitive = true;
+        options.maxContexts = 4000;
+        EXPECT_TRUE(
+            analysis::runAndersen(*workload.module, options).completed)
+            << name;
+    }
+}
+
+TEST(WorkloadShape, MoldynCalibrationKeepsCustomSyncLocks)
+{
+    // The Figure 4 pair: lock elision must not survive calibration
+    // for the sync lock, while the stats lock may be elided.
+    const auto workload = workloads::makeRaceWorkload("moldyn", 12, 4);
+    const auto result = core::runOptFt(workload);
+    EXPECT_TRUE(result.raceReportsMatch);
+    // Some lock instrumentation was elided (the stats lock)...
+    EXPECT_GT(result.elidedLockSites, 0u);
+    // ...but not all of it: the custom-sync lock sites must stay.
+    std::size_t lockSites = 0;
+    for (InstrId id = 0; id < workload.module->numInstrs(); ++id) {
+        const auto op = workload.module->instr(id).op;
+        lockSites += op == ir::Opcode::Lock || op == ir::Opcode::Unlock;
+    }
+    EXPECT_LT(result.elidedLockSites, lockSites);
+}
+
+} // namespace
+} // namespace oha
