@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_aggressive_luc"
+  "../bench/ablation_aggressive_luc.pdb"
+  "CMakeFiles/ablation_aggressive_luc.dir/ablation_aggressive_luc.cc.o"
+  "CMakeFiles/ablation_aggressive_luc.dir/ablation_aggressive_luc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aggressive_luc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

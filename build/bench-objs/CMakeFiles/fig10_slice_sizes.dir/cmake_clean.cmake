@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_slice_sizes"
+  "../bench/fig10_slice_sizes.pdb"
+  "CMakeFiles/fig10_slice_sizes.dir/fig10_slice_sizes.cc.o"
+  "CMakeFiles/fig10_slice_sizes.dir/fig10_slice_sizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_slice_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_invariant_ablation"
+  "../bench/fig11_invariant_ablation.pdb"
+  "CMakeFiles/fig11_invariant_ablation.dir/fig11_invariant_ablation.cc.o"
+  "CMakeFiles/fig11_invariant_ablation.dir/fig11_invariant_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_invariant_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_optft_runtimes"
+  "../bench/fig5_optft_runtimes.pdb"
+  "CMakeFiles/fig5_optft_runtimes.dir/fig5_optft_runtimes.cc.o"
+  "CMakeFiles/fig5_optft_runtimes.dir/fig5_optft_runtimes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_optft_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

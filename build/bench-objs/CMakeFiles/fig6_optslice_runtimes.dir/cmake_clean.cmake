@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_optslice_runtimes"
+  "../bench/fig6_optslice_runtimes.pdb"
+  "CMakeFiles/fig6_optslice_runtimes.dir/fig6_optslice_runtimes.cc.o"
+  "CMakeFiles/fig6_optslice_runtimes.dir/fig6_optslice_runtimes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_optslice_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

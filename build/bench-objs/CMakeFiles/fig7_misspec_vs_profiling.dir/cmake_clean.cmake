@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_misspec_vs_profiling"
+  "../bench/fig7_misspec_vs_profiling.pdb"
+  "CMakeFiles/fig7_misspec_vs_profiling.dir/fig7_misspec_vs_profiling.cc.o"
+  "CMakeFiles/fig7_misspec_vs_profiling.dir/fig7_misspec_vs_profiling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_misspec_vs_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

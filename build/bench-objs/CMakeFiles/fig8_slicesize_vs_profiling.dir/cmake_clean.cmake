@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_slicesize_vs_profiling"
+  "../bench/fig8_slicesize_vs_profiling.pdb"
+  "CMakeFiles/fig8_slicesize_vs_profiling.dir/fig8_slicesize_vs_profiling.cc.o"
+  "CMakeFiles/fig8_slicesize_vs_profiling.dir/fig8_slicesize_vs_profiling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_slicesize_vs_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

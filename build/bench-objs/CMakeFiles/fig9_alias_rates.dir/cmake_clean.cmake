@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_alias_rates"
+  "../bench/fig9_alias_rates.pdb"
+  "CMakeFiles/fig9_alias_rates.dir/fig9_alias_rates.cc.o"
+  "CMakeFiles/fig9_alias_rates.dir/fig9_alias_rates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_alias_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

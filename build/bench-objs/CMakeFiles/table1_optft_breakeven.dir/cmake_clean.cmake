@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_optft_breakeven"
+  "../bench/table1_optft_breakeven.pdb"
+  "CMakeFiles/table1_optft_breakeven.dir/table1_optft_breakeven.cc.o"
+  "CMakeFiles/table1_optft_breakeven.dir/table1_optft_breakeven.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_optft_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_optslice_breakeven"
+  "../bench/table2_optslice_breakeven.pdb"
+  "CMakeFiles/table2_optslice_breakeven.dir/table2_optslice_breakeven.cc.o"
+  "CMakeFiles/table2_optslice_breakeven.dir/table2_optslice_breakeven.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_optslice_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

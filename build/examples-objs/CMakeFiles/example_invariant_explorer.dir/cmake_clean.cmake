@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_invariant_explorer"
+  "../examples/example_invariant_explorer.pdb"
+  "CMakeFiles/example_invariant_explorer.dir/invariant_explorer.cpp.o"
+  "CMakeFiles/example_invariant_explorer.dir/invariant_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_invariant_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

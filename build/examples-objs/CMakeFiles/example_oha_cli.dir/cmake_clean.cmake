@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_oha_cli"
+  "../examples/example_oha_cli.pdb"
+  "CMakeFiles/example_oha_cli.dir/oha_cli.cpp.o"
+  "CMakeFiles/example_oha_cli.dir/oha_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_oha_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_paper_report"
+  "../examples/example_paper_report.pdb"
+  "CMakeFiles/example_paper_report.dir/paper_report.cpp.o"
+  "CMakeFiles/example_paper_report.dir/paper_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paper_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_race_hunting"
+  "../examples/example_race_hunting.pdb"
+  "CMakeFiles/example_race_hunting.dir/race_hunting.cpp.o"
+  "CMakeFiles/example_race_hunting.dir/race_hunting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_race_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_slice_debugging"
+  "../examples/example_slice_debugging.pdb"
+  "CMakeFiles/example_slice_debugging.dir/slice_debugging.cpp.o"
+  "CMakeFiles/example_slice_debugging.dir/slice_debugging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_slice_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

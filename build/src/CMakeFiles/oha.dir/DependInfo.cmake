@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/andersen.cc" "src/CMakeFiles/oha.dir/analysis/andersen.cc.o" "gcc" "src/CMakeFiles/oha.dir/analysis/andersen.cc.o.d"
+  "/root/repo/src/analysis/callgraph.cc" "src/CMakeFiles/oha.dir/analysis/callgraph.cc.o" "gcc" "src/CMakeFiles/oha.dir/analysis/callgraph.cc.o.d"
+  "/root/repo/src/analysis/lockset.cc" "src/CMakeFiles/oha.dir/analysis/lockset.cc.o" "gcc" "src/CMakeFiles/oha.dir/analysis/lockset.cc.o.d"
+  "/root/repo/src/analysis/mhp.cc" "src/CMakeFiles/oha.dir/analysis/mhp.cc.o" "gcc" "src/CMakeFiles/oha.dir/analysis/mhp.cc.o.d"
+  "/root/repo/src/analysis/race_detector.cc" "src/CMakeFiles/oha.dir/analysis/race_detector.cc.o" "gcc" "src/CMakeFiles/oha.dir/analysis/race_detector.cc.o.d"
+  "/root/repo/src/analysis/slicer.cc" "src/CMakeFiles/oha.dir/analysis/slicer.cc.o" "gcc" "src/CMakeFiles/oha.dir/analysis/slicer.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/oha.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/oha.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/optft.cc" "src/CMakeFiles/oha.dir/core/optft.cc.o" "gcc" "src/CMakeFiles/oha.dir/core/optft.cc.o.d"
+  "/root/repo/src/core/optslice.cc" "src/CMakeFiles/oha.dir/core/optslice.cc.o" "gcc" "src/CMakeFiles/oha.dir/core/optslice.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/oha.dir/core/report.cc.o" "gcc" "src/CMakeFiles/oha.dir/core/report.cc.o.d"
+  "/root/repo/src/dyn/fasttrack.cc" "src/CMakeFiles/oha.dir/dyn/fasttrack.cc.o" "gcc" "src/CMakeFiles/oha.dir/dyn/fasttrack.cc.o.d"
+  "/root/repo/src/dyn/giri.cc" "src/CMakeFiles/oha.dir/dyn/giri.cc.o" "gcc" "src/CMakeFiles/oha.dir/dyn/giri.cc.o.d"
+  "/root/repo/src/dyn/invariant_checker.cc" "src/CMakeFiles/oha.dir/dyn/invariant_checker.cc.o" "gcc" "src/CMakeFiles/oha.dir/dyn/invariant_checker.cc.o.d"
+  "/root/repo/src/dyn/plans.cc" "src/CMakeFiles/oha.dir/dyn/plans.cc.o" "gcc" "src/CMakeFiles/oha.dir/dyn/plans.cc.o.d"
+  "/root/repo/src/exec/interpreter.cc" "src/CMakeFiles/oha.dir/exec/interpreter.cc.o" "gcc" "src/CMakeFiles/oha.dir/exec/interpreter.cc.o.d"
+  "/root/repo/src/invariants/invariant_set.cc" "src/CMakeFiles/oha.dir/invariants/invariant_set.cc.o" "gcc" "src/CMakeFiles/oha.dir/invariants/invariant_set.cc.o.d"
+  "/root/repo/src/ir/cfg.cc" "src/CMakeFiles/oha.dir/ir/cfg.cc.o" "gcc" "src/CMakeFiles/oha.dir/ir/cfg.cc.o.d"
+  "/root/repo/src/ir/instruction.cc" "src/CMakeFiles/oha.dir/ir/instruction.cc.o" "gcc" "src/CMakeFiles/oha.dir/ir/instruction.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/CMakeFiles/oha.dir/ir/module.cc.o" "gcc" "src/CMakeFiles/oha.dir/ir/module.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/CMakeFiles/oha.dir/ir/parser.cc.o" "gcc" "src/CMakeFiles/oha.dir/ir/parser.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/oha.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/oha.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/CMakeFiles/oha.dir/ir/verifier.cc.o" "gcc" "src/CMakeFiles/oha.dir/ir/verifier.cc.o.d"
+  "/root/repo/src/profile/profiler.cc" "src/CMakeFiles/oha.dir/profile/profiler.cc.o" "gcc" "src/CMakeFiles/oha.dir/profile/profiler.cc.o.d"
+  "/root/repo/src/support/bdd.cc" "src/CMakeFiles/oha.dir/support/bdd.cc.o" "gcc" "src/CMakeFiles/oha.dir/support/bdd.cc.o.d"
+  "/root/repo/src/support/common.cc" "src/CMakeFiles/oha.dir/support/common.cc.o" "gcc" "src/CMakeFiles/oha.dir/support/common.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/oha.dir/support/table.cc.o" "gcc" "src/CMakeFiles/oha.dir/support/table.cc.o.d"
+  "/root/repo/src/workloads/race_workloads.cc" "src/CMakeFiles/oha.dir/workloads/race_workloads.cc.o" "gcc" "src/CMakeFiles/oha.dir/workloads/race_workloads.cc.o.d"
+  "/root/repo/src/workloads/slice_workloads.cc" "src/CMakeFiles/oha.dir/workloads/slice_workloads.cc.o" "gcc" "src/CMakeFiles/oha.dir/workloads/slice_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_support_test.cc" "tests/CMakeFiles/oha_tests.dir/analysis_support_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/analysis_support_test.cc.o.d"
+  "/root/repo/tests/andersen_cs_test.cc" "tests/CMakeFiles/oha_tests.dir/andersen_cs_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/andersen_cs_test.cc.o.d"
+  "/root/repo/tests/andersen_test.cc" "tests/CMakeFiles/oha_tests.dir/andersen_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/andersen_test.cc.o.d"
+  "/root/repo/tests/bdd_property_test.cc" "tests/CMakeFiles/oha_tests.dir/bdd_property_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/bdd_property_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/oha_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/exec_semantics_test.cc" "tests/CMakeFiles/oha_tests.dir/exec_semantics_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/exec_semantics_test.cc.o.d"
+  "/root/repo/tests/fasttrack_djit_test.cc" "tests/CMakeFiles/oha_tests.dir/fasttrack_djit_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/fasttrack_djit_test.cc.o.d"
+  "/root/repo/tests/fasttrack_test.cc" "tests/CMakeFiles/oha_tests.dir/fasttrack_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/fasttrack_test.cc.o.d"
+  "/root/repo/tests/giri_test.cc" "tests/CMakeFiles/oha_tests.dir/giri_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/giri_test.cc.o.d"
+  "/root/repo/tests/interpreter_test.cc" "tests/CMakeFiles/oha_tests.dir/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/interpreter_test.cc.o.d"
+  "/root/repo/tests/invariant_checker_test.cc" "tests/CMakeFiles/oha_tests.dir/invariant_checker_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/invariant_checker_test.cc.o.d"
+  "/root/repo/tests/invariants_test.cc" "tests/CMakeFiles/oha_tests.dir/invariants_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/invariants_test.cc.o.d"
+  "/root/repo/tests/ir_test.cc" "tests/CMakeFiles/oha_tests.dir/ir_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/ir_test.cc.o.d"
+  "/root/repo/tests/lockset_mhp_test.cc" "tests/CMakeFiles/oha_tests.dir/lockset_mhp_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/lockset_mhp_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/oha_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/pipeline_extra_test.cc" "tests/CMakeFiles/oha_tests.dir/pipeline_extra_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/pipeline_extra_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/oha_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/profiler_test.cc" "tests/CMakeFiles/oha_tests.dir/profiler_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/profiler_test.cc.o.d"
+  "/root/repo/tests/random_program_test.cc" "tests/CMakeFiles/oha_tests.dir/random_program_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/random_program_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/oha_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/slicer_bdd_parity_test.cc" "tests/CMakeFiles/oha_tests.dir/slicer_bdd_parity_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/slicer_bdd_parity_test.cc.o.d"
+  "/root/repo/tests/slicer_test.cc" "tests/CMakeFiles/oha_tests.dir/slicer_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/slicer_test.cc.o.d"
+  "/root/repo/tests/soundness_property_test.cc" "tests/CMakeFiles/oha_tests.dir/soundness_property_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/soundness_property_test.cc.o.d"
+  "/root/repo/tests/speculation_property_test.cc" "tests/CMakeFiles/oha_tests.dir/speculation_property_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/speculation_property_test.cc.o.d"
+  "/root/repo/tests/static_race_test.cc" "tests/CMakeFiles/oha_tests.dir/static_race_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/static_race_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/oha_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/support_test.cc.o.d"
+  "/root/repo/tests/verifier_test.cc" "tests/CMakeFiles/oha_tests.dir/verifier_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/verifier_test.cc.o.d"
+  "/root/repo/tests/workload_property_test.cc" "tests/CMakeFiles/oha_tests.dir/workload_property_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/workload_property_test.cc.o.d"
+  "/root/repo/tests/workload_shape_test.cc" "tests/CMakeFiles/oha_tests.dir/workload_shape_test.cc.o" "gcc" "tests/CMakeFiles/oha_tests.dir/workload_shape_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oha.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
