@@ -16,6 +16,7 @@
 #include "core/optft.h"
 #include "core/optslice.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace oha::bench {
 
@@ -56,7 +57,23 @@ banner(const char *experiment, const char *paperClaim)
                 "=====================\n\n");
 }
 
-/** Geometric-ish mean helper (the paper reports plain averages). */
+/**
+ * Evaluate one benchmark per entry of @p names — fn(name) builds the
+ * workload and runs its full test-set evaluation — batching the
+ * evaluations over OHA_THREADS worker threads.  Results come back in
+ * `names` order, so the printed tables are byte-identical for any
+ * thread count.
+ */
+template <typename Fn>
+auto
+evalCorpus(const std::vector<std::string> &names, Fn fn)
+    -> std::vector<decltype(fn(names.front()))>
+{
+    return support::runBatch(
+        names.size(), [&](std::size_t i) { return fn(names[i]); });
+}
+
+/** Arithmetic mean helper (the paper reports plain averages). */
 inline double
 mean(const std::vector<double> &values)
 {

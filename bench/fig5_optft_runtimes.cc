@@ -40,19 +40,34 @@ main()
                      "OptFT", "OptFT fw/inv/ft/rb", "spd vs FT",
                      "spd vs Hyb", "races", "rollbacks"});
 
-    std::vector<double> speedupFt, speedupHybrid;
-    std::vector<double> invariantShares, rollbackShares;
-    for (const auto &name : workloads::raceWorkloadNames()) {
+    // One job per benchmark: build the workload and evaluate its test
+    // set; jobs run batched over OHA_THREADS workers.
+    struct Row
+    {
+        double paperBaseline = 0;
+        core::OptFtResult result;
+    };
+    const auto &names = workloads::raceWorkloadNames();
+    const auto rows = bench::evalCorpus(names, [](const std::string &name) {
         const auto workload = workloads::makeRaceWorkload(
             name, bench::kRaceProfileRuns, bench::kRaceTestRuns);
-        const auto result =
-            core::runOptFt(workload, bench::standardOptFtConfig());
+        Row row;
+        row.paperBaseline = workload.paperBaselineSeconds;
+        row.result = core::runOptFt(workload, bench::standardOptFtConfig());
+        return row;
+    });
+
+    std::vector<double> speedupFt, speedupHybrid;
+    std::vector<double> invariantShares, rollbackShares;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const core::OptFtResult &result = rows[i].result;
 
         std::string label = result.name;
         if (result.staticallyRaceFree)
             label += " *";
         table.addRow({label,
-                      fmtDouble(workload.paperBaselineSeconds, 2),
+                      fmtDouble(rows[i].paperBaseline, 2),
                       fmtDouble(result.fastTrack.normalized(), 1),
                       fmtDouble(result.hybridFt.normalized(), 1),
                       fmtDouble(result.optFt.normalized(), 1),

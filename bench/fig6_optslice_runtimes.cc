@@ -39,15 +39,30 @@ main()
                      "OptSlice inv/slice/rb", "speedup", "rollbacks",
                      "endpoints"});
 
-    std::vector<double> speedups;
-    for (const auto &name : workloads::sliceWorkloadNames()) {
+    // One job per benchmark, batched over OHA_THREADS workers.
+    struct Row
+    {
+        double paperBaseline = 0;
+        core::OptSliceResult result;
+    };
+    const auto &names = workloads::sliceWorkloadNames();
+    const auto rows = bench::evalCorpus(names, [](const std::string &name) {
         const auto workload = workloads::makeSliceWorkload(
             name, bench::kSliceProfileRuns, bench::kSliceTestRuns);
-        const auto result =
+        Row row;
+        row.paperBaseline = workload.paperBaselineSeconds;
+        row.result =
             core::runOptSlice(workload, bench::standardOptSliceConfig());
+        return row;
+    });
+
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const core::OptSliceResult &result = rows[i].result;
 
         table.addRow({result.name,
-                      fmtDouble(workload.paperBaselineSeconds, 2),
+                      fmtDouble(rows[i].paperBaseline, 2),
                       fmtDouble(result.hybrid.normalized(), 1),
                       fmtDouble(result.optimistic.normalized(), 1),
                       breakdown(result.optimistic),

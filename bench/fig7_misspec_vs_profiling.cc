@@ -27,15 +27,26 @@ main()
         headers.push_back(std::to_string(runs) + " runs");
     TextTable table(headers);
 
-    for (const auto &name : workloads::sliceWorkloadNames()) {
-        std::vector<std::string> row = {name};
-        for (std::size_t runs : sweep) {
+    // Every (benchmark, profiling-effort) cell of the sweep grid is an
+    // independent pipeline evaluation; batch the whole grid over
+    // OHA_THREADS workers and format the cells in grid order.
+    const auto &names = workloads::sliceWorkloadNames();
+    const auto cells = support::runBatch(
+        names.size() * sweep.size(), [&](std::size_t cell) {
+            const std::string &name = names[cell / sweep.size()];
+            const std::size_t runs = sweep[cell % sweep.size()];
             const auto workload = workloads::makeSliceWorkload(
                 name, runs, bench::kSliceTestRuns);
             core::OptSliceConfig config = bench::standardOptSliceConfig();
             config.maxProfileRuns = runs;
             config.convergenceWindow = runs; // profile the whole set
-            const auto result = core::runOptSlice(workload, config);
+            return core::runOptSlice(workload, config);
+        });
+
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        std::vector<std::string> row = {names[n]};
+        for (std::size_t s = 0; s < sweep.size(); ++s) {
+            const auto &result = cells[n * sweep.size() + s];
             const double tasks =
                 double(result.testRuns) * double(result.endpoints);
             const double rate =
@@ -43,7 +54,7 @@ main()
             row.push_back(fmtDouble(rate, 3));
             if (!result.sliceResultsMatch) {
                 std::printf("SOUNDNESS VIOLATION in %s @ %zu runs\n",
-                            name.c_str(), runs);
+                            names[n].c_str(), sweep[s]);
                 return 1;
             }
         }

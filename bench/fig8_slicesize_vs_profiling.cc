@@ -27,17 +27,25 @@ main()
         headers.push_back(std::to_string(runs) + " runs");
     TextTable table(headers);
 
-    for (const auto &name : workloads::sliceWorkloadNames()) {
-        std::vector<std::string> row = {name};
-        for (std::size_t runs : sweep) {
+    // Batch the whole (benchmark, profiling-effort) grid over
+    // OHA_THREADS workers; cells come back in grid order.
+    const auto &names = workloads::sliceWorkloadNames();
+    const auto cells = support::runBatch(
+        names.size() * sweep.size(), [&](std::size_t cell) {
+            const std::string &name = names[cell / sweep.size()];
+            const std::size_t runs = sweep[cell % sweep.size()];
             const auto workload =
                 workloads::makeSliceWorkload(name, runs, 2);
             core::OptSliceConfig config = bench::standardOptSliceConfig();
             config.maxProfileRuns = runs;
             config.convergenceWindow = runs;
-            const auto result = core::runOptSlice(workload, config);
-            row.push_back(fmtDouble(result.optSliceSize, 0));
-        }
+            return core::runOptSlice(workload, config).optSliceSize;
+        });
+
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        std::vector<std::string> row = {names[n]};
+        for (std::size_t s = 0; s < sweep.size(); ++s)
+            row.push_back(fmtDouble(cells[n * sweep.size() + s], 0));
         table.addRow(row);
     }
 

@@ -5,6 +5,7 @@
 #include "dyn/invariant_checker.h"
 #include "dyn/plans.h"
 #include "profile/profiler.h"
+#include "support/thread_pool.h"
 
 namespace oha::core {
 
@@ -58,7 +59,7 @@ calibrateLockElision(const ir::Module &module,
                      const inv::InvariantSet &invariants,
                      const analysis::StaticRaceResult &predicated,
                      const workloads::Workload &workload,
-                     std::size_t calibrationRuns)
+                     std::size_t calibrationRuns, std::size_t threads)
 {
     // Candidate lock sites: no potentially-racy access holds them.
     analysis::AndersenOptions aopts;
@@ -115,6 +116,18 @@ calibrateLockElision(const ir::Module &module,
 
     const std::size_t runs =
         std::min(calibrationRuns, workload.profilingSet.size());
+
+    // The sound reference races are loop-invariant (the plan never
+    // changes across rounds): compute them once, batched.
+    const std::vector<RacePairs> soundRaces = support::runBatch(
+        runs,
+        [&](std::size_t i) {
+            return runFastTrack(module, workload.profilingSet[i],
+                                soundPlan)
+                .races;
+        },
+        threads);
+
     while (!candidates.empty()) {
         inv::InvariantSet trial = invariants;
         trial.elidableLockSites = elidableWithUnlocks(candidates);
@@ -122,15 +135,21 @@ calibrateLockElision(const ir::Module &module,
             dyn::optimisticFastTrackPlan(module, predicated.racyAccesses,
                                          trial);
 
+        // Validate every calibration trial of this round concurrently.
+        const std::vector<RacePairs> optRaces = support::runBatch(
+            runs,
+            [&](std::size_t i) {
+                return runFastTrack(module, workload.profilingSet[i],
+                                    optPlan)
+                    .races;
+            },
+            threads);
+
         std::set<InstrId> falseRaceFuncs;
         bool mismatch = false;
         for (std::size_t i = 0; i < runs; ++i) {
-            const auto &config = workload.profilingSet[i];
-            const FtRun optimistic =
-                runFastTrack(module, config, optPlan);
-            const FtRun sound = runFastTrack(module, config, soundPlan);
-            for (const auto &race : optimistic.races) {
-                if (!sound.races.count(race)) {
+            for (const auto &race : optRaces[i]) {
+                if (!soundRaces[i].count(race)) {
                     mismatch = true;
                     falseRaceFuncs.insert(module.instr(race.first).func);
                     falseRaceFuncs.insert(module.instr(race.second).func);
@@ -181,15 +200,12 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     result.name = workload.name;
 
     // ---- Phase 1: likely-invariant profiling -------------------------
-    prof::ProfilingCampaign campaign(module, {});
-    std::size_t unchanged = 0;
-    for (const auto &input : workload.profilingSet) {
-        if (campaign.numRuns() >= config.maxProfileRuns ||
-            unchanged >= config.convergenceWindow) {
-            break;
-        }
-        unchanged = campaign.addRun(input) ? 0 : unchanged + 1;
-    }
+    prof::ProfileOptions profOptions;
+    profOptions.threads = config.threads;
+    prof::ProfilingCampaign campaign(module, profOptions);
+    campaign.addRunsUntilConverged(workload.profilingSet,
+                                   config.maxProfileRuns,
+                                   config.convergenceWindow);
     inv::InvariantSet invariants =
         config.aggressiveLucMinVisits > 1
             ? campaign.invariantsWithAggressiveLuc(
@@ -214,16 +230,19 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     std::uint64_t calibrationSteps = 0;
     invariants.elidableLockSites = calibrateLockElision(
         module, invariants, predicated, workload,
-        config.customSyncCalibrationRuns);
+        config.customSyncCalibrationRuns, config.threads);
     result.elidedLockSites = invariants.elidableLockSites.size();
     // Calibration executions count as profiling cost.
-    for (std::size_t i = 0;
-         i < std::min(config.customSyncCalibrationRuns,
-                      workload.profilingSet.size());
-         ++i) {
-        exec::Interpreter probe(module, workload.profilingSet[i]);
-        calibrationSteps += probe.run().steps;
-    }
+    const std::vector<std::uint64_t> probeSteps = support::runBatch(
+        std::min(config.customSyncCalibrationRuns,
+                 workload.profilingSet.size()),
+        [&](std::size_t i) {
+            exec::Interpreter probe(module, workload.profilingSet[i]);
+            return probe.run().steps;
+        },
+        config.threads);
+    for (std::uint64_t steps : probeSteps)
+        calibrationSteps += steps;
     result.profileSeconds =
         (double(campaign.profiledSteps()) +
          2.0 * double(calibrationSteps)) *
@@ -239,45 +258,71 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     dyn::CheckerConfig checkerConfig;
     checkerConfig.callContexts = false;
 
-    std::set<std::pair<InstrId, InstrId>> allRaces;
-    for (const auto &input : workload.testingSet) {
-        // Full FastTrack (the sound reference).
-        const FtRun full = runFastTrack(module, input, fullPlan);
-        result.fastTrack.add(
-            priceFastTrackRun(cost, full.result, full.ftDelivered));
-        allRaces.insert(full.races.begin(), full.races.end());
+    // Each testing input is an independent evaluation job (full,
+    // hybrid and speculative runs plus the deterministic rollback
+    // re-execution); jobs run batched and their outcomes are folded
+    // into the result serially in input-index order, so accumulation
+    // — including floating-point cost sums — is identical for any
+    // thread count.
+    struct TestEval
+    {
+        FtRun full;
+        FtRun hybrid;
+        FtRun optimistic;
+        bool rolledBack = false;
+        FtRun redo;
+    };
+    const std::vector<TestEval> evals = support::runBatch(
+        workload.testingSet.size(),
+        [&](std::size_t i) {
+            const auto &input = workload.testingSet[i];
+            TestEval eval;
+            // Full FastTrack (the sound reference).
+            eval.full = runFastTrack(module, input, fullPlan);
+            // Hybrid FastTrack.
+            eval.hybrid = runFastTrack(module, input, hybridPlan);
+            // OptFT: speculative run + rollback on mis-speculation.
+            dyn::InvariantChecker checker(module, invariants,
+                                          checkerConfig);
+            eval.optimistic =
+                runFastTrack(module, input, optPlan, &checker);
+            const bool raceUnderElision =
+                !eval.optimistic.races.empty() &&
+                !invariants.elidableLockSites.empty();
+            if (eval.optimistic.violated || raceUnderElision) {
+                // Roll back: deterministic re-execution under the
+                // sound hybrid configuration (Section 2.3).
+                eval.rolledBack = true;
+                eval.redo = runFastTrack(module, input, hybridPlan);
+            }
+            return eval;
+        },
+        config.threads);
 
-        // Hybrid FastTrack.
-        const FtRun hybrid = runFastTrack(module, input, hybridPlan);
-        result.hybridFt.add(
-            priceFastTrackRun(cost, hybrid.result, hybrid.ftDelivered));
-        if (hybrid.races != full.races)
+    std::set<std::pair<InstrId, InstrId>> allRaces;
+    for (const TestEval &eval : evals) {
+        result.fastTrack.add(priceFastTrackRun(cost, eval.full.result,
+                                               eval.full.ftDelivered));
+        allRaces.insert(eval.full.races.begin(), eval.full.races.end());
+
+        result.hybridFt.add(priceFastTrackRun(cost, eval.hybrid.result,
+                                              eval.hybrid.ftDelivered));
+        if (eval.hybrid.races != eval.full.races)
             result.raceReportsMatch = false;
 
-        // OptFT: speculative run + rollback on mis-speculation.
-        dyn::InvariantChecker checker(module, invariants, checkerConfig);
-        const FtRun optimistic =
-            runFastTrack(module, input, optPlan, &checker);
         RunCost optCost = priceFastTrackRun(
-            cost, optimistic.result, optimistic.ftDelivered,
-            &optimistic.checkerDelivered, optimistic.slowChecks);
-
-        RacePairs finalRaces = optimistic.races;
-        const bool raceUnderElision =
-            !optimistic.races.empty() &&
-            !invariants.elidableLockSites.empty();
-        if (optimistic.violated || raceUnderElision) {
-            // Roll back: deterministic re-execution under the sound
-            // hybrid configuration (Section 2.3).
+            cost, eval.optimistic.result, eval.optimistic.ftDelivered,
+            &eval.optimistic.checkerDelivered, eval.optimistic.slowChecks);
+        RacePairs finalRaces = eval.optimistic.races;
+        if (eval.rolledBack) {
             ++result.misSpeculations;
-            const FtRun redo = runFastTrack(module, input, hybridPlan);
             const RunCost redoCost = priceFastTrackRun(
-                cost, redo.result, redo.ftDelivered);
+                cost, eval.redo.result, eval.redo.ftDelivered);
             optCost.rollback = redoCost.total();
-            finalRaces = redo.races;
+            finalRaces = eval.redo.races;
         }
         result.optFt.add(optCost);
-        if (finalRaces != full.races)
+        if (finalRaces != eval.full.races)
             result.raceReportsMatch = false;
     }
 

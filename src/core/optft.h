@@ -45,6 +45,11 @@ struct OptFtConfig
      *  many times across the whole profiling campaign are assumed
      *  unreachable. */
     std::uint64_t aggressiveLucMinVisits = 0;
+    /** Worker threads for batched runs (profiling, calibration, test
+     *  evaluation); 0 = OHA_THREADS env var, 1 = serial.  Results are
+     *  merged in input-index order, so they are identical for any
+     *  value — only wall-clock time changes. */
+    std::size_t threads = 0;
     CostModel cost;
 };
 

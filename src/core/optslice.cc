@@ -7,6 +7,7 @@
 #include "dyn/invariant_checker.h"
 #include "dyn/plans.h"
 #include "profile/profiler.h"
+#include "support/thread_pool.h"
 
 namespace oha::core {
 
@@ -177,15 +178,11 @@ runOptSlice(const workloads::Workload &workload,
     // ---- Phase 1: profiling -------------------------------------------
     prof::ProfileOptions profOptions;
     profOptions.callContexts = true;
+    profOptions.threads = config.threads;
     prof::ProfilingCampaign campaign(module, profOptions);
-    std::size_t unchanged = 0;
-    for (const auto &input : workload.profilingSet) {
-        if (campaign.numRuns() >= config.maxProfileRuns ||
-            unchanged >= config.convergenceWindow) {
-            break;
-        }
-        unchanged = campaign.addRun(input) ? 0 : unchanged + 1;
-    }
+    campaign.addRunsUntilConverged(workload.profilingSet,
+                                   config.maxProfileRuns,
+                                   config.convergenceWindow);
     const inv::InvariantSet invariants =
         config.aggressiveLucMinVisits > 1
             ? campaign.invariantsWithAggressiveLuc(
@@ -272,42 +269,63 @@ runOptSlice(const workloads::Workload &workload,
     checkerConfig.guardingLocks = false;
     checkerConfig.singletonThreads = false;
 
-    for (const auto &input : workload.testingSet) {
-        for (std::size_t e = 0; e < endpoints.size(); ++e) {
+    // Every (testing input, endpoint) pair is an independent slicing
+    // task; run them batched and fold the outcomes serially in task
+    // order so cost accumulation is identical for any thread count.
+    struct SliceEval
+    {
+        GiriRun hybrid;
+        GiriRun optimistic;
+        bool rolledBack = false;
+        GiriRun redo;
+    };
+    const std::size_t tasks =
+        workload.testingSet.size() * endpoints.size();
+    const std::vector<SliceEval> evals = support::runBatch(
+        tasks,
+        [&](std::size_t task) {
+            const auto &input =
+                workload.testingSet[task / endpoints.size()];
+            const std::size_t e = task % endpoints.size();
             const std::vector<InstrId> target = {endpoints[e]};
 
-            const GiriRun hybrid =
-                runGiri(module, input, hybridPlans[e], target);
-            result.hybrid.add(
-                priceGiriRun(cost, hybrid.result, hybrid.delivered));
-
+            SliceEval eval;
+            eval.hybrid = runGiri(module, input, hybridPlans[e], target);
             dyn::InvariantChecker checker(module, invariants,
                                           checkerConfig);
-            const GiriRun optimistic =
+            eval.optimistic =
                 runGiri(module, input, optPlans[e], target, &checker);
-            RunCost optCost = priceGiriRun(cost, optimistic.result,
-                                           optimistic.delivered,
-                                           &optimistic.checkerDelivered,
-                                           optimistic.slowChecks);
-
-            std::map<InstrId, std::set<InstrId>> finalSlices =
-                optimistic.slices;
-            if (optimistic.violated) {
-                ++result.misSpeculations;
-                const GiriRun redo =
+            if (eval.optimistic.violated) {
+                eval.rolledBack = true;
+                eval.redo =
                     runGiri(module, input, hybridPlans[e], target);
-                optCost.rollback =
-                    priceGiriRun(cost, redo.result, redo.delivered)
-                        .total();
-                finalSlices = redo.slices;
             }
-            result.optimistic.add(optCost);
+            return eval;
+        },
+        config.threads);
 
-            // Soundness: the recovered optimistic slice must equal
-            // the traditional hybrid slice.
-            if (finalSlices != hybrid.slices)
-                result.sliceResultsMatch = false;
+    for (const SliceEval &eval : evals) {
+        result.hybrid.add(priceGiriRun(cost, eval.hybrid.result,
+                                       eval.hybrid.delivered));
+
+        RunCost optCost = priceGiriRun(cost, eval.optimistic.result,
+                                       eval.optimistic.delivered,
+                                       &eval.optimistic.checkerDelivered,
+                                       eval.optimistic.slowChecks);
+        const std::map<InstrId, std::set<InstrId>> &finalSlices =
+            eval.rolledBack ? eval.redo.slices : eval.optimistic.slices;
+        if (eval.rolledBack) {
+            ++result.misSpeculations;
+            optCost.rollback =
+                priceGiriRun(cost, eval.redo.result, eval.redo.delivered)
+                    .total();
         }
+        result.optimistic.add(optCost);
+
+        // Soundness: the recovered optimistic slice must equal the
+        // traditional hybrid slice.
+        if (finalSlices != eval.hybrid.slices)
+            result.sliceResultsMatch = false;
     }
 
     result.testRuns = workload.testingSet.size();

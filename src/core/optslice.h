@@ -43,6 +43,11 @@ struct OptSliceConfig
     std::uint64_t sliceWorkBudget = 3'000'000;
     /** >1 enables aggressive likely-unreachable code (Section 2.1). */
     std::uint64_t aggressiveLucMinVisits = 0;
+    /** Worker threads for batched runs (profiling and test
+     *  evaluation); 0 = OHA_THREADS env var, 1 = serial.  Results are
+     *  merged in input-index order, so they are identical for any
+     *  value — only wall-clock time changes. */
+    std::size_t threads = 0;
     CostModel cost;
 };
 

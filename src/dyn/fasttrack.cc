@@ -1,5 +1,7 @@
 #include "dyn/fasttrack.h"
 
+#include <algorithm>
+
 namespace oha::dyn {
 
 VectorClock &
@@ -13,11 +15,18 @@ FastTrack::clockOf(ThreadId tid)
 void
 FastTrack::onThreadStart(ThreadId tid, ThreadId parent, InstrId spawnSite)
 {
-    VectorClock &clock = clockOf(tid);
+    // Grow the clock table for both ids up front: fetching the child's
+    // clock and then letting clockOf(parent) resize the vector would
+    // leave the child reference dangling.
+    const ThreadId high =
+        spawnSite != kNoInstr ? std::max(tid, parent) : tid;
+    if (high >= threads_.size())
+        threads_.resize(high + 1);
+    VectorClock &clock = threads_[tid];
     if (spawnSite != kNoInstr) {
         // Fork: child inherits parent's clock; parent advances.
-        clock.join(clockOf(parent));
-        clockOf(parent).incr(parent);
+        clock.join(threads_[parent]);
+        threads_[parent].incr(parent);
     }
     clock.incr(tid); // thread's own component starts at 1
 }
@@ -42,11 +51,19 @@ FastTrack::read(ThreadId tid, const exec::EventCtx &ctx)
     if (!var.sharedRead && var.read == now)
         return;
 
+    // Shared same-epoch fast path (the paper's READ SHARED SAME
+    // EPOCH): this thread already recorded a read at this epoch, so
+    // the write-race check ran then, and no write can have intervened
+    // — a write deflates sharedRead and clears the read vector.
+    if (var.sharedRead && var.readVC.get(tid) == now.clock())
+        return;
+
     // Write-read race check.
     if (!clock.covers(var.write) && var.write.clock() != 0)
         report(var.lastWriteInstr, ctx.instr->id, ctx);
 
     if (var.sharedRead) {
+        ++readSlowPathUpdates_;
         var.readVC.set(tid, now.clock());
         var.readInstrByTid[tid] = ctx.instr->id;
     } else if (clock.covers(var.read) || var.read.clock() == 0) {
@@ -54,6 +71,7 @@ FastTrack::read(ThreadId tid, const exec::EventCtx &ctx)
         var.read = now;
     } else {
         // Concurrent readers: inflate to a vector clock.
+        ++readSlowPathUpdates_;
         var.sharedRead = true;
         var.readVC.set(var.read.tid(), var.read.clock());
         var.readVC.set(tid, now.clock());

@@ -55,6 +55,16 @@ class FastTrack : public exec::Tool
     /** Distinct racing instruction pairs (order-normalized). */
     std::set<std::pair<InstrId, InstrId>> racePairs() const;
 
+    /** Slow-path read-metadata updates (shared-read map writes and
+     *  epoch-to-vector inflations).  The shared same-epoch read fast
+     *  path keeps repeated reads by one thread at one epoch from
+     *  inflating this count — the regression observable for the O(1)
+     *  hot path. */
+    std::uint64_t readSlowPathUpdates() const
+    {
+        return readSlowPathUpdates_;
+    }
+
   private:
     struct VarState
     {
@@ -86,6 +96,7 @@ class FastTrack : public exec::Tool
     std::unordered_map<exec::ObjectId, VectorClock> locks_;
     std::unordered_map<std::uint64_t, VarState> vars_;
     std::set<RaceReport> races_;
+    std::uint64_t readSlowPathUpdates_ = 0;
 };
 
 } // namespace oha::dyn

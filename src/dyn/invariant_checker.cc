@@ -115,8 +115,10 @@ InvariantChecker::onEvent(const exec::EventCtx &ctx)
                 inv::contextHashPush(parent, ins.id);
             stack.push_back(hash);
             // Contexts deeper than the profiler records are exempt
-            // (the profiler skipped them symmetrically).
-            if (stack.size() <= 64 && !confirmedContexts_.count(hash)) {
+            // (the profiler skips them symmetrically, by sharing
+            // inv::kMaxContextDepth).
+            if (stack.size() <= inv::kMaxContextDepth &&
+                !confirmedContexts_.count(hash)) {
                 if (!contextBloom_.mayContain(hash)) {
                     violate("unobserved call context at site " +
                             std::to_string(ins.id));

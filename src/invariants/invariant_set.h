@@ -28,6 +28,15 @@ namespace oha::inv {
 /** A call context: chain of call-site instruction ids, outermost first. */
 using CallContext = std::vector<InstrId>;
 
+/**
+ * Call stacks deeper than this are exempt from the call-context
+ * invariant: the profiler stops recording them and the runtime
+ * checker skips checking them.  Both sides must use this one constant
+ * — if the caps ever diverged, deep recursion would mis-speculate on
+ * contexts the profiler never had a chance to record.
+ */
+constexpr std::size_t kMaxContextDepth = 64;
+
 /** Incremental hash of a call context (push one call site at a time). */
 inline std::uint64_t
 contextHashPush(std::uint64_t parent, InstrId site)

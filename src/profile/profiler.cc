@@ -1,6 +1,9 @@
 #include "profile/profiler.h"
 
+#include <algorithm>
+
 #include "profile/profilers.h"
+#include "support/thread_pool.h"
 
 namespace oha::prof {
 
@@ -53,13 +56,9 @@ ProfilingCampaign::invariantsWithAggressiveLuc(
     return aggressive;
 }
 
-bool
-ProfilingCampaign::addRun(const exec::ExecConfig &config)
+RunObservations
+ProfilingCampaign::observeRun(const exec::ExecConfig &config) const
 {
-    const std::size_t before = invariants_.factCount();
-    const auto beforeLocks = invariants_.mustAliasLocks;
-    const auto beforeSingleton = invariants_.singletonSpawnSites;
-
     BlockCountProfiler blocks;
     CalleeSetProfiler callees;
     CallContextProfiler contexts;
@@ -77,30 +76,51 @@ ProfilingCampaign::addRun(const exec::ExecConfig &config)
     interp.attach(&spawns, &plan);
 
     const exec::RunResult result = interp.run();
-    if (!result.finished()) {
+
+    RunObservations run;
+    run.blockCounts = blocks.counts();
+    run.calleeSets = callees.callees();
+    if (options_.callContexts)
+        run.callContexts = contexts.contexts();
+    run.lockObjects = locks.objects();
+    run.spawnCounts = spawns.counts();
+    run.steps = result.steps;
+    run.status = result.status;
+    return run;
+}
+
+bool
+ProfilingCampaign::mergeRun(const RunObservations &run)
+{
+    if (run.status != exec::RunResult::Status::Finished) {
         OHA_WARN("profiling run did not finish cleanly (status %d)",
-                 static_cast<int>(result.status));
+                 static_cast<int>(run.status));
     }
-    profiledSteps_ += result.steps;
+
+    const std::size_t before = invariants_.factCount();
+    const auto beforeLocks = invariants_.mustAliasLocks;
+    const auto beforeSingleton = invariants_.singletonSpawnSites;
+
+    profiledSteps_ += run.steps;
     ++numRuns_;
 
     // Reachable-style invariants: union.
-    for (const auto &[block, count] : blocks.counts()) {
+    for (const auto &[block, count] : run.blockCounts) {
         invariants_.visitedBlocks.insert(block);
         blockCounts_[block] += count;
     }
-    for (const auto &[site, funcs] : callees.callees())
+    for (const auto &[site, funcs] : run.calleeSets)
         invariants_.calleeSets[site].insert(funcs.begin(), funcs.end());
     if (options_.callContexts) {
-        for (const auto &context : contexts.contexts())
+        for (const auto &context : run.callContexts)
             invariants_.callContexts.insert(context);
         invariants_.rehashContexts();
     }
 
     // Constraint-style invariants: survive only if never violated.
-    mergeLockObservations(locks.objects());
+    mergeLockObservations(run.lockObjects);
 
-    for (const auto &[site, count] : spawns.counts()) {
+    for (const auto &[site, count] : run.spawnCounts) {
         auto &maxCount = maxSpawnCounts_[site];
         maxCount = std::max(maxCount, count);
     }
@@ -112,6 +132,44 @@ ProfilingCampaign::addRun(const exec::ExecConfig &config)
     return invariants_.factCount() != before ||
            invariants_.mustAliasLocks != beforeLocks ||
            invariants_.singletonSpawnSites != beforeSingleton;
+}
+
+bool
+ProfilingCampaign::addRun(const exec::ExecConfig &config)
+{
+    return mergeRun(observeRun(config));
+}
+
+std::size_t
+ProfilingCampaign::addRunsUntilConverged(
+    const std::vector<exec::ExecConfig> &inputs, std::size_t maxRuns,
+    std::size_t convergenceWindow)
+{
+    const std::size_t threads = support::configuredThreads(options_.threads);
+    std::size_t unchanged = 0;
+    std::size_t consumed = 0;
+    while (consumed < inputs.size() && numRuns_ < maxRuns &&
+           unchanged < convergenceWindow) {
+        // Speculatively observe one batch of runs concurrently, then
+        // merge them in input order, stopping exactly where the serial
+        // loop would; surplus observations past that point are
+        // discarded so the merged state is identical for any thread
+        // count.
+        const std::size_t batch = std::min(
+            {threads, inputs.size() - consumed, maxRuns - numRuns_});
+        const std::size_t base = consumed;
+        const auto observations = support::runBatch(
+            batch,
+            [&, base](std::size_t i) { return observeRun(inputs[base + i]); },
+            threads);
+        for (const RunObservations &run : observations) {
+            if (numRuns_ >= maxRuns || unchanged >= convergenceWindow)
+                break;
+            unchanged = mergeRun(run) ? 0 : unchanged + 1;
+            ++consumed;
+        }
+    }
+    return numRuns_;
 }
 
 } // namespace oha::prof

@@ -19,6 +19,7 @@
 
 #include <map>
 #include <set>
+#include <vector>
 
 #include "exec/interpreter.h"
 #include "invariants/invariant_set.h"
@@ -29,6 +30,25 @@ namespace oha::prof {
 struct ProfileOptions
 {
     bool callContexts = false;
+    /** Worker threads for batched profiling; 0 = OHA_THREADS env. */
+    std::size_t threads = 0;
+};
+
+/**
+ * The raw observations of a single profiled run, separated from the
+ * campaign so runs can execute concurrently: gathering observations
+ * is a pure function of (module, input), while merging them into the
+ * campaign happens serially in input-index order.
+ */
+struct RunObservations
+{
+    std::map<BlockId, std::uint64_t> blockCounts;
+    std::map<InstrId, std::set<FuncId>> calleeSets;
+    std::set<inv::CallContext> callContexts;
+    std::map<InstrId, std::set<exec::ObjectId>> lockObjects;
+    std::map<InstrId, std::uint64_t> spawnCounts;
+    std::uint64_t steps = 0;
+    exec::RunResult::Status status = exec::RunResult::Status::Finished;
 };
 
 /** Accumulates likely invariants over a sequence of profiled runs. */
@@ -43,6 +63,27 @@ class ProfilingCampaign
      * @return true if the merged invariant set changed.
      */
     bool addRun(const exec::ExecConfig &config);
+
+    /**
+     * Profile @p inputs in order until the invariant set has been
+     * stable for @p convergenceWindow consecutive runs or @p maxRuns
+     * runs merged, executing up to ProfileOptions::threads runs
+     * concurrently.  Observations are merged in input-index order and
+     * speculative surplus runs past the convergence point are
+     * discarded, so the merged invariants, profiled-step total and
+     * run count are byte-identical to the serial loop.
+     * @return the number of runs merged.
+     */
+    std::size_t addRunsUntilConverged(
+        const std::vector<exec::ExecConfig> &inputs, std::size_t maxRuns,
+        std::size_t convergenceWindow);
+
+    /** Execute one profiled run without merging it (thread-safe). */
+    RunObservations observeRun(const exec::ExecConfig &config) const;
+
+    /** Merge one run's observations; @return true if the invariant
+     *  set changed.  Call in input-index order for determinism. */
+    bool mergeRun(const RunObservations &run);
 
     /** The merged invariant set so far. */
     const inv::InvariantSet &invariants() const { return invariants_; }

@@ -67,7 +67,8 @@ class CalleeSetProfiler : public exec::Tool
 class CallContextProfiler : public exec::Tool
 {
   public:
-    static constexpr std::size_t kMaxDepth = 64;
+    /** Recording cap, shared with the runtime checker's exemption. */
+    static constexpr std::size_t kMaxDepth = inv::kMaxContextDepth;
 
     void
     onEvent(const exec::EventCtx &ctx) override

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * A small fixed-size thread pool and the run-batching helper that
+ * executes independent interpreter runs concurrently.
+ *
+ * Every execution the OHA pipeline performs — profiling runs,
+ * no-custom-sync calibration trials, testing-corpus evaluations — is a
+ * pure function of (module, input, schedule seed), so batches of runs
+ * can execute on worker threads and have their observations merged in
+ * deterministic input-index order.  runBatch() collects results by
+ * index and degenerates to the plain serial loop when one thread is
+ * configured, so OHA_THREADS=1 reproduces the single-threaded pipeline
+ * bit for bit and larger thread counts change wall-clock time only.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/common.h"
+
+namespace oha::support {
+
+/** Fixed-size pool of worker threads draining a shared task queue. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(std::size_t numThreads)
+    {
+        workers_.reserve(std::max<std::size_t>(numThreads, 1));
+        for (std::size_t i = 0; i < std::max<std::size_t>(numThreads, 1);
+             ++i) {
+            workers_.emplace_back([this] { workerLoop(); });
+        }
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &worker : workers_)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t numThreads() const { return workers_.size(); }
+
+    /** Enqueue @p task to run on some worker thread. */
+    void
+    submit(std::function<void()> task)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            OHA_ASSERT(!stopping_);
+            queue_.push_back(std::move(task));
+            ++pending_;
+        }
+        wake_.notify_one();
+    }
+
+    /** Block until every submitted task has finished executing. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return pending_ == 0; });
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty())
+                    return; // stopping, queue drained
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--pending_ == 0)
+                    idle_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t pending_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Worker-thread count for a run batch: @p requested when nonzero,
+ * else the OHA_THREADS environment variable, else 1.  The default of
+ * 1 keeps every pipeline serial unless parallelism is asked for.
+ */
+inline std::size_t
+configuredThreads(std::size_t requested = 0)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("OHA_THREADS")) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<std::size_t>(parsed);
+        OHA_WARN("ignoring malformed OHA_THREADS value '%s'", env);
+    }
+    return 1;
+}
+
+/**
+ * Execute jobs fn(0) .. fn(count - 1) and return their results in
+ * index order.  Jobs must be mutually independent; because results
+ * are collected by index (not completion order), callers that merge
+ * them serially observe byte-identical outputs for any thread count.
+ * With one effective thread the jobs run inline on the caller.
+ */
+template <typename Fn>
+auto
+runBatch(std::size_t count, Fn &&fn, std::size_t threads = 0)
+    -> std::vector<decltype(fn(std::size_t{}))>
+{
+    using Result = decltype(fn(std::size_t{}));
+    std::vector<Result> results(count);
+    const std::size_t numThreads =
+        std::min(configuredThreads(threads), count);
+    if (numThreads <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            results[i] = fn(i);
+        return results;
+    }
+
+    ThreadPool pool(numThreads);
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+    for (std::size_t i = 0; i < count; ++i) {
+        pool.submit([&results, &fn, &errorMutex, &firstError, i] {
+            try {
+                results[i] = fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        });
+    }
+    pool.wait();
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace oha::support

@@ -21,13 +21,23 @@ namespace oha {
 class Epoch
 {
   public:
+    /** Bits of the packed word holding the clock; the rest is tid. */
+    static constexpr unsigned kClockBits = 48;
+    /** Largest clock value an epoch can represent. */
+    static constexpr std::uint64_t kMaxClock = (1ULL << kClockBits) - 1;
+
     Epoch() : raw_(0) {}
     Epoch(ThreadId tid, std::uint64_t clock)
-        : raw_((static_cast<std::uint64_t>(tid) << 48) | clock)
-    {}
+        : raw_((static_cast<std::uint64_t>(tid) << kClockBits) |
+               (clock & kMaxClock))
+    {
+        // An unmasked overflowing clock would bleed into the tid bits
+        // and silently corrupt tid()/covers().
+        OHA_ASSERT(clock <= kMaxClock);
+    }
 
-    ThreadId tid() const { return static_cast<ThreadId>(raw_ >> 48); }
-    std::uint64_t clock() const { return raw_ & ((1ULL << 48) - 1); }
+    ThreadId tid() const { return static_cast<ThreadId>(raw_ >> kClockBits); }
+    std::uint64_t clock() const { return raw_ & kMaxClock; }
     std::uint64_t raw() const { return raw_; }
 
     bool operator==(const Epoch &other) const { return raw_ == other.raw_; }

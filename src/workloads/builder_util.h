@@ -19,9 +19,12 @@ emitCountedLoop(ir::IRBuilder &b, ir::Reg n,
                 const std::function<void(ir::Reg)> &body,
                 const std::string &tag = "loop")
 {
-    static int unique = 0;
-    const std::string suffix = tag + std::to_string(unique++);
     ir::Function *func = b.currentFunction();
+    // Derive the label suffix from the function's block count: unique
+    // within the function, deterministic, and — unlike a mutable
+    // function-local static — safe when workloads build concurrently.
+    const std::string suffix =
+        tag + std::to_string(func->blocks().size());
     ir::BasicBlock *head = b.createBlock(func, "head_" + suffix);
     ir::BasicBlock *bodyBlk = b.createBlock(func, "body_" + suffix);
     ir::BasicBlock *exit = b.createBlock(func, "exit_" + suffix);
@@ -43,9 +46,11 @@ inline void
 emitIf(ir::IRBuilder &b, ir::Reg cond, const std::function<void()> &thenFn,
        const std::string &tag = "if")
 {
-    static int unique = 0;
-    const std::string suffix = tag + std::to_string(unique++);
     ir::Function *func = b.currentFunction();
+    // See emitCountedLoop: block-count suffixes are deterministic and
+    // thread-safe, unlike the shared static counter they replace.
+    const std::string suffix =
+        tag + std::to_string(func->blocks().size());
     ir::BasicBlock *thenBlk = b.createBlock(func, "then_" + suffix);
     ir::BasicBlock *cont = b.createBlock(func, "cont_" + suffix);
     b.condBr(cond, thenBlk, cont);

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Regression tests for two FastTrack hot-path bugs, driving the tool
+ * directly through its Tool interface:
+ *
+ *  - the READ SHARED SAME EPOCH fast path: a repeated read by one
+ *    thread at one epoch of a shared-read variable must not mutate
+ *    the read metadata again (it used to rewrite the read vector and
+ *    the per-thread reader-attribution map on every read);
+ *
+ *  - the fork edge in onThreadStart when the parent's id lies beyond
+ *    the clock table: growing the table for the parent used to
+ *    invalidate the child's clock reference, silently dropping the
+ *    child's clock updates and losing parent/child races.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dyn/fasttrack.h"
+#include "ir/instruction.h"
+
+namespace oha {
+namespace {
+
+/** A synthetic Load/Store event for @p tid on cell (obj, off). */
+exec::EventCtx
+memEvent(ThreadId tid, const ir::Instruction &instr, exec::ObjectId obj,
+         std::uint32_t off = 0)
+{
+    exec::EventCtx ctx;
+    ctx.tid = tid;
+    ctx.instr = &instr;
+    ctx.obj = obj;
+    ctx.off = off;
+    return ctx;
+}
+
+ir::Instruction
+makeInstr(ir::Opcode op, InstrId id)
+{
+    ir::Instruction instr;
+    instr.op = op;
+    instr.id = id;
+    return instr;
+}
+
+TEST(FastTrackFastPath, SharedSameEpochReadDoesNotTouchMetadata)
+{
+    dyn::FastTrack ft;
+    // Two unrelated threads (no fork edge), so their reads of x are
+    // concurrent and inflate the read epoch to a vector clock.
+    ft.onThreadStart(0, 0, kNoInstr);
+    ft.onThreadStart(1, 0, kNoInstr);
+
+    const auto load0 = makeInstr(ir::Opcode::Load, 1);
+    const auto load1 = makeInstr(ir::Opcode::Load, 2);
+    ft.onEvent(memEvent(0, load0, /*obj=*/1));
+    ft.onEvent(memEvent(1, load1, /*obj=*/1));
+
+    // The variable is now in shared-read state; the inflation above is
+    // the only slow-path update so far.
+    const std::uint64_t afterInflate = ft.readSlowPathUpdates();
+    EXPECT_GT(afterInflate, 0u);
+
+    // Re-reads by both threads at their current epochs must take the
+    // O(1) fast path: no further metadata writes.
+    for (int i = 0; i < 100; ++i) {
+        ft.onEvent(memEvent(1, load1, /*obj=*/1));
+        ft.onEvent(memEvent(0, load0, /*obj=*/1));
+    }
+    EXPECT_EQ(ft.readSlowPathUpdates(), afterInflate);
+
+    // The fast path is only a shortcut, not a soundness hole: a write
+    // by thread 0 still races with thread 1's read.
+    const auto store0 = makeInstr(ir::Opcode::Store, 12);
+    ft.onEvent(memEvent(0, store0, /*obj=*/1));
+    const auto pairs = ft.racePairs();
+    ASSERT_EQ(pairs.size(), 1u);
+    EXPECT_EQ(*pairs.begin(), std::make_pair(InstrId(2), InstrId(12)));
+}
+
+TEST(FastTrackFastPath, ReadAtNewEpochStillUpdatesSharedVector)
+{
+    dyn::FastTrack ft;
+    ft.onThreadStart(0, 0, kNoInstr);
+    ft.onThreadStart(1, 0, kNoInstr);
+
+    const auto load0 = makeInstr(ir::Opcode::Load, 1);
+    const auto load1 = makeInstr(ir::Opcode::Load, 2);
+    const auto lock0 = makeInstr(ir::Opcode::Lock, 3);
+    const auto unlock0 = makeInstr(ir::Opcode::Unlock, 4);
+    ft.onEvent(memEvent(0, load0, /*obj=*/1));
+    ft.onEvent(memEvent(1, load1, /*obj=*/1));
+    const std::uint64_t afterInflate = ft.readSlowPathUpdates();
+
+    // Advance thread 0's epoch (unlock bumps its own clock); the next
+    // read is at a fresh epoch and must go down the slow path again.
+    ft.onEvent(memEvent(0, lock0, /*obj=*/99));
+    ft.onEvent(memEvent(0, unlock0, /*obj=*/99));
+    ft.onEvent(memEvent(0, load0, /*obj=*/1));
+    EXPECT_EQ(ft.readSlowPathUpdates(), afterInflate + 1);
+}
+
+TEST(FastTrackFastPath, ForkEdgeSurvivesParentBeyondClockTable)
+{
+    dyn::FastTrack ft;
+    // First event ever: a fork whose parent id (5) is larger than the
+    // child's (1), so registering the child must grow the clock table
+    // past both ids at once.  With the old code the resize for the
+    // parent dangled the child's clock reference and the child's
+    // updates were lost, hiding the parent/child race below.
+    ft.onThreadStart(1, 5, /*spawnSite=*/7);
+
+    const auto childStore = makeInstr(ir::Opcode::Store, 10);
+    const auto parentStore = makeInstr(ir::Opcode::Store, 11);
+    ft.onEvent(memEvent(1, childStore, /*obj=*/2));
+    ft.onEvent(memEvent(5, parentStore, /*obj=*/2));
+
+    const auto pairs = ft.racePairs();
+    ASSERT_EQ(pairs.size(), 1u);
+    EXPECT_EQ(*pairs.begin(), std::make_pair(InstrId(10), InstrId(11)));
+}
+
+TEST(FastTrackFastPath, ForkEdgeStillOrdersParentBeforeChild)
+{
+    dyn::FastTrack ft;
+    // Normal direction: parent writes before the fork, child writes
+    // after inheriting the parent's clock — no race.
+    ft.onThreadStart(5, 0, kNoInstr);
+    const auto parentStore = makeInstr(ir::Opcode::Store, 11);
+    ft.onEvent(memEvent(5, parentStore, /*obj=*/2));
+
+    ft.onThreadStart(1, 5, /*spawnSite=*/7);
+    const auto childStore = makeInstr(ir::Opcode::Store, 10);
+    ft.onEvent(memEvent(1, childStore, /*obj=*/2));
+
+    EXPECT_TRUE(ft.races().empty());
+}
+
+} // namespace
+} // namespace oha

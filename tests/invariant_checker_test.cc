@@ -179,6 +179,47 @@ TEST(InvariantChecker, ContextViolationOnNovelCallChain)
     EXPECT_NE(bad.reason.find("call context"), std::string::npos);
 }
 
+TEST(InvariantChecker, DeepRecursionBeyondCapNeverMisspeculates)
+{
+    // Recursion far past inv::kMaxContextDepth: the profiler stops
+    // recording contexts at the cap and the checker must exempt them
+    // at the same cap.  If the two depth limits ever diverged, the
+    // replayed (or deeper) run would trip "unobserved call context"
+    // on stacks the profiler never had a chance to record.
+    Module module;
+    IRBuilder b(module);
+    Function *rec = b.createFunction("rec", 1);
+    {
+        Function *f = rec;
+        BasicBlock *more = b.createBlock(f, "more");
+        BasicBlock *leaf = b.createBlock(f, "leaf");
+        b.condBr(b.binop(ir::BinOpKind::Gt, 0, b.constInt(0)), more,
+                 leaf);
+        b.setInsertPoint(more);
+        b.ret(b.call(rec, {b.sub(0, b.constInt(1))}));
+        b.setInsertPoint(leaf);
+        b.ret(b.constInt(0));
+    }
+    b.createFunction("main", 0);
+    b.call(rec, {b.input(0)});
+    b.ret();
+    module.finalize();
+
+    const std::int64_t depth =
+        static_cast<std::int64_t>(inv::kMaxContextDepth) + 6;
+    const auto inv = profiled(module, {oneInput(depth)}, /*contexts=*/true);
+    CheckerConfig config;
+    config.callContexts = true;
+    config.unreachableCode = false; // isolate the context check
+
+    // Replaying the profiled input is clean...
+    EXPECT_FALSE(runChecked(module, inv, oneInput(depth), config).violated);
+    // ...and so is recursing even deeper: every frame past the cap is
+    // exempt, and the frames within the cap match the profiled ones.
+    EXPECT_FALSE(
+        runChecked(module, inv, oneInput(depth + 20), config).violated);
+}
+
 TEST(InvariantChecker, ContextFastPathElidesExactChecks)
 {
     // Repeated identical contexts must hit the confirmed cache: the

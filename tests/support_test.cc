@@ -200,6 +200,24 @@ TEST(Epoch, PackUnpack)
     EXPECT_EQ(Epoch::none().clock(), 0u);
 }
 
+TEST(Epoch, ClockBoundaryRoundTrips)
+{
+    // The clock occupies the low 48 bits; the largest representable
+    // value must round-trip without bleeding into the tid field.
+    const Epoch e(0xabcd, Epoch::kMaxClock);
+    EXPECT_EQ(e.tid(), 0xabcdu);
+    EXPECT_EQ(e.clock(), Epoch::kMaxClock);
+
+    const Epoch low(0xffff, 1);
+    EXPECT_EQ(low.tid(), 0xffffu);
+    EXPECT_EQ(low.clock(), 1u);
+}
+
+TEST(EpochDeathTest, ClockOverflowAsserts)
+{
+    EXPECT_DEATH(Epoch(1, Epoch::kMaxClock + 1), "assertion failed");
+}
+
 TEST(UnionFind, MergeFind)
 {
     UnionFind uf(10);
