@@ -31,6 +31,7 @@ main()
     TextTable table({"benchmark", "threshold", "opt slice", "misspec rate",
                      "OptSlice norm", "speedup"});
 
+    bench::JsonReport json("ablation_aggressive_luc");
     for (const auto &name : {std::string("redis"), std::string("vim"),
                              std::string("zlib")}) {
         for (std::uint64_t threshold : thresholds) {
@@ -42,6 +43,15 @@ main()
             const auto result = core::runOptSlice(workload, config);
             const double tasks =
                 double(result.testRuns) * double(result.endpoints);
+            const std::string variant =
+                "threshold-" + std::to_string(threshold);
+            json.metric(name, variant, "opt_slice_size",
+                        result.optSliceSize);
+            json.metric(name, variant, "misspec_rate",
+                        tasks > 0 ? double(result.misSpeculations) / tasks
+                                  : 0.0);
+            json.metric(name, variant, "optslice_norm",
+                        result.optimistic.normalized());
             table.addRow(
                 {name,
                  threshold <= 1 ? "off" : std::to_string(threshold),
@@ -65,5 +75,6 @@ main()
     std::printf("%s\n", table.str().c_str());
     std::printf("(soundness holds at every threshold — rollbacks absorb "
                 "the extra violations; only the cost moves)\n");
+    json.write();
     return 0;
 }

@@ -9,6 +9,8 @@
 
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -84,5 +86,103 @@ mean(const std::vector<double> &values)
         sum += v;
     return sum / double(values.size());
 }
+
+/** Monotonic wall clock in milliseconds. */
+inline double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Machine-readable sink for benchmark records.  Every harness creates
+ * one with its figure name and calls add() per (workload, variant)
+ * measurement; write() emits `BENCH_<figure>.json` in the working
+ * directory so the perf trajectory can be tracked across PRs without
+ * scraping the human-readable tables.  `events` is the number of
+ * delivered events when the harness tracks them, 0 otherwise (the
+ * pipeline-level figure harnesses report modeled costs, not event
+ * streams).
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string figure) : figure_(std::move(figure)) {}
+
+    void
+    add(const std::string &workload, const std::string &variant,
+        double wallMs, std::uint64_t events = 0)
+    {
+        records_.push_back({workload, variant, wallMs, events, "", 0});
+    }
+
+    /** Record a named scalar (slice size, alias rate, break-even
+     *  seconds...) for harnesses whose headline number is not an
+     *  event-throughput measurement. */
+    void
+    metric(const std::string &workload, const std::string &variant,
+           const std::string &name, double value)
+    {
+        records_.push_back({workload, variant, 0, 0, name, value});
+    }
+
+    /** Write BENCH_<figure>.json; returns false on I/O failure. */
+    bool
+    write() const
+    {
+        const std::string path = "BENCH_" + figure_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"records\": [\n",
+                     figure_.c_str());
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const Record &r = records_[i];
+            const char *tail = i + 1 < records_.size() ? "," : "";
+            if (!r.metricName.empty()) {
+                std::fprintf(f,
+                             "    {\"workload\": \"%s\", \"variant\": "
+                             "\"%s\", \"metric\": \"%s\", "
+                             "\"value\": %.6f}%s\n",
+                             r.workload.c_str(), r.variant.c_str(),
+                             r.metricName.c_str(), r.metricValue, tail);
+                continue;
+            }
+            const double perSec =
+                r.wallMs > 0 ? double(r.events) / (r.wallMs / 1000.0) : 0;
+            std::fprintf(f,
+                         "    {\"workload\": \"%s\", \"variant\": \"%s\", "
+                         "\"wall_ms\": %.3f, \"events\": %llu, "
+                         "\"events_per_sec\": %.0f}%s\n",
+                         r.workload.c_str(), r.variant.c_str(), r.wallMs,
+                         static_cast<unsigned long long>(r.events), perSec,
+                         tail);
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s (%zu records)\n", path.c_str(),
+                    records_.size());
+        return true;
+    }
+
+  private:
+    struct Record
+    {
+        std::string workload;
+        std::string variant;
+        double wallMs;
+        std::uint64_t events;
+        std::string metricName; ///< empty for throughput records
+        double metricValue;
+    };
+
+    std::string figure_;
+    std::vector<Record> records_;
+};
 
 } // namespace oha::bench

@@ -21,6 +21,7 @@ main()
     TextTable table({"benchmark", "base static", "optimistic static",
                      "reduction"});
 
+    bench::JsonReport json("fig10_slice_sizes");
     std::vector<double> reductions;
     for (const auto &name : workloads::sliceWorkloadNames()) {
         const auto workload = workloads::makeSliceWorkload(
@@ -35,9 +36,13 @@ main()
         table.addRow({result.name, fmtDouble(result.soundSliceSize, 0),
                       fmtDouble(result.optSliceSize, 0),
                       fmtSpeedup(reduction)});
+        json.metric(name, "base", "slice_size", result.soundSliceSize);
+        json.metric(name, "optimistic", "slice_size",
+                    result.optSliceSize);
     }
 
     std::printf("%s\n", table.str().c_str());
     std::printf("average reduction: %.1fx\n", bench::mean(reductions));
+    json.write();
     return 0;
 }

@@ -59,6 +59,7 @@ main()
     TextTable table({"benchmark", "base", "+LUC", "+callee sets",
                      "+call contexts", "final AT"});
 
+    bench::JsonReport json("fig11_invariant_ablation");
     for (const auto &name : workloads::sliceWorkloadNames()) {
         const auto workload = workloads::makeSliceWorkload(
             name, bench::kSliceProfileRuns, 2);
@@ -104,11 +105,18 @@ main()
                       fmtDouble(withCallees.first, 0),
                       fmtDouble(withContexts.first, 0),
                       withContexts.second ? "CS" : "CI"});
+        json.metric(name, "base", "slice_size", base.first);
+        json.metric(name, "luc", "slice_size", withLuc.first);
+        json.metric(name, "callee-sets", "slice_size",
+                    withCallees.first);
+        json.metric(name, "call-contexts", "slice_size",
+                    withContexts.first);
     }
 
     std::printf("%s\n", table.str().c_str());
     std::printf("(cells are mean static slice sizes in instructions "
                 "over all endpoints; stages add invariants "
                 "cumulatively)\n");
+    json.write();
     return 0;
 }

@@ -57,11 +57,20 @@ main()
         return row;
     });
 
+    bench::JsonReport json("fig5_optft_runtimes");
     std::vector<double> speedupFt, speedupHybrid;
     std::vector<double> invariantShares, rollbackShares;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const std::string &name = names[i];
         const core::OptFtResult &result = rows[i].result;
+
+        json.add(name, "fasttrack", result.fastTrack.total() * 1e3);
+        json.add(name, "hybrid-ft", result.hybridFt.total() * 1e3);
+        json.add(name, "optft", result.optFt.total() * 1e3);
+        json.metric(name, "optft", "speedup_vs_fasttrack",
+                    result.speedupVsFastTrack);
+        json.metric(name, "optft", "rollbacks",
+                    double(result.misSpeculations));
 
         std::string label = result.name;
         if (result.staticallyRaceFree)
@@ -107,5 +116,6 @@ main()
                 "(paper: 5.7%%, range 0-21.9%%)\n",
                 100.0 * bench::mean(invariantShares),
                 100.0 * bench::mean(rollbackShares));
+    json.write();
     return 0;
 }

@@ -56,10 +56,17 @@ main()
         return row;
     });
 
+    bench::JsonReport json("fig6_optslice_runtimes");
     std::vector<double> speedups;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const std::string &name = names[i];
         const core::OptSliceResult &result = rows[i].result;
+
+        json.add(name, "hybrid", result.hybrid.total() * 1e3);
+        json.add(name, "optslice", result.optimistic.total() * 1e3);
+        json.metric(name, "optslice", "dyn_speedup", result.dynSpeedup);
+        json.metric(name, "optslice", "rollbacks",
+                    double(result.misSpeculations));
 
         table.addRow({result.name,
                       fmtDouble(rows[i].paperBaseline, 2),
@@ -86,5 +93,6 @@ main()
                 "instrumentation exhausts resources on real runs)\n\n");
     std::printf("average OptSlice speedup: %.1fx (paper: 8.3x)\n",
                 bench::mean(speedups));
+    json.write();
     return 0;
 }

@@ -43,6 +43,7 @@ main()
             return core::runOptSlice(workload, config);
         });
 
+    bench::JsonReport json("fig7_misspec_vs_profiling");
     for (std::size_t n = 0; n < names.size(); ++n) {
         std::vector<std::string> row = {names[n]};
         for (std::size_t s = 0; s < sweep.size(); ++s) {
@@ -52,6 +53,9 @@ main()
             const double rate =
                 tasks > 0 ? double(result.misSpeculations) / tasks : 0.0;
             row.push_back(fmtDouble(rate, 3));
+            json.metric(names[n],
+                        "profile-" + std::to_string(sweep[s]),
+                        "misspec_rate", rate);
             if (!result.sliceResultsMatch) {
                 std::printf("SOUNDNESS VIOLATION in %s @ %zu runs\n",
                             names[n].c_str(), sweep[s]);
@@ -65,5 +69,6 @@ main()
     std::printf("(cells are mis-speculation rates over testing tasks; "
                 "the x-axis sweeps profiling executions, the paper's "
                 "profiling-time axis)\n");
+    json.write();
     return 0;
 }

@@ -42,15 +42,21 @@ main()
             return core::runOptSlice(workload, config).optSliceSize;
         });
 
+    bench::JsonReport json("fig8_slicesize_vs_profiling");
     for (std::size_t n = 0; n < names.size(); ++n) {
         std::vector<std::string> row = {names[n]};
-        for (std::size_t s = 0; s < sweep.size(); ++s)
+        for (std::size_t s = 0; s < sweep.size(); ++s) {
             row.push_back(fmtDouble(cells[n * sweep.size() + s], 0));
+            json.metric(names[n],
+                        "profile-" + std::to_string(sweep[s]),
+                        "opt_slice_size", cells[n * sweep.size() + s]);
+        }
         table.addRow(row);
     }
 
     std::printf("%s\n", table.str().c_str());
     std::printf("(cells are mean predicated static slice sizes, in "
                 "instructions, over the chosen endpoints)\n");
+    json.write();
     return 0;
 }

@@ -27,6 +27,7 @@ main()
     TextTable table({"benchmark", "base static", "optimistic static",
                      "reduction"});
 
+    bench::JsonReport json("fig9_alias_rates");
     for (const auto &name : workloads::sliceWorkloadNames()) {
         const auto workload = workloads::makeSliceWorkload(
             name, bench::kSliceProfileRuns, bench::kSliceTestRuns);
@@ -41,6 +42,9 @@ main()
         table.addRow({result.name, fmtDouble(result.soundAliasRate, 4),
                       fmtDouble(result.optAliasRate, 4),
                       fmtSpeedup(reduction)});
+        json.metric(name, "base", "alias_rate", result.soundAliasRate);
+        json.metric(name, "optimistic", "alias_rate",
+                    result.optAliasRate);
         if (result.optAliasRate > result.soundAliasRate + 1e-12) {
             std::printf("REGRESSION: %s optimistic alias rate above "
                         "base\n",
@@ -52,5 +56,6 @@ main()
     std::printf("%s\n", table.str().c_str());
     std::printf("(alias rate = probability a random load/store pair "
                 "may alias, over the optimistic access set)\n");
+    json.write();
     return 0;
 }

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "analysis/race_detector.h"
 #include "analysis/slicer.h"
 #include "dyn/fasttrack.h"
@@ -160,6 +162,57 @@ BM_ProfilingRun(benchmark::State &state)
 }
 BENCHMARK(BM_ProfilingRun);
 
+/**
+ * Console reporter that additionally captures every benchmark's
+ * per-iteration wall time (and item throughput where the benchmark
+ * sets items-processed) into the shared BENCH_*.json sink, so this
+ * binary emits the same machine-readable record stream as the figure
+ * harnesses.
+ */
+class JsonTeeReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonTeeReporter(bench::JsonReport &json) : json_(json) {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            const double iters =
+                run.iterations > 0 ? double(run.iterations) : 1.0;
+            const double wallMs =
+                run.real_accumulated_time / iters * 1e3;
+            // items_per_second is already finalized to a rate by the
+            // time it reaches the reporter; undo it to items/iteration.
+            const auto it = run.counters.find("items_per_second");
+            const std::uint64_t events =
+                it != run.counters.end()
+                    ? static_cast<std::uint64_t>(
+                          double(it->second) *
+                          run.real_accumulated_time / iters)
+                    : 0;
+            json_.add(run.benchmark_name(), "per-iteration", wallMs,
+                      events);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::JsonReport &json_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    bench::JsonReport json("microbench_components");
+    JsonTeeReporter reporter(json);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    json.write();
+    benchmark::Shutdown();
+    return 0;
+}

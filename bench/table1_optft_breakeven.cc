@@ -26,6 +26,7 @@ main()
                      "breakeven vs HybFT", "breakeven vs TradFT",
                      "speedup vs HybFT", "speedup vs TradFT"});
 
+    bench::JsonReport json("table1_optft_breakeven");
     for (const auto &name : workloads::raceWorkloadNames()) {
         const auto workload = workloads::makeRaceWorkload(
             name, bench::kRaceProfileRuns, bench::kRaceTestRuns);
@@ -33,6 +34,20 @@ main()
             core::runOptFt(workload, bench::standardOptFtConfig());
         if (result.staticallyRaceFree)
             continue; // Table 1 covers the non-race-free nine
+
+        json.metric(name, "optft", "trad_static_s",
+                    result.soundStaticSeconds);
+        json.metric(name, "optft", "profile_s", result.profileSeconds);
+        json.metric(name, "optft", "opt_static_s",
+                    result.predStaticSeconds);
+        json.metric(name, "optft", "breakeven_vs_hybrid_s",
+                    result.breakEvenVsHybrid);
+        json.metric(name, "optft", "breakeven_vs_fasttrack_s",
+                    result.breakEvenVsFastTrack);
+        json.metric(name, "optft", "speedup_vs_hybrid",
+                    result.speedupVsHybrid);
+        json.metric(name, "optft", "speedup_vs_fasttrack",
+                    result.speedupVsFastTrack);
 
         auto breakeven = [](double t) {
             return t < 0 ? std::string("-") : fmtTime(t);
@@ -53,5 +68,6 @@ main()
     std::printf("(Break-even: baseline execution time T at which "
                 "profiling + predicated static + optimistic dynamic "
                 "costs drop below the competitor's total)\n");
+    json.write();
     return 0;
 }

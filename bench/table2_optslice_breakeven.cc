@@ -32,11 +32,23 @@ main()
                fmtTime(pick.seconds);
     };
 
+    bench::JsonReport json("table2_optslice_breakeven");
     for (const auto &name : workloads::sliceWorkloadNames()) {
         const auto workload = workloads::makeSliceWorkload(
             name, bench::kSliceProfileRuns, bench::kSliceTestRuns);
         const auto result =
             core::runOptSlice(workload, bench::standardOptSliceConfig());
+
+        json.metric(name, "sound", "pts_s", result.soundPts.seconds);
+        json.metric(name, "sound", "slice_s", result.soundSlice.seconds);
+        json.metric(name, "optimistic", "pts_s", result.optPts.seconds);
+        json.metric(name, "optimistic", "slice_s",
+                    result.optSlice.seconds);
+        json.metric(name, "optimistic", "profile_s",
+                    result.profileSeconds);
+        json.metric(name, "optimistic", "breakeven_s", result.breakEven);
+        json.metric(name, "optimistic", "dyn_speedup",
+                    result.dynSpeedup);
 
         table.addRow({result.name, cell(result.soundPts),
                       cell(result.soundSlice), fmtTime(result.profileSeconds),
@@ -49,5 +61,6 @@ main()
     std::printf("%s\n", table.str().c_str());
     std::printf("(AT = analysis type: the most accurate of CS/CI that "
                 "completes within budget; times are modeled seconds)\n");
+    json.write();
     return 0;
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point.  Usage:
+#
+#   ci/run.sh            # plain RelWithDebInfo build + full test suite
+#   ci/run.sh sanitize   # AddressSanitizer build, tests under OHA_THREADS=4
+#
+# Both jobs run the same ctest suite; the sanitize job exists to catch
+# memory errors and data races in the parallel run-batching paths, so
+# it forces a multi-threaded worker pool.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+job="${1:-plain}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+case "$job" in
+plain)
+    build_dir=build-ci
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$build_dir" -j "$jobs"
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+    ;;
+sanitize)
+    build_dir=build-ci-asan
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DOHA_SANITIZE=address
+    cmake --build "$build_dir" -j "$jobs"
+    OHA_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
+        -j "$jobs"
+    ;;
+*)
+    echo "unknown job '$job' (expected: plain | sanitize)" >&2
+    exit 2
+    ;;
+esac

@@ -12,6 +12,14 @@ FastTrack::clockOf(ThreadId tid)
     return threads_[tid];
 }
 
+VectorClock &
+FastTrack::lockClockOf(exec::ObjectId obj)
+{
+    if (obj >= locks_.size())
+        locks_.resize(obj + 1);
+    return locks_[obj];
+}
+
 void
 FastTrack::onThreadStart(ThreadId tid, ThreadId parent, InstrId spawnSite)
 {
@@ -54,9 +62,12 @@ FastTrack::read(ThreadId tid, const exec::EventCtx &ctx)
     // Shared same-epoch fast path (the paper's READ SHARED SAME
     // EPOCH): this thread already recorded a read at this epoch, so
     // the write-race check ran then, and no write can have intervened
-    // — a write deflates sharedRead and clears the read vector.
-    if (var.sharedRead && var.readVC.get(tid) == now.clock())
+    // — a write deflates sharedRead and clears the reader array.
+    if (var.sharedRead &&
+        (tid < var.readers.size() ? var.readers[tid].clock : 0) ==
+            now.clock()) {
         return;
+    }
 
     // Write-read race check.
     if (!clock.covers(var.write) && var.write.clock() != 0)
@@ -64,19 +75,22 @@ FastTrack::read(ThreadId tid, const exec::EventCtx &ctx)
 
     if (var.sharedRead) {
         ++readSlowPathUpdates_;
-        var.readVC.set(tid, now.clock());
-        var.readInstrByTid[tid] = ctx.instr->id;
+        if (tid >= var.readers.size())
+            var.readers.resize(tid + 1);
+        var.readers[tid] = {now.clock(), ctx.instr->id};
     } else if (clock.covers(var.read) || var.read.clock() == 0) {
         // Exclusive ordered read: stay in epoch representation.
         var.read = now;
     } else {
-        // Concurrent readers: inflate to a vector clock.
+        // Concurrent readers: inflate to the dense reader array.
         ++readSlowPathUpdates_;
         var.sharedRead = true;
-        var.readVC.set(var.read.tid(), var.read.clock());
-        var.readVC.set(tid, now.clock());
-        var.readInstrByTid[var.read.tid()] = var.lastReadInstr;
-        var.readInstrByTid[tid] = ctx.instr->id;
+        const ThreadId high = std::max(var.read.tid(), tid);
+        if (high >= var.readers.size())
+            var.readers.resize(high + 1);
+        var.readers[var.read.tid()] = {var.read.clock(),
+                                       var.lastReadInstr};
+        var.readers[tid] = {now.clock(), ctx.instr->id};
     }
     var.lastReadInstr = ctx.instr->id;
 }
@@ -96,20 +110,21 @@ FastTrack::write(ThreadId tid, const exec::EventCtx &ctx)
 
     if (var.sharedRead) {
         // Report every reader the write is not ordered after.
-        for (std::size_t t = 0; t < var.readVC.size(); ++t) {
+        for (std::size_t t = 0; t < var.readers.size(); ++t) {
             const auto readerTid = static_cast<ThreadId>(t);
-            const Epoch reader(readerTid, var.readVC.get(readerTid));
+            const ReadEntry &entry = var.readers[t];
+            const Epoch reader(readerTid, entry.clock);
             if (reader.clock() != 0 && !clock.covers(reader)) {
-                auto it = var.readInstrByTid.find(readerTid);
-                report(it != var.readInstrByTid.end() ? it->second
-                                                      : var.lastReadInstr,
+                report(entry.instr != kNoInstr ? entry.instr
+                                               : var.lastReadInstr,
                        ctx.instr->id, ctx);
             }
         }
+        // Deflate: clear() keeps the array's capacity, so a cell that
+        // oscillates between shared and exclusive does not reallocate.
         var.sharedRead = false;
-        var.readVC = VectorClock();
+        var.readers.clear();
         var.read = Epoch::none();
-        var.readInstrByTid.clear();
     } else if (var.read.clock() != 0 && !clock.covers(var.read)) {
         report(var.lastReadInstr, ctx.instr->id, ctx);
     }
@@ -129,11 +144,11 @@ FastTrack::onEvent(const exec::EventCtx &ctx)
         break;
       case ir::Opcode::Lock:
         // Acquire: thread learns everything released at this lock.
-        clockOf(ctx.tid).join(locks_[ctx.obj]);
+        clockOf(ctx.tid).join(lockClockOf(ctx.obj));
         break;
       case ir::Opcode::Unlock:
         // Release: publish and advance.
-        locks_[ctx.obj] = clockOf(ctx.tid);
+        lockClockOf(ctx.obj) = clockOf(ctx.tid);
         clockOf(ctx.tid).incr(ctx.tid);
         break;
       case ir::Opcode::Spawn:

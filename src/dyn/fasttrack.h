@@ -15,12 +15,11 @@
 
 #pragma once
 
-#include <map>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "exec/event.h"
+#include "support/flat_map.h"
 #include "support/vector_clock.h"
 
 namespace oha::dyn {
@@ -66,19 +65,32 @@ class FastTrack : public exec::Tool
     }
 
   private:
+    /** One shared-read observation: the reader's clock component plus
+     *  the racing-access attribution.  A dense array of these per
+     *  variable replaces the old VectorClock + std::map<ThreadId,
+     *  InstrId> pair — per-thread reader attribution matters so a
+     *  write-read race reports the reader that actually raced (a
+     *  single last-reader field would mis-attribute when an ordered
+     *  reader follows the racing one), and keeping clock and instr in
+     *  one entry means the write-race sweep touches one array. */
+    struct ReadEntry
+    {
+        std::uint64_t clock = 0;
+        InstrId instr = kNoInstr;
+    };
+
+    /** Shadow state of one memory cell.  Lives inline in the flat
+     *  shadow table, so the common access touches one probe slot; the
+     *  readers array only materializes for genuinely shared cells. */
     struct VarState
     {
         Epoch write;
         Epoch read;
-        VectorClock readVC;
         bool sharedRead = false;
         InstrId lastWriteInstr = kNoInstr;
         InstrId lastReadInstr = kNoInstr;
-        /** Per-thread reader attribution for the shared-read case, so
-         *  a write-read race reports the reader that actually raced
-         *  (a single last-reader field would mis-attribute when an
-         *  ordered reader follows the racing one). */
-        std::map<ThreadId, InstrId> readInstrByTid;
+        /** Dense per-thread reader state, indexed by tid. */
+        std::vector<ReadEntry> readers;
     };
 
     static std::uint64_t
@@ -88,13 +100,17 @@ class FastTrack : public exec::Tool
     }
 
     VectorClock &clockOf(ThreadId tid);
+    VectorClock &lockClockOf(exec::ObjectId obj);
     void read(ThreadId tid, const exec::EventCtx &ctx);
     void write(ThreadId tid, const exec::EventCtx &ctx);
     void report(InstrId prev, InstrId cur, const exec::EventCtx &ctx);
 
     std::vector<VectorClock> threads_;
-    std::unordered_map<exec::ObjectId, VectorClock> locks_;
-    std::unordered_map<std::uint64_t, VarState> vars_;
+    /** Lock release clocks, dense by object id (objects are heap
+     *  indices, so the table is as compact as the heap itself). */
+    std::vector<VectorClock> locks_;
+    /** Shadow memory: (obj, off) -> VarState, open-addressed. */
+    support::FlatMap<VarState> vars_;
     std::set<RaceReport> races_;
     std::uint64_t readSlowPathUpdates_ = 0;
 };

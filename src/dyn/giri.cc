@@ -1,28 +1,52 @@
 #include "dyn/giri.h"
 
-#include <algorithm>
-#include <deque>
-
 namespace oha::dyn {
 
 std::uint32_t
 GiriSlicer::lookupReg(std::uint64_t frameId, ir::Reg reg)
 {
-    auto it = regDef_.find(slotKey(frameId, reg));
-    if (it == regDef_.end()) {
+    const std::uint32_t entry = regDef_.get(frameId, reg);
+    if (entry == kNoEntry)
         ++missing_;
-        return kNoEntry;
-    }
-    return it->second;
+    return entry;
+}
+
+void
+GiriSlicer::pushDep(std::uint32_t entry)
+{
+    if (entry == kNoEntry)
+        return;
+    // Dedupe: an instruction reading one producer through several
+    // operands (x+x, or a load whose address and memory producer
+    // coincide) should link to it once.  Entries have a handful of
+    // deps, so the linear scan beats any set.
+    for (std::uint32_t dep : depsBuf_)
+        if (dep == entry)
+            return;
+    depsBuf_.push_back(entry);
 }
 
 std::uint32_t
-GiriSlicer::append(InstrId instr, std::vector<std::uint32_t> deps)
+GiriSlicer::append(InstrId instr)
 {
-    deps.erase(std::remove(deps.begin(), deps.end(), kNoEntry),
-               deps.end());
-    trace_.push_back({instr, std::move(deps)});
-    return static_cast<std::uint32_t>(trace_.size() - 1);
+    traceInstr_.push_back(instr);
+    depsPool_.insert(depsPool_.end(), depsBuf_.begin(), depsBuf_.end());
+    depsOffset_.push_back(depsPool_.size());
+    return static_cast<std::uint32_t>(traceInstr_.size() - 1);
+}
+
+std::uint32_t
+GiriSlicer::threadRetOf(ThreadId tid) const
+{
+    return tid < threadRet_.size() ? threadRet_[tid] : kNoEntry;
+}
+
+void
+GiriSlicer::setThreadRet(ThreadId tid, std::uint32_t entry)
+{
+    if (tid >= threadRet_.size())
+        threadRet_.resize(tid + 1, kNoEntry);
+    threadRet_[tid] = entry;
 }
 
 void
@@ -31,66 +55,67 @@ GiriSlicer::onEvent(const exec::EventCtx &ctx)
     using ir::Opcode;
     const ir::Instruction &ins = *ctx.instr;
 
-    std::vector<std::uint32_t> deps;
-    static thread_local std::vector<ir::Reg> uses;
-    ins.usedRegs(uses);
-    for (ir::Reg reg : uses)
-        deps.push_back(lookupReg(ctx.frameId, reg));
+    depsBuf_.clear();
+    ins.usedRegs(usesBuf_);
+    for (ir::Reg reg : usesBuf_)
+        pushDep(lookupReg(ctx.frameId, reg));
 
     switch (ins.op) {
       case Opcode::Load: {
-        auto it = memDef_.find(addrKey(ctx.obj, ctx.off));
-        if (it != memDef_.end())
-            deps.push_back(it->second);
-        const std::uint32_t entry = append(ins.id, std::move(deps));
-        regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+        if (const std::uint32_t *def =
+                memDef_.find(addrKey(ctx.obj, ctx.off)))
+            pushDep(*def);
+        const std::uint32_t entry = append(ins.id);
+        regDef_.set(ctx.frameId, ins.dest, entry);
         break;
       }
       case Opcode::Store: {
-        const std::uint32_t entry = append(ins.id, std::move(deps));
+        const std::uint32_t entry = append(ins.id);
         memDef_[addrKey(ctx.obj, ctx.off)] = entry;
         break;
       }
       case Opcode::Call:
       case Opcode::ICall: {
-        const std::uint32_t entry = append(ins.id, std::move(deps));
+        const std::uint32_t entry = append(ins.id);
         // Callee parameters are defined by this call entry.
         const ir::Function *callee =
             module_.function(ctx.calleeResolved);
         for (ir::Reg p = 0; p < callee->numParams(); ++p)
-            regDef_[slotKey(ctx.frame2, p)] = entry;
+            regDef_.set(ctx.frame2, p, entry);
         break;
       }
       case Opcode::Spawn: {
-        const std::uint32_t entry = append(ins.id, std::move(deps));
+        const std::uint32_t entry = append(ins.id);
         const ir::Function *callee = module_.function(ins.callee);
         for (ir::Reg p = 0; p < callee->numParams(); ++p)
-            regDef_[slotKey(ctx.frame2, p)] = entry;
+            regDef_.set(ctx.frame2, p, entry);
         if (ins.dest != ir::kNoReg)
-            regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+            regDef_.set(ctx.frameId, ins.dest, entry);
         break;
       }
       case Opcode::Ret: {
-        const std::uint32_t entry = append(ins.id, std::move(deps));
+        const std::uint32_t entry = append(ins.id);
         if (ctx.callInstr) {
             if (ctx.callInstr->dest != ir::kNoReg)
-                regDef_[slotKey(ctx.frame2, ctx.callInstr->dest)] = entry;
+                regDef_.set(ctx.frame2, ctx.callInstr->dest, entry);
         } else {
-            threadRet_[ctx.tid] = entry;
+            setThreadRet(ctx.tid, entry);
         }
+        // The frame is gone; frame ids are never reused, so its
+        // register table can be recycled.  (If the Ret is elided the
+        // table merely stays resident — it is never read again.)
+        regDef_.release(ctx.frameId);
         break;
       }
       case Opcode::Join: {
-        auto it = threadRet_.find(ctx.otherTid);
-        if (it != threadRet_.end())
-            deps.push_back(it->second);
-        const std::uint32_t entry = append(ins.id, std::move(deps));
+        pushDep(threadRetOf(ctx.otherTid));
+        const std::uint32_t entry = append(ins.id);
         if (ins.dest != ir::kNoReg)
-            regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+            regDef_.set(ctx.frameId, ins.dest, entry);
         break;
       }
       case Opcode::Output: {
-        const std::uint32_t entry = append(ins.id, std::move(deps));
+        const std::uint32_t entry = append(ins.id);
         outputs_[ins.id].push_back(entry);
         break;
       }
@@ -99,9 +124,9 @@ GiriSlicer::onEvent(const exec::EventCtx &ctx)
         break; // data-flow slices ignore control dependencies
       default: {
         // Plain value producers (const, binop, gep, alloc, input...).
-        const std::uint32_t entry = append(ins.id, std::move(deps));
+        const std::uint32_t entry = append(ins.id);
         if (ins.dest != ir::kNoReg)
-            regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+            regDef_.set(ctx.frameId, ins.dest, entry);
         break;
       }
     }
@@ -115,19 +140,23 @@ GiriSlicer::slice(InstrId endpoint) const
     if (it == outputs_.end())
         return result;
 
-    std::vector<bool> visited(trace_.size(), false);
-    std::deque<std::uint32_t> work;
+    // Closure over dependency links; visitation order is irrelevant
+    // to the resulting set, so a plain stack serves as the worklist.
+    std::vector<std::uint8_t> visited(traceInstr_.size(), 0);
+    std::vector<std::uint32_t> work;
     for (std::uint32_t entry : it->second) {
-        visited[entry] = true;
+        visited[entry] = 1;
         work.push_back(entry);
     }
     while (!work.empty()) {
-        const std::uint32_t cur = work.front();
-        work.pop_front();
-        result.insert(trace_[cur].instr);
-        for (std::uint32_t dep : trace_[cur].deps) {
+        const std::uint32_t cur = work.back();
+        work.pop_back();
+        result.insert(traceInstr_[cur]);
+        for (std::uint64_t i = depsOffset_[cur]; i < depsOffset_[cur + 1];
+             ++i) {
+            const std::uint32_t dep = depsPool_[i];
             if (!visited[dep]) {
-                visited[dep] = true;
+                visited[dep] = 1;
                 work.push_back(dep);
             }
         }

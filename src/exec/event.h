@@ -134,8 +134,12 @@ class Tool
 };
 
 /**
- * Which sites are instrumented.  Per-instruction and per-block
- * bitmaps over module-unique ids.
+ * Which sites are instrumented.  Per-instruction and per-block byte
+ * maps over module-unique ids — bytes, not vector<bool>, because
+ * coversInstr() sits on the per-event dispatch path and a bit-proxy
+ * read (shift + mask through a proxy object) is measurably slower
+ * than one byte load.  Site counts are maintained incrementally so
+ * numInstrSites()/numBlockSites() are O(1).
  */
 class InstrumentationPlan
 {
@@ -147,8 +151,10 @@ class InstrumentationPlan
     all(const ir::Module &module)
     {
         InstrumentationPlan plan;
-        plan.instrs_.assign(module.numInstrs(), true);
-        plan.blocks_.assign(module.numBlocks(), true);
+        plan.instrs_.assign(module.numInstrs(), 1);
+        plan.blocks_.assign(module.numBlocks(), 1);
+        plan.instrSites_ = module.numInstrs();
+        plan.blockSites_ = module.numBlocks();
         return plan;
     }
 
@@ -157,8 +163,8 @@ class InstrumentationPlan
     none(const ir::Module &module)
     {
         InstrumentationPlan plan;
-        plan.instrs_.assign(module.numInstrs(), false);
-        plan.blocks_.assign(module.numBlocks(), false);
+        plan.instrs_.assign(module.numInstrs(), 0);
+        plan.blocks_.assign(module.numBlocks(), 0);
         return plan;
     }
 
@@ -178,39 +184,31 @@ class InstrumentationPlan
     setInstr(InstrId id, bool on)
     {
         OHA_ASSERT(id < instrs_.size());
+        instrSites_ -= instrs_[id];
         instrs_[id] = on;
+        instrSites_ += instrs_[id];
     }
 
     void
     setBlock(BlockId id, bool on)
     {
         OHA_ASSERT(id < blocks_.size());
+        blockSites_ -= blocks_[id];
         blocks_[id] = on;
+        blockSites_ += blocks_[id];
     }
 
     /** Number of instrumented instruction sites. */
-    std::uint64_t
-    numInstrSites() const
-    {
-        std::uint64_t n = 0;
-        for (bool b : instrs_)
-            n += b;
-        return n;
-    }
+    std::uint64_t numInstrSites() const { return instrSites_; }
 
     /** Number of instrumented block sites. */
-    std::uint64_t
-    numBlockSites() const
-    {
-        std::uint64_t n = 0;
-        for (bool b : blocks_)
-            n += b;
-        return n;
-    }
+    std::uint64_t numBlockSites() const { return blockSites_; }
 
   private:
-    std::vector<bool> instrs_;
-    std::vector<bool> blocks_;
+    std::vector<std::uint8_t> instrs_;
+    std::vector<std::uint8_t> blocks_;
+    std::uint64_t instrSites_ = 0;
+    std::uint64_t blockSites_ = 0;
 };
 
 } // namespace oha::exec

@@ -159,9 +159,11 @@ class Interpreter
         const InstrumentationPlan *plan;
     };
 
-    /** Execute one instruction of @p thread; returns false if the
-     *  thread blocked (instruction must be retried). */
-    bool step(ThreadCtx &thread);
+    /** Execute up to @p quantum instructions of thread @p pick,
+     *  stopping early when it blocks, finishes, aborts, or hits the
+     *  step limit.  The whole scheduling slice runs in one call so the
+     *  per-instruction path has no function-call overhead. */
+    void runQuantum(std::uint32_t pick, std::uint64_t quantum);
 
     void enterBlock(ThreadCtx &thread, const ir::BasicBlock *block);
     void pushFrame(ThreadCtx &thread, const ir::Function *func,
@@ -172,9 +174,15 @@ class Interpreter
                          const std::vector<Value> &args, InstrId spawnSite,
                          ThreadId parent);
 
-    void fireEvent(const EventCtx &ctx);
+    /** Merge the attachments' plans into the per-site dispatch words
+     *  (bit i = attachment i) and precompute per-instruction event
+     *  classes.  Called once when run() starts; afterwards the
+     *  per-event dispatch is one 16-bit load. */
+    void buildDispatchTables();
+
+    void fireEvent(const EventCtx &ctx, std::uint8_t mask,
+                   EventClass cls);
     void fireBlockEnter(ThreadId tid, BlockId block);
-    void countEvent(EventClass cls) { ++totalEvents_[cls]; }
 
     Value &reg(Frame &frame, ir::Reg r);
     const Value &regRead(Frame &frame, ir::Reg r);
@@ -187,6 +195,13 @@ class Interpreter
     Rng rng_;
 
     std::vector<Attachment> attachments_;
+    /** Per-instruction dispatch word: low byte is the OR of attachment
+     *  cover bits (bit i set iff attachment i's plan covers the site;
+     *  0 = no tool listens and the event path is skipped wholesale),
+     *  high byte the precomputed EventClass.  One load serves both the
+     *  coverage test and the event-class accounting. */
+    std::vector<std::uint16_t> dispatch_;
+    std::vector<std::uint8_t> blockMask_;
     std::vector<ThreadCtx> threads_;
     std::vector<HeapObject> heap_;
     /** obj -> owning thread + 1, or 0 when free. */

@@ -54,30 +54,4 @@ binopName(BinOpKind kind)
     return "?";
 }
 
-std::int64_t
-evalBinOp(BinOpKind kind, std::int64_t lhs, std::int64_t rhs)
-{
-    switch (kind) {
-      case BinOpKind::Add: return lhs + rhs;
-      case BinOpKind::Sub: return lhs - rhs;
-      case BinOpKind::Mul: return lhs * rhs;
-      case BinOpKind::Div: return rhs == 0 ? 0 : lhs / rhs;
-      case BinOpKind::Mod: return rhs == 0 ? 0 : lhs % rhs;
-      case BinOpKind::And: return lhs & rhs;
-      case BinOpKind::Or: return lhs | rhs;
-      case BinOpKind::Xor: return lhs ^ rhs;
-      case BinOpKind::Shl: return lhs << (rhs & 63);
-      case BinOpKind::Shr:
-        return static_cast<std::int64_t>(
-            static_cast<std::uint64_t>(lhs) >> (rhs & 63));
-      case BinOpKind::Lt: return lhs < rhs;
-      case BinOpKind::Le: return lhs <= rhs;
-      case BinOpKind::Gt: return lhs > rhs;
-      case BinOpKind::Ge: return lhs >= rhs;
-      case BinOpKind::Eq: return lhs == rhs;
-      case BinOpKind::Ne: return lhs != rhs;
-    }
-    return 0;
-}
-
 } // namespace oha::ir

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A chunked bump allocator for the dynamic-analysis data plane.
+ *
+ * Per-event metadata work dominates dynamic-analysis overhead
+ * (Section 2.3), and the single biggest constant factor in a naive
+ * implementation is a heap allocation per event or per frame.  An
+ * Arena turns those into pointer bumps: allocations come out of large
+ * chunks, are never freed individually, and all storage is reclaimed
+ * at once when the arena is destroyed or reset.  Used by the Giri
+ * slicer's per-frame register tables; anything whose lifetime is
+ * "the whole trace" belongs here.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "support/common.h"
+
+namespace oha::support {
+
+/** Chunked bump allocator; individual allocations are never freed. */
+class Arena
+{
+  public:
+    /** @p chunkBytes is the granularity of the backing allocations;
+     *  requests larger than a chunk get a dedicated chunk. */
+    explicit Arena(std::size_t chunkBytes = kDefaultChunkBytes)
+        : chunkBytes_(chunkBytes)
+    {
+        OHA_ASSERT(chunkBytes > 0);
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Allocate @p bytes with @p align alignment (power of two). */
+    void *
+    allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t))
+    {
+        OHA_ASSERT(align > 0 && (align & (align - 1)) == 0);
+        std::size_t cursor = (cursor_ + align - 1) & ~(align - 1);
+        if (chunks_.empty() || cursor + bytes > chunkSize_.back()) {
+            newChunk(bytes, align);
+            cursor = 0; // fresh chunks are max_align_t-aligned
+        }
+        void *ptr = chunks_.back().get() + cursor;
+        cursor_ = cursor + bytes;
+        used_ += bytes;
+        return ptr;
+    }
+
+    /** Allocate an uninitialized array of @p count T. */
+    template <typename T>
+    T *
+    allocateArray(std::size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena never runs destructors");
+        return static_cast<T *>(allocate(count * sizeof(T), alignof(T)));
+    }
+
+    /** Drop every allocation but keep the first chunk for reuse. */
+    void
+    reset()
+    {
+        if (chunks_.size() > 1) {
+            chunks_.erase(chunks_.begin() + 1, chunks_.end());
+            chunkSize_.erase(chunkSize_.begin() + 1, chunkSize_.end());
+        }
+        cursor_ = 0;
+        used_ = 0;
+    }
+
+    /** Payload bytes handed out since construction / reset(). */
+    std::size_t bytesUsed() const { return used_; }
+
+    /** Backing bytes currently reserved across all chunks. */
+    std::size_t
+    bytesReserved() const
+    {
+        std::size_t total = 0;
+        for (std::size_t size : chunkSize_)
+            total += size;
+        return total;
+    }
+
+  private:
+    static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+    void
+    newChunk(std::size_t atLeast, std::size_t align)
+    {
+        // operator new[] returns max_align_t-aligned storage, which
+        // bounds every alignment allocate() accepts.
+        OHA_ASSERT(align <= alignof(std::max_align_t));
+        const std::size_t size = std::max(chunkBytes_, atLeast + align);
+        chunks_.push_back(
+            std::unique_ptr<std::byte[]>(new std::byte[size]));
+        chunkSize_.push_back(size);
+        cursor_ = 0;
+    }
+
+    std::size_t chunkBytes_;
+    std::size_t cursor_ = 0;
+    std::size_t used_ = 0;
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::vector<std::size_t> chunkSize_;
+};
+
+} // namespace oha::support

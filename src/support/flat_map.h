@@ -1,0 +1,189 @@
+/**
+ * @file
+ * An open-addressed hash table from uint64 keys to POD-ish values,
+ * built for the per-event hot paths of the dynamic analyses.
+ *
+ * Shadow memory (FastTrack's per-cell VarState, Giri's last-store
+ * table) is looked up on every delivered memory event, so the
+ * std::unordered_map combination of per-node allocation, pointer
+ * chasing and modulo hashing is exactly the metadata overhead the
+ * paper says dominates dynamic analysis (Section 2.3).  FlatMap keeps
+ * keys and values in two parallel flat arrays with power-of-two
+ * capacity, linear probing and a strong 64-bit mixer, so the common
+ * lookup is one probe in one cache line and growth is a plain
+ * rehash-by-move.  Deletion is tombstone-free (backward shift), so
+ * heavy insert/erase churn cannot degrade probe lengths.
+ *
+ * One key value (~0) is reserved as the empty sentinel; the id-packing
+ * schemes used by the analyses ((obj << 32) | off, frame * 2^16 + reg)
+ * never produce it for realistic inputs, and inserting it panics.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/common.h"
+
+namespace oha::support {
+
+/** Open-addressed uint64 -> T hash map (linear probing). */
+template <typename T>
+class FlatMap
+{
+  public:
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+    FlatMap() = default;
+
+    /** Value for @p key, default-constructing it on first touch. */
+    T &
+    operator[](std::uint64_t key)
+    {
+        OHA_ASSERT(key != kEmptyKey);
+        if ((size_ + 1) * 8 > capacity() * 7) // load factor 7/8
+            grow();
+        std::size_t slot = probe(key);
+        if (keys_[slot] != key) {
+            keys_[slot] = key;
+            vals_[slot] = T{};
+            ++size_;
+        }
+        return vals_[slot];
+    }
+
+    /** Pointer to the value for @p key, or nullptr. */
+    T *
+    find(std::uint64_t key)
+    {
+        if (size_ == 0)
+            return nullptr;
+        const std::size_t slot = probe(key);
+        return keys_[slot] == key ? &vals_[slot] : nullptr;
+    }
+
+    const T *
+    find(std::uint64_t key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    /** Erase @p key if present; returns whether it was.  Backward
+     *  shift: displaced successors move up, so no tombstones. */
+    bool
+    erase(std::uint64_t key)
+    {
+        if (size_ == 0)
+            return false;
+        std::size_t slot = probe(key);
+        if (keys_[slot] != key)
+            return false;
+        const std::size_t mask = capacity() - 1;
+        std::size_t hole = slot;
+        for (std::size_t next = (hole + 1) & mask;
+             keys_[next] != kEmptyKey; next = (next + 1) & mask) {
+            // An entry may fill the hole only if its home slot does
+            // not lie (cyclically) between the hole and the entry.
+            const std::size_t home = mix(keys_[next]) & mask;
+            const bool movable = ((next - home) & mask) >=
+                                 ((next - hole) & mask);
+            if (movable) {
+                keys_[hole] = keys_[next];
+                vals_[hole] = std::move(vals_[next]);
+                hole = next;
+            }
+        }
+        keys_[hole] = kEmptyKey;
+        vals_[hole] = T{};
+        --size_;
+        return true;
+    }
+
+    /** Visit every (key, value) pair in unspecified order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i)
+            if (keys_[i] != kEmptyKey)
+                fn(keys_[i], vals_[i]);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    clear()
+    {
+        keys_.assign(keys_.size(), kEmptyKey);
+        vals_.assign(vals_.size(), T{});
+        size_ = 0;
+    }
+
+    /** Pre-size for @p expected entries to avoid growth rehashes. */
+    void
+    reserve(std::size_t expected)
+    {
+        std::size_t want = kMinCapacity;
+        while (expected * 8 > want * 7)
+            want *= 2;
+        if (want > capacity())
+            rehash(want);
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 16;
+
+    std::size_t capacity() const { return keys_.size(); }
+
+    /** Fibonacci/splitmix-style 64-bit finalizer: full avalanche, so
+     *  masking to a power of two is safe for packed sequential keys. */
+    static std::uint64_t
+    mix(std::uint64_t key)
+    {
+        key ^= key >> 33;
+        key *= 0xff51afd7ed558ccdULL;
+        key ^= key >> 33;
+        key *= 0xc4ceb9fe1a85ec53ULL;
+        key ^= key >> 33;
+        return key;
+    }
+
+    /** Slot holding @p key, or the empty slot where it would insert.
+     *  Requires capacity() > 0 and a free slot (load factor < 1). */
+    std::size_t
+    probe(std::uint64_t key) const
+    {
+        const std::size_t mask = capacity() - 1;
+        std::size_t slot = mix(key) & mask;
+        while (keys_[slot] != key && keys_[slot] != kEmptyKey)
+            slot = (slot + 1) & mask;
+        return slot;
+    }
+
+    void grow() { rehash(capacity() ? capacity() * 2 : kMinCapacity); }
+
+    void
+    rehash(std::size_t newCapacity)
+    {
+        std::vector<std::uint64_t> oldKeys = std::move(keys_);
+        std::vector<T> oldVals = std::move(vals_);
+        keys_.assign(newCapacity, kEmptyKey);
+        vals_.assign(newCapacity, T{});
+        for (std::size_t i = 0; i < oldKeys.size(); ++i) {
+            if (oldKeys[i] == kEmptyKey)
+                continue;
+            const std::size_t slot = probe(oldKeys[i]);
+            keys_[slot] = oldKeys[i];
+            vals_[slot] = std::move(oldVals[i]);
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<T> vals_;
+    std::size_t size_ = 0;
+};
+
+} // namespace oha::support

@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Pre/post-overhaul parity for the flat shadow-state storage.
+ *
+ * The shadow-memory overhaul (flat_map shadow cells, dense lock /
+ * reader tables, CSR trace arena, recycled frame register slots)
+ * must be a pure representation change: on every workload, the
+ * FastTrack race reports and the Giri slice sets must be identical
+ * to what the original map-based implementations produce.  The
+ * originals are preserved here as reference tools and attached to
+ * the very same deterministic run as the production tools, so both
+ * observe the same event stream and any divergence is the storage
+ * change itself.  Batches run at 1 and 4 worker threads and their
+ * results are compared, pinning runBatch's thread-count invariance
+ * for tool-carrying jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "dyn/fasttrack.h"
+#include "dyn/giri.h"
+#include "dyn/plans.h"
+#include "support/thread_pool.h"
+#include "workloads/workloads.h"
+
+namespace oha {
+namespace {
+
+/** The pre-overhaul FastTrack: map-based shadow state, verbatim. */
+class RefFastTrack : public exec::Tool
+{
+  public:
+    void
+    onEvent(const exec::EventCtx &ctx) override
+    {
+        switch (ctx.instr->op) {
+          case ir::Opcode::Load:
+            read(ctx.tid, ctx);
+            break;
+          case ir::Opcode::Store:
+            write(ctx.tid, ctx);
+            break;
+          case ir::Opcode::Lock:
+            clockOf(ctx.tid).join(locks_[ctx.obj]);
+            break;
+          case ir::Opcode::Unlock:
+            locks_[ctx.obj] = clockOf(ctx.tid);
+            clockOf(ctx.tid).incr(ctx.tid);
+            break;
+          case ir::Opcode::Spawn:
+            break;
+          case ir::Opcode::Join:
+            clockOf(ctx.tid).join(clockOf(ctx.otherTid));
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    onThreadStart(ThreadId tid, ThreadId parent,
+                  InstrId spawnSite) override
+    {
+        const ThreadId high =
+            spawnSite != kNoInstr ? std::max(tid, parent) : tid;
+        if (high >= threads_.size())
+            threads_.resize(high + 1);
+        VectorClock &clock = threads_[tid];
+        if (spawnSite != kNoInstr) {
+            clock.join(threads_[parent]);
+            threads_[parent].incr(parent);
+        }
+        clock.incr(tid);
+    }
+
+    const std::set<dyn::RaceReport> &races() const { return races_; }
+
+    std::uint64_t readSlowPathUpdates() const
+    {
+        return readSlowPathUpdates_;
+    }
+
+  private:
+    struct VarState
+    {
+        Epoch write;
+        Epoch read;
+        VectorClock readVC;
+        bool sharedRead = false;
+        InstrId lastWriteInstr = kNoInstr;
+        InstrId lastReadInstr = kNoInstr;
+        std::map<ThreadId, InstrId> readInstrByTid;
+    };
+
+    static std::uint64_t
+    addrKey(exec::ObjectId obj, std::uint32_t off)
+    {
+        return (static_cast<std::uint64_t>(obj) << 32) | off;
+    }
+
+    VectorClock &
+    clockOf(ThreadId tid)
+    {
+        if (tid >= threads_.size())
+            threads_.resize(tid + 1);
+        return threads_[tid];
+    }
+
+    void
+    report(InstrId prev, InstrId cur, const exec::EventCtx &ctx)
+    {
+        if (prev == kNoInstr)
+            return;
+        races_.insert({std::min(prev, cur), std::max(prev, cur), ctx.obj,
+                       ctx.off});
+    }
+
+    void
+    read(ThreadId tid, const exec::EventCtx &ctx)
+    {
+        VarState &var = vars_[addrKey(ctx.obj, ctx.off)];
+        const VectorClock &clock = clockOf(tid);
+        const Epoch now = clock.epochOf(tid);
+
+        if (!var.sharedRead && var.read == now)
+            return;
+        if (var.sharedRead && var.readVC.get(tid) == now.clock())
+            return;
+
+        if (!clock.covers(var.write) && var.write.clock() != 0)
+            report(var.lastWriteInstr, ctx.instr->id, ctx);
+
+        if (var.sharedRead) {
+            ++readSlowPathUpdates_;
+            var.readVC.set(tid, now.clock());
+            var.readInstrByTid[tid] = ctx.instr->id;
+        } else if (clock.covers(var.read) || var.read.clock() == 0) {
+            var.read = now;
+        } else {
+            ++readSlowPathUpdates_;
+            var.sharedRead = true;
+            var.readVC.set(var.read.tid(), var.read.clock());
+            var.readVC.set(tid, now.clock());
+            var.readInstrByTid[var.read.tid()] = var.lastReadInstr;
+            var.readInstrByTid[tid] = ctx.instr->id;
+        }
+        var.lastReadInstr = ctx.instr->id;
+    }
+
+    void
+    write(ThreadId tid, const exec::EventCtx &ctx)
+    {
+        VarState &var = vars_[addrKey(ctx.obj, ctx.off)];
+        const VectorClock &clock = clockOf(tid);
+        const Epoch now = clock.epochOf(tid);
+
+        if (var.write == now)
+            return;
+
+        if (!clock.covers(var.write) && var.write.clock() != 0)
+            report(var.lastWriteInstr, ctx.instr->id, ctx);
+
+        if (var.sharedRead) {
+            for (std::size_t t = 0; t < var.readVC.size(); ++t) {
+                const auto readerTid = static_cast<ThreadId>(t);
+                const Epoch reader(readerTid, var.readVC.get(readerTid));
+                if (reader.clock() != 0 && !clock.covers(reader)) {
+                    auto it = var.readInstrByTid.find(readerTid);
+                    report(it != var.readInstrByTid.end()
+                               ? it->second
+                               : var.lastReadInstr,
+                           ctx.instr->id, ctx);
+                }
+            }
+            var.sharedRead = false;
+            var.readVC = VectorClock();
+            var.read = Epoch::none();
+            var.readInstrByTid.clear();
+        } else if (var.read.clock() != 0 && !clock.covers(var.read)) {
+            report(var.lastReadInstr, ctx.instr->id, ctx);
+        }
+        var.write = now;
+        var.lastWriteInstr = ctx.instr->id;
+    }
+
+    std::vector<VectorClock> threads_;
+    std::unordered_map<exec::ObjectId, VectorClock> locks_;
+    std::unordered_map<std::uint64_t, VarState> vars_;
+    std::set<dyn::RaceReport> races_;
+    std::uint64_t readSlowPathUpdates_ = 0;
+};
+
+/** The pre-overhaul Giri slicer: per-entry deps vectors (duplicates
+ *  kept), hash-map register/memory definitions, verbatim. */
+class RefGiri : public exec::Tool
+{
+  public:
+    explicit RefGiri(const ir::Module &module) : module_(module) {}
+
+    void
+    onEvent(const exec::EventCtx &ctx) override
+    {
+        using ir::Opcode;
+        const ir::Instruction &ins = *ctx.instr;
+
+        std::vector<std::uint32_t> deps;
+        ins.usedRegs(uses_);
+        for (ir::Reg reg : uses_)
+            deps.push_back(lookupReg(ctx.frameId, reg));
+
+        switch (ins.op) {
+          case Opcode::Load: {
+            auto it = memDef_.find(addrKey(ctx.obj, ctx.off));
+            if (it != memDef_.end())
+                deps.push_back(it->second);
+            const std::uint32_t entry = append(ins.id, std::move(deps));
+            regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+            break;
+          }
+          case Opcode::Store: {
+            const std::uint32_t entry = append(ins.id, std::move(deps));
+            memDef_[addrKey(ctx.obj, ctx.off)] = entry;
+            break;
+          }
+          case Opcode::Call:
+          case Opcode::ICall: {
+            const std::uint32_t entry = append(ins.id, std::move(deps));
+            const ir::Function *callee =
+                module_.function(ctx.calleeResolved);
+            for (ir::Reg p = 0; p < callee->numParams(); ++p)
+                regDef_[slotKey(ctx.frame2, p)] = entry;
+            break;
+          }
+          case Opcode::Spawn: {
+            const std::uint32_t entry = append(ins.id, std::move(deps));
+            const ir::Function *callee = module_.function(ins.callee);
+            for (ir::Reg p = 0; p < callee->numParams(); ++p)
+                regDef_[slotKey(ctx.frame2, p)] = entry;
+            if (ins.dest != ir::kNoReg)
+                regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+            break;
+          }
+          case Opcode::Ret: {
+            const std::uint32_t entry = append(ins.id, std::move(deps));
+            if (ctx.callInstr) {
+                if (ctx.callInstr->dest != ir::kNoReg)
+                    regDef_[slotKey(ctx.frame2, ctx.callInstr->dest)] =
+                        entry;
+            } else {
+                threadRet_[ctx.tid] = entry;
+            }
+            break;
+          }
+          case Opcode::Join: {
+            auto it = threadRet_.find(ctx.otherTid);
+            if (it != threadRet_.end())
+                deps.push_back(it->second);
+            const std::uint32_t entry = append(ins.id, std::move(deps));
+            if (ins.dest != ir::kNoReg)
+                regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+            break;
+          }
+          case Opcode::Output: {
+            const std::uint32_t entry = append(ins.id, std::move(deps));
+            outputs_[ins.id].push_back(entry);
+            break;
+          }
+          case Opcode::Br:
+          case Opcode::CondBr:
+            break;
+          default: {
+            const std::uint32_t entry = append(ins.id, std::move(deps));
+            if (ins.dest != ir::kNoReg)
+                regDef_[slotKey(ctx.frameId, ins.dest)] = entry;
+            break;
+          }
+        }
+    }
+
+    std::set<InstrId>
+    slice(InstrId endpoint) const
+    {
+        std::set<InstrId> result;
+        auto it = outputs_.find(endpoint);
+        if (it == outputs_.end())
+            return result;
+
+        std::vector<bool> visited(trace_.size(), false);
+        std::deque<std::uint32_t> work;
+        for (std::uint32_t entry : it->second) {
+            visited[entry] = true;
+            work.push_back(entry);
+        }
+        while (!work.empty()) {
+            const std::uint32_t cur = work.front();
+            work.pop_front();
+            result.insert(trace_[cur].instr);
+            for (std::uint32_t dep : trace_[cur].deps) {
+                if (!visited[dep]) {
+                    visited[dep] = true;
+                    work.push_back(dep);
+                }
+            }
+        }
+        return result;
+    }
+
+    std::uint64_t traceLength() const { return trace_.size(); }
+    std::uint64_t missingDependencies() const { return missing_; }
+
+  private:
+    static constexpr std::uint32_t kNoEntry =
+        static_cast<std::uint32_t>(-1);
+
+    struct TraceEntry
+    {
+        InstrId instr;
+        std::vector<std::uint32_t> deps;
+    };
+
+    static std::uint64_t
+    addrKey(exec::ObjectId obj, std::uint32_t off)
+    {
+        return (static_cast<std::uint64_t>(obj) << 32) | off;
+    }
+
+    static std::uint64_t
+    slotKey(std::uint64_t frameId, ir::Reg reg)
+    {
+        return frameId * 0x10000 + reg;
+    }
+
+    std::uint32_t
+    lookupReg(std::uint64_t frameId, ir::Reg reg)
+    {
+        auto it = regDef_.find(slotKey(frameId, reg));
+        if (it == regDef_.end()) {
+            ++missing_;
+            return kNoEntry;
+        }
+        return it->second;
+    }
+
+    std::uint32_t
+    append(InstrId instr, std::vector<std::uint32_t> deps)
+    {
+        deps.erase(std::remove(deps.begin(), deps.end(), kNoEntry),
+                   deps.end());
+        trace_.push_back({instr, std::move(deps)});
+        return static_cast<std::uint32_t>(trace_.size() - 1);
+    }
+
+    const ir::Module &module_;
+    std::vector<TraceEntry> trace_;
+    std::vector<ir::Reg> uses_;
+    std::unordered_map<std::uint64_t, std::uint32_t> regDef_;
+    std::unordered_map<std::uint64_t, std::uint32_t> memDef_;
+    std::unordered_map<ThreadId, std::uint32_t> threadRet_;
+    std::map<InstrId, std::vector<std::uint32_t>> outputs_;
+    std::uint64_t missing_ = 0;
+};
+
+using RaceKey = std::tuple<InstrId, InstrId, exec::ObjectId, std::uint32_t>;
+
+std::vector<RaceKey>
+raceKeys(const std::set<dyn::RaceReport> &races)
+{
+    std::vector<RaceKey> keys;
+    keys.reserve(races.size());
+    for (const dyn::RaceReport &race : races)
+        keys.push_back({race.first, race.second, race.obj, race.off});
+    return keys;
+}
+
+/** Per-workload FastTrack comparison, one entry per testing run. */
+struct FtParity
+{
+    std::string name;
+    std::vector<std::vector<RaceKey>> refRaces, newRaces;
+    std::vector<std::uint64_t> refSlow, newSlow;
+
+    bool
+    operator==(const FtParity &other) const
+    {
+        return name == other.name && refRaces == other.refRaces &&
+               newRaces == other.newRaces && refSlow == other.refSlow &&
+               newSlow == other.newSlow;
+    }
+};
+
+FtParity
+runFastTrackParity(const std::string &name)
+{
+    FtParity out;
+    out.name = name;
+    const auto workload = workloads::makeRaceWorkload(name, 1, 3);
+    const auto plan = dyn::fullFastTrackPlan(*workload.module);
+    for (const exec::ExecConfig &config : workload.testingSet) {
+        RefFastTrack ref;
+        dyn::FastTrack now;
+        exec::Interpreter interp(*workload.module, config);
+        interp.attach(&ref, &plan);
+        interp.attach(&now, &plan);
+        interp.run();
+        out.refRaces.push_back(raceKeys(ref.races()));
+        out.newRaces.push_back(raceKeys(now.races()));
+        out.refSlow.push_back(ref.readSlowPathUpdates());
+        out.newSlow.push_back(now.readSlowPathUpdates());
+    }
+    return out;
+}
+
+/** Per-workload Giri comparison, one entry per testing run. */
+struct GiriParity
+{
+    std::string name;
+    std::vector<std::vector<std::pair<InstrId, std::set<InstrId>>>>
+        refSlices, newSlices;
+    std::vector<std::uint64_t> refTrace, newTrace;
+    std::vector<std::uint64_t> refMissing, newMissing;
+
+    bool
+    operator==(const GiriParity &other) const
+    {
+        return name == other.name && refSlices == other.refSlices &&
+               newSlices == other.newSlices &&
+               refTrace == other.refTrace &&
+               newTrace == other.newTrace &&
+               refMissing == other.refMissing &&
+               newMissing == other.newMissing;
+    }
+};
+
+GiriParity
+runGiriParity(const std::string &name)
+{
+    GiriParity out;
+    out.name = name;
+    const auto workload = workloads::makeSliceWorkload(name, 1, 3);
+    const auto plan = dyn::fullGiriPlan(*workload.module);
+    for (const exec::ExecConfig &config : workload.testingSet) {
+        RefGiri ref(*workload.module);
+        dyn::GiriSlicer now(*workload.module);
+        exec::Interpreter interp(*workload.module, config);
+        interp.attach(&ref, &plan);
+        interp.attach(&now, &plan);
+        const auto result = interp.run();
+
+        std::set<InstrId> endpoints;
+        for (const auto &[instr, value] : result.outputs)
+            endpoints.insert(instr);
+        std::vector<std::pair<InstrId, std::set<InstrId>>> refS, newS;
+        for (InstrId endpoint : endpoints) {
+            refS.push_back({endpoint, ref.slice(endpoint)});
+            newS.push_back({endpoint, now.slice(endpoint)});
+        }
+        out.refSlices.push_back(std::move(refS));
+        out.newSlices.push_back(std::move(newS));
+        out.refTrace.push_back(ref.traceLength());
+        out.newTrace.push_back(now.traceLength());
+        out.refMissing.push_back(ref.missingDependencies());
+        out.newMissing.push_back(now.missingDependencies());
+    }
+    return out;
+}
+
+TEST(ShadowParity, FastTrackRaceReportsIdentical)
+{
+    const auto &names = workloads::raceWorkloadNames();
+    const auto serial = support::runBatch(
+        names.size(), [&](std::size_t i) {
+            return runFastTrackParity(names[i]);
+        },
+        1);
+    std::size_t totalRaces = 0;
+    for (const FtParity &parity : serial) {
+        EXPECT_EQ(parity.refRaces, parity.newRaces)
+            << "race reports diverged on " << parity.name;
+        EXPECT_EQ(parity.refSlow, parity.newSlow)
+            << "read slow-path accounting diverged on " << parity.name;
+        for (const auto &run : parity.refRaces)
+            totalRaces += run.size();
+    }
+    // Sanity: the racy suite must actually report races, or the
+    // comparison above is vacuous.
+    EXPECT_GT(totalRaces, 0u);
+
+    // The same batch at 4 workers must produce the same results in
+    // the same index order.
+    const auto parallel = support::runBatch(
+        names.size(), [&](std::size_t i) {
+            return runFastTrackParity(names[i]);
+        },
+        4);
+    EXPECT_TRUE(serial == parallel)
+        << "FastTrack parity batch differs between 1 and 4 threads";
+}
+
+TEST(ShadowParity, GiriSliceSetsIdentical)
+{
+    const auto &names = workloads::sliceWorkloadNames();
+    const auto serial = support::runBatch(
+        names.size(), [&](std::size_t i) {
+            return runGiriParity(names[i]);
+        },
+        1);
+    std::size_t totalEndpoints = 0;
+    for (const GiriParity &parity : serial) {
+        EXPECT_EQ(parity.refSlices, parity.newSlices)
+            << "slice sets diverged on " << parity.name;
+        EXPECT_EQ(parity.refTrace, parity.newTrace)
+            << "trace length diverged on " << parity.name;
+        EXPECT_EQ(parity.refMissing, parity.newMissing)
+            << "missing-dependency count diverged on " << parity.name;
+        for (const auto &run : parity.refSlices)
+            totalEndpoints += run.size();
+    }
+    EXPECT_GT(totalEndpoints, 0u) << "no slice endpoints exercised";
+
+    const auto parallel = support::runBatch(
+        names.size(), [&](std::size_t i) {
+            return runGiriParity(names[i]);
+        },
+        4);
+    EXPECT_TRUE(serial == parallel)
+        << "Giri parity batch differs between 1 and 4 threads";
+}
+
+} // namespace
+} // namespace oha
