@@ -14,6 +14,7 @@
 #include "bench_common.h"
 
 #include "analysis/andersen.h"
+#include "analysis/andersen_cache.h"
 #include "profile/profiler.h"
 
 using namespace oha;
@@ -27,6 +28,7 @@ main()
     TextTable table({"benchmark", "base static", "optimistic static",
                      "reduction"});
 
+    analysis::resetAndersenCache();
     bench::JsonReport json("fig9_alias_rates");
     for (const auto &name : workloads::sliceWorkloadNames()) {
         const auto workload = workloads::makeSliceWorkload(
@@ -53,9 +55,19 @@ main()
         }
     }
 
+    const analysis::AndersenCacheStats stats =
+        analysis::andersenCacheStats();
+    json.metric("aggregate", "static-memo", "cache_hits",
+                double(stats.hits));
+    json.metric("aggregate", "static-memo", "cache_misses",
+                double(stats.misses));
+
     std::printf("%s\n", table.str().c_str());
     std::printf("(alias rate = probability a random load/store pair "
                 "may alias, over the optimistic access set)\n");
+    std::printf("static-memo cache: %llu hits, %llu misses\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
     json.write();
     return 0;
 }

@@ -13,6 +13,8 @@
 
 #include "bench_common.h"
 
+#include "analysis/andersen_cache.h"
+
 using namespace oha;
 
 int
@@ -22,6 +24,8 @@ main()
         "Table 2: OptSlice end-to-end analysis times and break-even",
         "predicated analyses run CS where sound ones cannot; "
         "break-even <= ~3 minutes");
+
+    analysis::resetAndersenCache();
 
     TextTable table({"testname", "trad pts AT/t", "trad slice AT/t",
                      "profile", "opt pts AT/t", "opt slice AT/t",
@@ -58,9 +62,19 @@ main()
                       fmtSpeedup(result.dynSpeedup)});
     }
 
+    const analysis::AndersenCacheStats stats =
+        analysis::andersenCacheStats();
+    json.metric("aggregate", "static-memo", "cache_hits",
+                double(stats.hits));
+    json.metric("aggregate", "static-memo", "cache_misses",
+                double(stats.misses));
+
     std::printf("%s\n", table.str().c_str());
     std::printf("(AT = analysis type: the most accurate of CS/CI that "
                 "completes within budget; times are modeled seconds)\n");
+    std::printf("static-memo cache: %llu hits, %llu misses\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
     json.write();
     return 0;
 }

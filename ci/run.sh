@@ -3,10 +3,13 @@
 #
 #   ci/run.sh            # plain RelWithDebInfo build + full test suite
 #   ci/run.sh sanitize   # AddressSanitizer build, tests under OHA_THREADS=4
+#   ci/run.sh tsan       # ThreadSanitizer build, tests under OHA_THREADS=4
+#   ci/run.sh bench      # build + run the wall-time microbenchmarks,
+#                        # leaving BENCH_*.json in the repo root
 #
-# Both jobs run the same ctest suite; the sanitize job exists to catch
-# memory errors and data races in the parallel run-batching paths, so
-# it forces a multi-threaded worker pool.
+# All test jobs run the same ctest suite; the sanitizer jobs exist to
+# catch memory errors and data races in the parallel static-phase and
+# run-batching paths, so they force a multi-threaded worker pool.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,8 +31,24 @@ sanitize)
     OHA_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
         -j "$jobs"
     ;;
+tsan)
+    build_dir=build-ci-tsan
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DOHA_SANITIZE=thread
+    cmake --build "$build_dir" -j "$jobs"
+    OHA_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
+        -j "$jobs"
+    ;;
+bench)
+    build_dir=build-ci
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$build_dir" -j "$jobs" --target \
+        microbench_static microbench_shadow
+    "$build_dir"/bench/microbench_static
+    "$build_dir"/bench/microbench_shadow
+    ;;
 *)
-    echo "unknown job '$job' (expected: plain | sanitize)" >&2
+    echo "unknown job '$job' (expected: plain | sanitize | tsan | bench)" >&2
     exit 2
     ;;
 esac

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <mutex>
+#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -20,6 +22,28 @@ constexpr InstrId kFallbackMarker = kNoInstr;
 // AndersenResult queries
 // ---------------------------------------------------------------------
 
+/**
+ * Flattened-query memo.  Results are immutable after solving, so an
+ * entry, once computed, is valid forever; the mutex only serializes
+ * the lazy fills so concurrent static-phase clients (parallel lockset
+ * dataflow, batched slicers) can share one result object.
+ */
+struct AndersenResult::QueryCache
+{
+    std::mutex mutex;
+    /** (func << 32 | reg) -> flattened all-contexts set. */
+    std::unordered_map<std::uint64_t, SparseBitSet> flat;
+};
+
+AndersenResult::AndersenResult()
+    : cache_(std::make_unique<QueryCache>())
+{}
+
+AndersenResult::~AndersenResult() = default;
+AndersenResult::AndersenResult(AndersenResult &&) noexcept = default;
+AndersenResult &
+AndersenResult::operator=(AndersenResult &&) noexcept = default;
+
 std::uint32_t
 AndersenResult::nodeOf(std::uint32_t ctx, ir::Reg reg) const
 {
@@ -31,19 +55,32 @@ const SparseBitSet &
 AndersenResult::pts(std::uint32_t ctx, ir::Reg reg) const
 {
     const std::uint32_t node = repr_[nodeOf(ctx, reg)];
-    return pts_[node];
+    return ptsPool_[ptsIdx_[node]];
 }
 
-SparseBitSet
+const SparseBitSet &
 AndersenResult::ptsAllContexts(FuncId func, ir::Reg reg) const
 {
-    SparseBitSet out;
-    for (std::uint32_t ctx : instancesOf(func))
-        out.unionWith(pts(ctx, reg));
-    return out;
+    const auto &instances = instancesOf(func);
+    // Single-instance functions (every function in CI mode) need no
+    // flattening: serve the hash-consed set directly.
+    if (instances.size() == 1)
+        return pts(instances.front(), reg);
+
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(func) << 32) | reg;
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->flat.find(key);
+    if (it == cache_->flat.end()) {
+        SparseBitSet out;
+        for (std::uint32_t ctx : instances)
+            out.unionWith(pts(ctx, reg));
+        it = cache_->flat.emplace(key, std::move(out)).first;
+    }
+    return it->second;
 }
 
-SparseBitSet
+const SparseBitSet &
 AndersenResult::pointerTargets(InstrId instr) const
 {
     const ir::Instruction &ins = module_->instr(instr);
@@ -51,17 +88,18 @@ AndersenResult::pointerTargets(InstrId instr) const
     return ptsAllContexts(ins.func, ins.a);
 }
 
-std::set<FuncId>
+std::vector<FuncId>
 AndersenResult::icallTargets(InstrId instr) const
 {
     const ir::Instruction &ins = module_->instr(instr);
     OHA_ASSERT(ins.op == ir::Opcode::ICall);
-    std::set<FuncId> out;
-    const SparseBitSet cells = ptsAllContexts(ins.func, ins.a);
-    cells.forEach([&](CellId cell) {
+    std::vector<FuncId> out;
+    ptsAllContexts(ins.func, ins.a).forEach([&](CellId cell) {
         if (memory.isFunctionCell(cell))
-            out.insert(memory.functionOfCell(cell));
+            out.push_back(memory.functionOfCell(cell));
     });
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
 }
 
@@ -117,7 +155,8 @@ class AndersenSolver
   public:
     AndersenSolver(const ir::Module &module, const AndersenOptions &options,
                    const AndersenResult *ciPrepass)
-        : module_(module), options_(options), ciPrepass_(ciPrepass)
+        : module_(module), options_(options), ciPrepass_(ciPrepass),
+          useDelta_(!options.referenceSolver)
     {}
 
     AndersenResult run();
@@ -157,8 +196,10 @@ class AndersenSolver
     void addCopyEdge(std::uint32_t from, std::uint32_t to);
     void mergeNodes(std::uint32_t a, std::uint32_t b);
     void hvn();
+    void offlineReduce();
     void collapseSccs();
     void solve();
+    void solveDelta();
 
     std::uint32_t
     regNode(std::uint32_t ctx, ir::Reg reg) const
@@ -208,6 +249,23 @@ class AndersenSolver
     std::vector<bool> inWorklist_;
     std::uint64_t workUnits_ = 0;
     bool budgetExceeded_ = false;
+
+    // -- delta-propagation state (unused when referenceSolver) -------
+    /** Whether to run the delta solver (production) or the FIFO
+     *  full-propagation reference path. */
+    bool useDelta_ = true;
+    /** Bits added to pts_[u] since u last fired. */
+    std::vector<SparseBitSet> delta_;
+    /** Firing clock per node, for least-recently-fired ordering. */
+    std::vector<std::uint64_t> lastFired_;
+    std::uint64_t fireClock_ = 0;
+    bool seeded_ = false;
+    /** Min-heap on (lastFired, node): least-recently-fired first,
+     *  node id breaking ties deterministically. */
+    using PqEntry = std::pair<std::uint64_t, std::uint32_t>;
+    std::priority_queue<PqEntry, std::vector<PqEntry>,
+                        std::greater<PqEntry>>
+        pq_;
 };
 
 bool
@@ -458,6 +516,10 @@ AndersenSolver::allocateNodes()
     icallCons_.resize(numNodes_);
     uf_.reset(numNodes_);
     inWorklist_.assign(numNodes_, false);
+    if (useDelta_) {
+        delta_.resize(numNodes_);
+        lastFired_.assign(numNodes_, 0);
+    }
 }
 
 void
@@ -588,10 +650,13 @@ void
 AndersenSolver::push(std::uint32_t node)
 {
     node = find(node);
-    if (!inWorklist_[node]) {
-        inWorklist_[node] = true;
+    if (inWorklist_[node])
+        return;
+    inWorklist_[node] = true;
+    if (useDelta_)
+        pq_.push({lastFired_[node], node});
+    else
         worklist_.push_back(node);
-    }
 }
 
 void
@@ -601,8 +666,16 @@ AndersenSolver::addCopyEdge(std::uint32_t from, std::uint32_t to)
     to = find(to);
     if (from == to)
         return;
-    if (succs_[from].insert(to)) {
-        ++workUnits_;
+    if (!succs_[from].insert(to))
+        return;
+    ++workUnits_;
+    if (useDelta_) {
+        // A new edge must carry the source's full current set — the
+        // destination has seen none of it.  The gained bits land in
+        // the destination's delta for onward propagation.
+        if (pts_[to].unionWithDiff(pts_[from], delta_[to]))
+            push(to);
+    } else {
         if (pts_[to].unionWith(pts_[from]))
             push(to);
     }
@@ -620,6 +693,12 @@ AndersenSolver::mergeNodes(std::uint32_t a, std::uint32_t b)
 
     pts_[keep].unionWith(pts_[drop]);
     pts_[drop].clear();
+    if (useDelta_) {
+        // Merges are rare; reprocess the merged node in full so its
+        // combined constraint lists all see the combined set.
+        delta_[keep] = pts_[keep];
+        delta_[drop].clear();
+    }
     succs_[keep].unionWith(succs_[drop]);
     succs_[drop].clear();
     auto moveInto = [](auto &dst, auto &src) {
@@ -725,6 +804,56 @@ AndersenSolver::hvn()
 }
 
 void
+AndersenSolver::offlineReduce()
+{
+    // Offline constraint reduction, run once between constraint
+    // generation and solving: collapse copy-graph cycles that already
+    // exist (their members are pointer-equivalent by construction),
+    // then rewrite every constraint to union-find representatives and
+    // deduplicate.  The online solver then walks a strictly smaller
+    // graph and never revisits a constraint HVN/SCC merging proved
+    // redundant.
+    collapseSccs();
+
+    for (std::uint32_t u = 0; u < numNodes_; ++u) {
+        if (find(u) != u)
+            continue;
+        SparseBitSet canonSuccs;
+        succs_[u].forEach([&](std::uint32_t v) {
+            v = find(v);
+            if (v != u)
+                canonSuccs.insert(v);
+        });
+        succs_[u].swap(canonSuccs);
+
+        auto canon = [&](std::vector<std::uint32_t> &list) {
+            for (std::uint32_t &x : list)
+                x = find(x);
+            std::sort(list.begin(), list.end());
+            list.erase(std::unique(list.begin(), list.end()), list.end());
+        };
+        canon(loadCons_[u]);
+        canon(storeCons_[u]);
+
+        auto &geps = gepCons_[u];
+        for (GepCons &g : geps)
+            g.dest = find(g.dest);
+        std::sort(geps.begin(), geps.end(),
+                  [](const GepCons &x, const GepCons &y) {
+                      return std::tie(x.dest, x.delta, x.variable) <
+                             std::tie(y.dest, y.delta, y.variable);
+                  });
+        geps.erase(std::unique(geps.begin(), geps.end(),
+                               [](const GepCons &x, const GepCons &y) {
+                                   return x.dest == y.dest &&
+                                          x.delta == y.delta &&
+                                          x.variable == y.variable;
+                               }),
+                   geps.end());
+    }
+}
+
+void
 AndersenSolver::collapseSccs()
 {
     // Iterative Tarjan over representative copy edges; collapse every
@@ -797,6 +926,11 @@ AndersenSolver::collapseSccs()
 void
 AndersenSolver::solve()
 {
+    if (useDelta_) {
+        solveDelta();
+        return;
+    }
+
     for (std::uint32_t u = 0; u < numNodes_; ++u) {
         if (find(u) == u && !pts_[u].empty())
             push(u);
@@ -892,6 +1026,120 @@ AndersenSolver::solve()
     }
 }
 
+void
+AndersenSolver::solveDelta()
+{
+    // Difference propagation: each node carries the bits added since
+    // it last fired; a firing processes only that delta against the
+    // node's constraints and forwards only the bits its successors
+    // actually gain.  New edges and merges fall back to full-set
+    // propagation (see addCopyEdge / mergeNodes), which keeps the
+    // fixpoint identical to the reference solver's.
+    if (!seeded_) {
+        seeded_ = true;
+        for (std::uint32_t u = 0; u < numNodes_; ++u) {
+            if (find(u) == u && !pts_[u].empty()) {
+                delta_[u] = pts_[u];
+                push(u);
+            }
+        }
+    }
+
+    std::uint64_t pops = 0;
+    const std::uint64_t collapseEvery =
+        options_.cycleCollapse ? std::max<std::uint64_t>(numNodes_, 512)
+                               : ~0ULL;
+
+    while (!pq_.empty()) {
+        const std::uint32_t u = pq_.top().second;
+        pq_.pop();
+        inWorklist_[u] = false;
+        if (find(u) != u)
+            continue;
+        lastFired_[u] = ++fireClock_;
+        ++pops;
+        ++workUnits_;
+
+        if (pops % collapseEvery == 0) {
+            collapseSccs();
+            if (find(u) != u)
+                continue; // merged away; representative was re-pushed
+        }
+
+        SparseBitSet d;
+        d.swap(delta_[u]);
+        if (d.empty())
+            continue;
+
+        // Gep constraints: dest ⊇ shift(delta).
+        for (const GepCons &gep : gepCons_[u]) {
+            SparseBitSet shifted;
+            d.forEach([&](CellId cell) {
+                if (memory_.isFunctionCell(cell)) {
+                    shifted.insert(cell);
+                    return;
+                }
+                if (gep.variable) {
+                    const AbsObjectId obj = memory_.objectOfCell(cell);
+                    const AbsObject &o = memory_.object(obj);
+                    for (std::uint32_t f = 0; f < o.size; ++f)
+                        shifted.insert(o.baseCell + f);
+                } else {
+                    const CellId target = memory_.shiftCell(cell, gep.delta);
+                    if (target != kNoCell)
+                        shifted.insert(target);
+                }
+            });
+            const std::uint32_t dest = find(gep.dest);
+            ++workUnits_;
+            if (pts_[dest].unionWithDiff(shifted, delta_[dest]))
+                push(dest);
+        }
+
+        // Load constraints: dest ⊇ *u, for newly discovered cells.
+        for (std::uint32_t dst : loadCons_[u]) {
+            d.forEach([&](CellId cell) { addCopyEdge(cell, dst); });
+        }
+
+        // Store constraints: *u ⊇ src, for newly discovered cells.
+        for (std::uint32_t src : storeCons_[u]) {
+            d.forEach([&](CellId cell) { addCopyEdge(src, cell); });
+        }
+
+        // On-the-fly icall resolution (sound CI) over the delta.
+        for (const IcallCons &icall : icallCons_[u]) {
+            d.forEach([&](CellId cell) {
+                if (!memory_.isFunctionCell(cell))
+                    return;
+                const FuncId callee = memory_.functionOfCell(cell);
+                if (module_.function(callee)->numParams() !=
+                    icall.instr->args.size()) {
+                    return;
+                }
+                if (!icallConnected_.insert({icall.instr->id, callee})
+                         .second) {
+                    return;
+                }
+                const std::uint32_t calleeCtx = funcInstances_[callee][0];
+                callEdges_[{icall.ctx, icall.instr->id, callee}] =
+                    calleeCtx;
+                connectCall(icall.ctx, *icall.instr, calleeCtx);
+            });
+        }
+
+        // Copy edges: successors receive only the delta.
+        SparseBitSet snapshot = succs_[u];
+        snapshot.forEach([&](std::uint32_t v) {
+            v = find(v);
+            if (v == u)
+                return;
+            ++workUnits_;
+            if (pts_[v].unionWithDiff(d, delta_[v]))
+                push(v);
+        });
+    }
+}
+
 AndersenResult
 AndersenSolver::run()
 {
@@ -910,6 +1158,8 @@ AndersenSolver::run()
     generateConstraints();
     if (options_.useHvn)
         hvn();
+    if (useDelta_)
+        offlineReduce();
     solve();
     if (options_.cycleCollapse) {
         collapseSccs();
@@ -926,7 +1176,36 @@ AndersenSolver::run()
     result.repr_.resize(numNodes_);
     for (std::uint32_t u = 0; u < numNodes_; ++u)
         result.repr_[u] = uf_.find(u);
-    result.pts_ = std::move(pts_);
+
+    // Hash-cons the final sets: representative nodes intern their set
+    // in a pool of unique values (index 0 = the empty set), and every
+    // node maps to its representative's pool slot.  A solve produces
+    // many identical singleton/duplicate sets; they now share storage.
+    result.ptsPool_.emplace_back();
+    result.ptsIdx_.assign(numNodes_, 0);
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> interned;
+    for (std::uint32_t u = 0; u < numNodes_; ++u) {
+        if (result.repr_[u] != u || pts_[u].empty())
+            continue;
+        std::vector<std::uint32_t> &bucket = interned[pts_[u].hash()];
+        std::uint32_t idx = 0;
+        for (std::uint32_t cand : bucket) {
+            if (result.ptsPool_[cand] == pts_[u]) {
+                idx = cand;
+                break;
+            }
+        }
+        if (idx == 0) {
+            idx = static_cast<std::uint32_t>(result.ptsPool_.size());
+            result.ptsPool_.push_back(std::move(pts_[u]));
+            bucket.push_back(idx);
+        }
+        result.ptsIdx_[u] = idx;
+    }
+    for (std::uint32_t u = 0; u < numNodes_; ++u) {
+        if (result.repr_[u] != u)
+            result.ptsIdx_[u] = result.ptsIdx_[result.repr_[u]];
+    }
     return result;
 }
 
@@ -942,13 +1221,23 @@ runAndersen(const ir::Module &module, const AndersenOptions &options)
         ciOptions.contextSensitive = false;
         AndersenSolver ciSolver(module, ciOptions, nullptr);
         const AndersenResult ciResult = ciSolver.run();
-        AndersenSolver solver(module, options, &ciResult);
-        AndersenResult result = solver.run();
+        AndersenResult result =
+            runAndersenPrepassed(module, options, &ciResult);
         result.workUnits += ciResult.workUnits;
         return result;
     }
 
     AndersenSolver solver(module, options, nullptr);
+    return solver.run();
+}
+
+AndersenResult
+runAndersenPrepassed(const ir::Module &module,
+                     const AndersenOptions &options,
+                     const AndersenResult *ciPrepass)
+{
+    OHA_ASSERT(module.finalized());
+    AndersenSolver solver(module, options, ciPrepass);
     return solver.run();
 }
 

@@ -63,12 +63,27 @@ struct AndersenOptions
     /** CS context budget; exceeding it aborts the analysis. */
     std::uint32_t maxContexts = 20000;
     std::uint32_t maxContextDepth = 64;
+    /**
+     * Run the pre-overhaul solver: FIFO worklist, full points-to
+     * sets re-unioned along every copy edge, no offline constraint
+     * reduction.  The two solvers compute the same fixpoint (results
+     * from either are hash-consed and query-cached identically); this
+     * path exists so the parity test and the static-phase
+     * microbenchmark can compare the production delta solver against
+     * it.
+     */
+    bool referenceSolver = false;
 };
 
 /** Result of a points-to run. */
 class AndersenResult
 {
   public:
+    AndersenResult();
+    ~AndersenResult();
+    AndersenResult(AndersenResult &&) noexcept;
+    AndersenResult &operator=(AndersenResult &&) noexcept;
+
     /** False when the CS context budget was exhausted. */
     bool completed = false;
 
@@ -88,7 +103,7 @@ class AndersenResult
     const SparseBitSet &
     cellPts(CellId cell) const
     {
-        return pts_[repr_[cell]];
+        return ptsPool_[ptsIdx_[repr_[cell]]];
     }
 
     /** All call/spawn edges: (callerCtx, site, callee) -> calleeCtx. */
@@ -99,16 +114,23 @@ class AndersenResult
         return callEdges_;
     }
 
-    /** Union of pts over every context instance of the register's
-     *  function (the CI view of a CS result). */
-    SparseBitSet ptsAllContexts(FuncId func, ir::Reg reg) const;
+    /**
+     * Union of pts over every context instance of the register's
+     * function (the CI view of a CS result).  Results are immutable
+     * after solving, so the flattened set is computed once per
+     * (func, reg) and served from a cache thereafter — the slicer
+     * and detector hot loops issue these queries per instruction.
+     * Thread-safe.
+     */
+    const SparseBitSet &ptsAllContexts(FuncId func, ir::Reg reg) const;
 
     /** Cells the pointer operand of @p instr (Load/Store/Lock/Unlock/
      *  Gep base) may point to, over all contexts. */
-    SparseBitSet pointerTargets(InstrId instr) const;
+    const SparseBitSet &pointerTargets(InstrId instr) const;
 
-    /** Possible targets of an indirect call, over all contexts. */
-    std::set<FuncId> icallTargets(InstrId instr) const;
+    /** Possible targets of an indirect call, over all contexts,
+     *  sorted ascending and deduplicated. */
+    std::vector<FuncId> icallTargets(InstrId instr) const;
 
     /** Context instances of @p func. */
     const std::vector<std::uint32_t> &instancesOf(FuncId func) const;
@@ -137,10 +159,18 @@ class AndersenResult
     /** (ctx, callsite, callee) -> callee ctx. */
     std::map<std::tuple<std::uint32_t, InstrId, FuncId>, std::uint32_t>
         callEdges_;
-    /** Final pts per node (post union-find squashing). */
-    std::vector<SparseBitSet> pts_;
+    /**
+     * Final pts storage, hash-consed: pool of unique sets (index 0
+     * is the empty set) and a node -> pool-index map.  The many
+     * singleton and duplicate sets a solve produces share one copy.
+     */
+    std::vector<SparseBitSet> ptsPool_;
+    std::vector<std::uint32_t> ptsIdx_;
     /** Node representative map from cycle/HVN merging. */
     std::vector<std::uint32_t> repr_;
+    /** Lazily-filled flattened per-(func, reg) query cache. */
+    struct QueryCache;
+    std::unique_ptr<QueryCache> cache_;
 
     std::uint32_t nodeOf(std::uint32_t ctx, ir::Reg reg) const;
 };
@@ -148,5 +178,16 @@ class AndersenResult
 /** Run Andersen analysis over @p module. */
 AndersenResult runAndersen(const ir::Module &module,
                            const AndersenOptions &options);
+
+/**
+ * As runAndersen, but with a caller-supplied CI pre-pass for sound CS
+ * runs (the pre-pass resolves indirect calls).  Lets the memoizing
+ * wrapper reuse a cached CI result instead of recomputing it inside
+ * every sound CS solve.  The pre-pass's workUnits are NOT folded in —
+ * the caller owns that accounting.
+ */
+AndersenResult runAndersenPrepassed(const ir::Module &module,
+                                    const AndersenOptions &options,
+                                    const AndersenResult *ciPrepass);
 
 } // namespace oha::analysis

@@ -1,0 +1,258 @@
+#include "analysis/andersen_cache.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "invariants/invariant_set.h"
+#include "ir/printer.h"
+
+namespace oha::analysis {
+
+namespace {
+
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text)
+        h = (h ^ c) * 0x100000001b3ULL;
+    return h;
+}
+
+/** Solver options packed into a comparable key. */
+std::uint64_t
+optionsKey(const AndersenOptions &options)
+{
+    std::uint64_t key = 0;
+    key |= options.contextSensitive ? 1u : 0u;
+    key |= options.useHvn ? 2u : 0u;
+    key |= options.cycleCollapse ? 4u : 0u;
+    key |= options.referenceSolver ? 8u : 0u;
+    key |= static_cast<std::uint64_t>(options.maxContexts) << 4;
+    key ^= static_cast<std::uint64_t>(options.maxContextDepth) << 40;
+    return key;
+}
+
+struct CacheKey
+{
+    std::uint64_t moduleFp;
+    std::uint64_t invariantFp;
+    std::uint64_t options;
+
+    bool
+    operator<(const CacheKey &other) const
+    {
+        return std::tie(moduleFp, invariantFp, options) <
+               std::tie(other.moduleFp, other.invariantFp, other.options);
+    }
+};
+
+struct CacheEntry
+{
+    /** Results reference the module internally; keep it alive. */
+    std::shared_ptr<const ir::Module> module;
+    std::shared_ptr<const AndersenResult> result;
+};
+
+/** Key for the higher-level (detector / slice-set) memo layers. */
+struct StaticKey
+{
+    std::uint64_t moduleFp;
+    std::uint64_t invariantFp;
+    std::uint64_t configKey;
+    std::uint64_t auxFp;
+
+    bool
+    operator<(const StaticKey &other) const
+    {
+        return std::tie(moduleFp, invariantFp, configKey, auxFp) <
+               std::tie(other.moduleFp, other.invariantFp,
+                        other.configKey, other.auxFp);
+    }
+};
+
+struct RaceEntry
+{
+    std::shared_ptr<const ir::Module> module;
+    std::shared_ptr<const StaticRaceResult> result;
+};
+
+struct SliceEntry
+{
+    std::shared_ptr<const ir::Module> module;
+    std::shared_ptr<const SliceSetResult> result;
+};
+
+struct Cache
+{
+    std::mutex mutex;
+    std::map<CacheKey, CacheEntry> entries;
+    std::map<StaticKey, RaceEntry> raceEntries;
+    std::map<StaticKey, SliceEntry> sliceEntries;
+    /** Module fingerprints are expensive (they print the module);
+     *  memoize by object identity, kept valid by the keepalive. */
+    std::map<const ir::Module *, std::pair<std::shared_ptr<const ir::Module>,
+                                           std::uint64_t>>
+        moduleFps;
+    AndersenCacheStats stats;
+};
+
+Cache &
+cache()
+{
+    static Cache instance;
+    return instance;
+}
+
+std::uint64_t
+moduleFingerprint(const std::shared_ptr<const ir::Module> &module)
+{
+    {
+        std::lock_guard<std::mutex> lock(cache().mutex);
+        auto it = cache().moduleFps.find(module.get());
+        if (it != cache().moduleFps.end())
+            return it->second.second;
+    }
+    const std::uint64_t fp = fnv1a(ir::printModule(*module));
+    std::lock_guard<std::mutex> lock(cache().mutex);
+    cache().moduleFps.emplace(module.get(), std::make_pair(module, fp));
+    return fp;
+}
+
+} // namespace
+
+std::shared_ptr<const AndersenResult>
+runAndersenMemo(const std::shared_ptr<const ir::Module> &module,
+                const AndersenOptions &options)
+{
+    OHA_ASSERT(module && module->finalized());
+
+    CacheKey key;
+    key.moduleFp = moduleFingerprint(module);
+    key.invariantFp =
+        options.invariants ? fnv1a(options.invariants->saveText()) : 0;
+    key.options = optionsKey(options);
+
+    {
+        std::lock_guard<std::mutex> lock(cache().mutex);
+        auto it = cache().entries.find(key);
+        if (it != cache().entries.end()) {
+            ++cache().stats.hits;
+            return it->second.result;
+        }
+        ++cache().stats.misses;
+    }
+
+    // Solve outside the lock.  Sound CS runs reuse the memoized CI
+    // pre-pass instead of recomputing it (runAndersen folds the
+    // pre-pass's workUnits into its result; mirror that here so the
+    // reported cost model output is identical with or without hits).
+    AndersenResult computed;
+    if (options.contextSensitive && !options.invariants) {
+        AndersenOptions ciOptions = options;
+        ciOptions.contextSensitive = false;
+        const std::shared_ptr<const AndersenResult> ci =
+            runAndersenMemo(module, ciOptions);
+        computed = runAndersenPrepassed(*module, options, ci.get());
+        computed.workUnits += ci->workUnits;
+    } else {
+        computed = runAndersen(*module, options);
+    }
+
+    auto result =
+        std::make_shared<const AndersenResult>(std::move(computed));
+    std::lock_guard<std::mutex> lock(cache().mutex);
+    auto [it, inserted] =
+        cache().entries.emplace(key, CacheEntry{module, result});
+    // First insert wins: a concurrent solver may have beaten us here;
+    // everyone shares its result so clients see one object per key.
+    return it->second.result;
+}
+
+std::shared_ptr<const StaticRaceResult>
+runStaticRaceDetectorMemo(const std::shared_ptr<const ir::Module> &module,
+                          const inv::InvariantSet *invariants)
+{
+    OHA_ASSERT(module && module->finalized());
+
+    StaticKey key;
+    key.moduleFp = moduleFingerprint(module);
+    key.invariantFp = invariants ? fnv1a(invariants->saveText()) : 0;
+    key.configKey = 0;
+    key.auxFp = 0;
+
+    {
+        std::lock_guard<std::mutex> lock(cache().mutex);
+        auto it = cache().raceEntries.find(key);
+        if (it != cache().raceEntries.end()) {
+            ++cache().stats.hits;
+            return it->second.result;
+        }
+        ++cache().stats.misses;
+    }
+
+    // The detector's own points-to solve still goes through the
+    // Andersen memo (shared with calibration and the slicer picks).
+    auto result = std::make_shared<const StaticRaceResult>(
+        runStaticRaceDetector(*module, invariants, module));
+    std::lock_guard<std::mutex> lock(cache().mutex);
+    auto [it, inserted] =
+        cache().raceEntries.emplace(key, RaceEntry{module, result});
+    return it->second.result;
+}
+
+std::shared_ptr<const SliceSetResult>
+sliceSetMemo(const std::shared_ptr<const ir::Module> &module,
+             const inv::InvariantSet *invariants, std::uint64_t configKey,
+             const std::vector<InstrId> &endpoints,
+             const std::function<SliceSetResult()> &compute)
+{
+    OHA_ASSERT(module && module->finalized());
+
+    StaticKey key;
+    key.moduleFp = moduleFingerprint(module);
+    key.invariantFp = invariants ? fnv1a(invariants->saveText()) : 0;
+    key.configKey = configKey;
+    std::uint64_t auxFp = 0xcbf29ce484222325ULL;
+    for (InstrId endpoint : endpoints)
+        auxFp = (auxFp ^ endpoint) * 0x100000001b3ULL;
+    key.auxFp = auxFp;
+
+    {
+        std::lock_guard<std::mutex> lock(cache().mutex);
+        auto it = cache().sliceEntries.find(key);
+        if (it != cache().sliceEntries.end()) {
+            ++cache().stats.hits;
+            return it->second.result;
+        }
+        ++cache().stats.misses;
+    }
+
+    auto result = std::make_shared<const SliceSetResult>(compute());
+    std::lock_guard<std::mutex> lock(cache().mutex);
+    auto [it, inserted] =
+        cache().sliceEntries.emplace(key, SliceEntry{module, result});
+    return it->second.result;
+}
+
+AndersenCacheStats
+andersenCacheStats()
+{
+    std::lock_guard<std::mutex> lock(cache().mutex);
+    return cache().stats;
+}
+
+void
+resetAndersenCache()
+{
+    std::lock_guard<std::mutex> lock(cache().mutex);
+    cache().entries.clear();
+    cache().raceEntries.clear();
+    cache().sliceEntries.clear();
+    cache().moduleFps.clear();
+    cache().stats = {};
+}
+
+} // namespace oha::analysis

@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "support/thread_pool.h"
+
 namespace oha::analysis {
 
 namespace {
@@ -17,6 +19,13 @@ intersect(const LockSet &a, const LockSet &b)
             out.insert(x);
     return out;
 }
+
+/** Per-function dataflow output of one fixpoint pass. */
+struct FuncFlow
+{
+    std::vector<std::pair<InstrId, LockSet>> held;
+    std::vector<std::optional<LockSet>> callMeet;
+};
 
 } // namespace
 
@@ -53,81 +62,122 @@ LocksetAnalysis::LocksetAnalysis(const ir::Module &module,
 
     for (int pass = 0; pass < 16; ++pass) {
         bool changed = false;
-        std::vector<std::optional<LockSet>> callMeet(numFuncs);
-        held_.clear();
 
-        for (const auto &func : module.functions()) {
-            if (!entry[func->id()].has_value())
-                continue; // not yet known reachable
+        // Functions are independent within a pass: each one's forward
+        // dataflow reads only the (frozen) entry states, and writes
+        // held-sets for its own instructions plus local call meets.
+        // Run them batched; folding the per-function outputs in
+        // function order reproduces the serial pass exactly (held-set
+        // keys are disjoint across functions, and the callee-entry
+        // meet is a commutative, associative intersection).
+        const std::vector<FuncFlow> flows = support::runBatch(
+            numFuncs, [&](std::size_t f) {
+                FuncFlow flow;
+                const ir::Function *func =
+                    module.function(static_cast<FuncId>(f));
+                if (!entry[func->id()].has_value())
+                    return flow; // not yet known reachable
+                flow.callMeet.resize(numFuncs);
 
-            // Forward dataflow over the function's blocks.
-            std::map<BlockId, std::optional<LockSet>> blockIn;
-            blockIn[func->entry()->id()] = *entry[func->id()];
-            bool localChanged = true;
-            int guard = 0;
-            while (localChanged && guard++ < 64) {
-                localChanged = false;
-                for (const auto &block : func->blocks()) {
-                    if (!live(block->id()))
-                        continue;
-                    auto inIt = blockIn.find(block->id());
-                    if (inIt == blockIn.end() || !inIt->second.has_value())
-                        continue;
-                    LockSet state = *inIt->second;
-                    for (const ir::Instruction &ins :
-                         block->instructions()) {
-                        held_[ins.id] = state;
-                        if (ins.op == ir::Opcode::Lock) {
-                            state.insert(ins.id);
-                        } else if (ins.op == ir::Opcode::Unlock) {
-                            const SparseBitSet &rel = lockTargets[ins.id];
-                            for (auto it = state.begin();
-                                 it != state.end();) {
-                                if (lockTargets[*it].intersects(rel))
-                                    it = state.erase(it);
-                                else
-                                    ++it;
-                            }
-                        } else if (ins.op == ir::Opcode::Call ||
-                                   ins.op == ir::Opcode::ICall) {
-                            // Record the meet for callee entry states.
-                            std::set<FuncId> targets;
-                            if (ins.op == ir::Opcode::Call) {
-                                targets.insert(ins.callee);
-                            } else if (invariants) {
-                                auto cs =
-                                    invariants->calleeSets.find(ins.id);
-                                if (cs != invariants->calleeSets.end())
-                                    targets = cs->second;
-                            } else {
-                                targets = andersen.icallTargets(ins.id);
-                            }
-                            for (FuncId callee : targets) {
-                                if (!callMeet[callee].has_value())
-                                    callMeet[callee] = state;
-                                else
-                                    callMeet[callee] = intersect(
-                                        *callMeet[callee], state);
+                std::map<InstrId, LockSet> held;
+                // Forward dataflow over the function's blocks.
+                std::map<BlockId, std::optional<LockSet>> blockIn;
+                blockIn[func->entry()->id()] = *entry[func->id()];
+                bool localChanged = true;
+                int guard = 0;
+                while (localChanged && guard++ < 64) {
+                    localChanged = false;
+                    for (const auto &block : func->blocks()) {
+                        if (!live(block->id()))
+                            continue;
+                        auto inIt = blockIn.find(block->id());
+                        if (inIt == blockIn.end() ||
+                            !inIt->second.has_value())
+                            continue;
+                        LockSet state = *inIt->second;
+                        for (const ir::Instruction &ins :
+                             block->instructions()) {
+                            held[ins.id] = state;
+                            if (ins.op == ir::Opcode::Lock) {
+                                state.insert(ins.id);
+                            } else if (ins.op == ir::Opcode::Unlock) {
+                                const SparseBitSet &rel =
+                                    lockTargets.at(ins.id);
+                                for (auto it = state.begin();
+                                     it != state.end();) {
+                                    if (lockTargets.at(*it).intersects(
+                                            rel))
+                                        it = state.erase(it);
+                                    else
+                                        ++it;
+                                }
+                            } else if (ins.op == ir::Opcode::Call ||
+                                       ins.op == ir::Opcode::ICall) {
+                                // Record the meet for callee entry
+                                // states.
+                                std::set<FuncId> targets;
+                                if (ins.op == ir::Opcode::Call) {
+                                    targets.insert(ins.callee);
+                                } else if (invariants) {
+                                    auto cs =
+                                        invariants->calleeSets.find(
+                                            ins.id);
+                                    if (cs !=
+                                        invariants->calleeSets.end())
+                                        targets = cs->second;
+                                } else {
+                                    const auto resolved =
+                                        andersen.icallTargets(ins.id);
+                                    targets.insert(resolved.begin(),
+                                                   resolved.end());
+                                }
+                                for (FuncId callee : targets) {
+                                    auto &meet = flow.callMeet[callee];
+                                    if (!meet.has_value())
+                                        meet = state;
+                                    else
+                                        meet = intersect(*meet, state);
+                                }
                             }
                         }
-                    }
-                    // Propagate to successors (meet = intersection).
-                    for (BlockId succ : block->successors()) {
-                        if (!live(succ))
-                            continue;
-                        auto &succIn = blockIn[succ];
-                        if (!succIn.has_value()) {
-                            succIn = state;
-                            localChanged = true;
-                        } else {
-                            LockSet met = intersect(*succIn, state);
-                            if (met != *succIn) {
-                                succIn = std::move(met);
+                        // Propagate to successors (meet =
+                        // intersection).
+                        for (BlockId succ : block->successors()) {
+                            if (!live(succ))
+                                continue;
+                            auto &succIn = blockIn[succ];
+                            if (!succIn.has_value()) {
+                                succIn = state;
                                 localChanged = true;
+                            } else {
+                                LockSet met = intersect(*succIn, state);
+                                if (met != *succIn) {
+                                    succIn = std::move(met);
+                                    localChanged = true;
+                                }
                             }
                         }
                     }
                 }
+                flow.held.assign(held.begin(), held.end());
+                return flow;
+            });
+
+        std::vector<std::optional<LockSet>> callMeet(numFuncs);
+        held_.clear();
+        for (const FuncFlow &flow : flows) {
+            for (const auto &[id, locks] : flow.held)
+                held_[id] = locks;
+            for (FuncId callee = 0;
+                 callee < static_cast<FuncId>(flow.callMeet.size());
+                 ++callee) {
+                if (!flow.callMeet[callee].has_value())
+                    continue;
+                if (!callMeet[callee].has_value())
+                    callMeet[callee] = flow.callMeet[callee];
+                else
+                    callMeet[callee] = intersect(
+                        *callMeet[callee], *flow.callMeet[callee]);
             }
         }
 

@@ -1,5 +1,7 @@
 #include "analysis/mhp.h"
 
+#include "support/thread_pool.h"
+
 namespace oha::analysis {
 
 namespace {
@@ -35,47 +37,57 @@ MhpAnalysis::MhpAnalysis(const ir::Module &module,
 
     // Match each spawn to a join in the same function whose handle
     // register is defined solely by that spawn (through Assign
-    // chains).
-    for (InstrId site : spawnSites_) {
-        const ir::Instruction &spawn = module_.instr(site);
-        const ir::Function *func = module_.function(spawn.func);
+    // chains).  Sites are independent; compute the matches batched
+    // and record them in site order.
+    const std::vector<InstrId> joins = support::runBatch(
+        spawnSites_.size(), [&](std::size_t s) -> InstrId {
+            const InstrId site = spawnSites_[s];
+            const ir::Instruction &spawn = module_.instr(site);
+            const ir::Function *func = module_.function(spawn.func);
 
-        // Gather defs per register once per function.
-        std::map<ir::Reg, std::vector<const ir::Instruction *>> defs;
-        for (const auto &block : func->blocks())
-            for (const ir::Instruction &ins : block->instructions())
-                if (ins.dest != ir::kNoReg)
-                    defs[ins.dest].push_back(&ins);
+            // Gather defs per register once per function.
+            std::map<ir::Reg, std::vector<const ir::Instruction *>> defs;
+            for (const auto &block : func->blocks())
+                for (const ir::Instruction &ins : block->instructions())
+                    if (ins.dest != ir::kNoReg)
+                        defs[ins.dest].push_back(&ins);
 
-        auto traceToSpawn = [&](ir::Reg reg) -> const ir::Instruction * {
-            for (int depth = 0; depth < 8; ++depth) {
-                auto it = defs.find(reg);
-                if (it == defs.end() || it->second.size() != 1)
+            auto traceToSpawn =
+                [&](ir::Reg reg) -> const ir::Instruction * {
+                for (int depth = 0; depth < 8; ++depth) {
+                    auto it = defs.find(reg);
+                    if (it == defs.end() || it->second.size() != 1)
+                        return nullptr;
+                    const ir::Instruction *def = it->second.front();
+                    if (def->op == ir::Opcode::Spawn)
+                        return def;
+                    if (def->op == ir::Opcode::Assign) {
+                        reg = def->a;
+                        continue;
+                    }
                     return nullptr;
-                const ir::Instruction *def = it->second.front();
-                if (def->op == ir::Opcode::Spawn)
-                    return def;
-                if (def->op == ir::Opcode::Assign) {
-                    reg = def->a;
-                    continue;
                 }
                 return nullptr;
-            }
-            return nullptr;
-        };
+            };
 
-        for (const auto &block : func->blocks()) {
-            for (const ir::Instruction &ins : block->instructions()) {
-                if (ins.op != ir::Opcode::Join)
-                    continue;
-                const ir::Instruction *src = traceToSpawn(ins.a);
-                if (src && src->id == site) {
-                    joinOf_[site] = ins.id;
-                    break;
+            InstrId match = kNoInstr;
+            for (const auto &block : func->blocks()) {
+                for (const ir::Instruction &ins :
+                     block->instructions()) {
+                    if (ins.op != ir::Opcode::Join)
+                        continue;
+                    const ir::Instruction *src = traceToSpawn(ins.a);
+                    if (src && src->id == site) {
+                        match = ins.id;
+                        break;
+                    }
                 }
             }
-        }
-    }
+            return match;
+        });
+    for (std::size_t s = 0; s < spawnSites_.size(); ++s)
+        if (joins[s] != kNoInstr)
+            joinOf_[spawnSites_[s]] = joins[s];
 
     // Ordering claims like "access must precede spawn" are only sound
     // inside a function that executes at most once: re-entering the
@@ -112,6 +124,7 @@ MhpAnalysis::MhpAnalysis(const ir::Module &module,
 const ir::Cfg &
 MhpAnalysis::cfgOf(FuncId func) const
 {
+    std::lock_guard<std::mutex> lock(cfgMutex_);
     auto it = cfgs_.find(func);
     if (it == cfgs_.end()) {
         it = cfgs_.emplace(func, std::make_unique<ir::Cfg>(

@@ -22,6 +22,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -71,6 +72,9 @@ class MhpAnalysis
     std::vector<std::set<RegionId>> funcRegions_;
     std::set<InstrId> singleton_;
     std::map<InstrId, InstrId> joinOf_;
+    /** Lazily-built per-function CFGs; the mutex makes concurrent
+     *  const MHP queries (the batched race-pair loop) safe. */
+    mutable std::mutex cfgMutex_;
     mutable std::map<FuncId, std::unique_ptr<ir::Cfg>> cfgs_;
 };
 

@@ -2,9 +2,11 @@
 
 #include <deque>
 
+#include "analysis/andersen_cache.h"
 #include "analysis/callgraph.h"
 #include "analysis/lockset.h"
 #include "analysis/mhp.h"
+#include "support/thread_pool.h"
 
 namespace oha::analysis {
 
@@ -59,20 +61,30 @@ escapedCells(const ir::Module &module, const AndersenResult &andersen,
 
 StaticRaceResult
 runStaticRaceDetector(const ir::Module &module,
-                      const inv::InvariantSet *invariants)
+                      const inv::InvariantSet *invariants,
+                      const std::shared_ptr<const ir::Module> &shared,
+                      bool referenceSolver)
 {
+    OHA_ASSERT(!shared || shared.get() == &module,
+               "shared must alias module");
     StaticRaceResult result;
 
     AndersenOptions ptsOptions;
     ptsOptions.invariants = invariants;
-    const AndersenResult andersen = runAndersen(module, ptsOptions);
-    result.workUnits += andersen.workUnits;
+    ptsOptions.referenceSolver = referenceSolver;
+    std::shared_ptr<const AndersenResult> memoized;
+    if (shared)
+        memoized = runAndersenMemo(shared, ptsOptions);
+    const AndersenResult andersen =
+        memoized ? AndersenResult() : runAndersen(module, ptsOptions);
+    const AndersenResult &pts = memoized ? *memoized : andersen;
+    result.workUnits += pts.workUnits;
 
-    const CallGraph callGraph(module, andersen, invariants);
-    const MhpAnalysis mhp(module, andersen, callGraph, invariants);
-    const LocksetAnalysis locksets(module, andersen, invariants);
+    const CallGraph callGraph(module, pts, invariants);
+    const MhpAnalysis mhp(module, pts, callGraph, invariants);
+    const LocksetAnalysis locksets(module, pts, invariants);
 
-    const SparseBitSet escaped = escapedCells(module, andersen, callGraph);
+    const SparseBitSet escaped = escapedCells(module, pts, callGraph);
 
     auto live = [&](BlockId block) {
         return !invariants || invariants->blockVisited(block);
@@ -91,7 +103,7 @@ runStaticRaceDetector(const ir::Module &module,
         const ir::Instruction &ins = module.instr(id);
         if (!ins.isMemAccess() || !live(ins.block))
             continue;
-        SparseBitSet targets = andersen.pointerTargets(id);
+        SparseBitSet targets = pts.pointerTargets(id);
         targets.intersectWith(escaped);
         if (targets.empty())
             continue;
@@ -101,49 +113,70 @@ runStaticRaceDetector(const ir::Module &module,
     result.accessesConsidered = accesses.size();
 
     // Pair construction: alias ∧ MHP ∧ at least one write, then
-    // lockset pruning (predicated only).
-    for (std::size_t i = 0; i < accesses.size(); ++i) {
-        for (std::size_t j = i; j < accesses.size(); ++j) {
-            ++result.workUnits;
-            const Access &a = accesses[i];
-            const Access &b = accesses[j];
-            if (!a.isStore && !b.isStore)
-                continue;
-            if (!a.targets.intersects(b.targets))
-                continue;
-            if (!mhp.mayHappenInParallel(a.id, b.id))
-                continue;
-
-            if (invariants) {
-                // Likely-guarding-locks pruning: some held pair must
-                // must-alias.
-                const auto &heldA = locksets.locksHeldAt(a.id);
-                const auto &heldB = locksets.locksHeldAt(b.id);
-                bool guarded = false;
-                InstrId gA = kNoInstr, gB = kNoInstr;
-                for (InstrId la : heldA) {
-                    for (InstrId lb : heldB) {
-                        if (invariants->locksMustAlias(la, lb)) {
-                            guarded = true;
-                            gA = std::min(la, lb);
-                            gB = std::max(la, lb);
-                            break;
-                        }
-                    }
-                    if (guarded)
-                        break;
-                }
-                if (guarded) {
-                    result.usedLockAliases.insert({gA, gB});
+    // lockset pruning (predicated only).  Rows of the upper-triangular
+    // pair matrix are independent; run them batched and fold the
+    // per-row findings in row order (every accumulator is a set or a
+    // commutative sum, so the fold matches the serial double loop for
+    // any thread count).
+    struct RowFindings
+    {
+        std::uint64_t workUnits = 0;
+        std::vector<std::pair<InstrId, InstrId>> racyPairs;
+        std::vector<std::pair<InstrId, InstrId>> usedLockAliases;
+    };
+    const std::vector<RowFindings> rows = support::runBatch(
+        accesses.size(), [&](std::size_t i) {
+            RowFindings row;
+            for (std::size_t j = i; j < accesses.size(); ++j) {
+                ++row.workUnits;
+                const Access &a = accesses[i];
+                const Access &b = accesses[j];
+                if (!a.isStore && !b.isStore)
                     continue;
-                }
-            }
+                if (!a.targets.intersects(b.targets))
+                    continue;
+                if (!mhp.mayHappenInParallel(a.id, b.id))
+                    continue;
 
-            result.racyPairs.insert(
-                {std::min(a.id, b.id), std::max(a.id, b.id)});
-            result.racyAccesses.insert(a.id);
-            result.racyAccesses.insert(b.id);
+                if (invariants) {
+                    // Likely-guarding-locks pruning: some held pair
+                    // must must-alias.
+                    const auto &heldA = locksets.locksHeldAt(a.id);
+                    const auto &heldB = locksets.locksHeldAt(b.id);
+                    bool guarded = false;
+                    InstrId gA = kNoInstr, gB = kNoInstr;
+                    for (InstrId la : heldA) {
+                        for (InstrId lb : heldB) {
+                            if (invariants->locksMustAlias(la, lb)) {
+                                guarded = true;
+                                gA = std::min(la, lb);
+                                gB = std::max(la, lb);
+                                break;
+                            }
+                        }
+                        if (guarded)
+                            break;
+                    }
+                    if (guarded) {
+                        row.usedLockAliases.push_back({gA, gB});
+                        continue;
+                    }
+                }
+
+                row.racyPairs.push_back(
+                    {std::min(a.id, b.id), std::max(a.id, b.id)});
+            }
+            return row;
+        });
+    for (const RowFindings &row : rows) {
+        result.workUnits += row.workUnits;
+        for (const auto &pair : row.racyPairs) {
+            result.racyPairs.insert(pair);
+            result.racyAccesses.insert(pair.first);
+            result.racyAccesses.insert(pair.second);
         }
+        result.usedLockAliases.insert(row.usedLockAliases.begin(),
+                                      row.usedLockAliases.end());
     }
 
     // Record which singleton assumptions mattered: any invariant

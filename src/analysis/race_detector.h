@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <memory>
 #include <set>
 #include <utility>
 #include <vector>
@@ -46,8 +47,19 @@ struct StaticRaceResult
  * Run the static race detector.
  * @param invariants null => sound analysis (no lockset pruning, no
  *        invariant-based MHP refinement); non-null => predicated.
+ * @param shared when non-null (and pointing at @p module), the
+ *        points-to phase goes through the process-wide memo cache
+ *        (andersen_cache.h) so repeated configurations — calibration
+ *        sweeps, the lock-elision pass — reuse one solve.
+ * @param referenceSolver run the points-to phase on the pre-overhaul
+ *        solver (AndersenOptions::referenceSolver); exists for the
+ *        delta-solver parity test.
  */
-StaticRaceResult runStaticRaceDetector(const ir::Module &module,
-                                       const inv::InvariantSet *invariants);
+StaticRaceResult
+runStaticRaceDetector(const ir::Module &module,
+                      const inv::InvariantSet *invariants,
+                      const std::shared_ptr<const ir::Module> &shared =
+                          nullptr,
+                      bool referenceSolver = false);
 
 } // namespace oha::analysis

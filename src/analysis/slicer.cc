@@ -138,6 +138,7 @@ StaticSlicer::live(BlockId block) const
 const ir::Cfg &
 StaticSlicer::cfgOf(FuncId func) const
 {
+    std::lock_guard<std::mutex> lock(cfgMutex_);
     auto it = cfgs_.find(func);
     if (it == cfgs_.end()) {
         it = cfgs_.emplace(func, std::make_unique<ir::Cfg>(

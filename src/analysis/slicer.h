@@ -23,6 +23,8 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -94,6 +96,9 @@ class StaticSlicer
      *  load/store filtering is sound (runs at most once), or kNoFunc. */
     FuncId flowSensitiveFunc_ = kNoFunc;
 
+    /** Lazily-built per-function CFGs; the mutex makes concurrent
+     *  const slice() calls (batched per-endpoint slicing) safe. */
+    mutable std::mutex cfgMutex_;
     mutable std::map<FuncId, std::unique_ptr<ir::Cfg>> cfgs_;
 };
 

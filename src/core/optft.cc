@@ -1,5 +1,6 @@
 #include "core/optft.h"
 
+#include "analysis/andersen_cache.h"
 #include "analysis/lockset.h"
 #include "dyn/fasttrack.h"
 #include "dyn/invariant_checker.h"
@@ -62,10 +63,13 @@ calibrateLockElision(const ir::Module &module,
                      std::size_t calibrationRuns, std::size_t threads)
 {
     // Candidate lock sites: no potentially-racy access holds them.
+    // This is the same predicated CI configuration the static race
+    // detector just solved, so the memo cache serves it back for free.
     analysis::AndersenOptions aopts;
     aopts.invariants = &invariants;
-    const analysis::AndersenResult andersen =
-        analysis::runAndersen(module, aopts);
+    const std::shared_ptr<const analysis::AndersenResult> andersenSp =
+        analysis::runAndersenMemo(workload.module, aopts);
+    const analysis::AndersenResult &andersen = *andersenSp;
     const analysis::LocksetAnalysis locksets(module, andersen,
                                              &invariants);
 
@@ -214,10 +218,19 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     result.profileRunsUsed = campaign.numRuns();
 
     // ---- Phase 2: static analyses -------------------------------------
-    const analysis::StaticRaceResult sound =
-        analysis::runStaticRaceDetector(module, nullptr);
-    const analysis::StaticRaceResult predicated =
-        analysis::runStaticRaceDetector(module, &invariants);
+    // Sound and predicated detectors are independent; run them
+    // concurrently (collected in index order for determinism) and
+    // route them through the static-result memo, so calibration
+    // sweeps with converged invariants reuse whole detector outputs.
+    const auto detectors = support::runBatch(
+        2,
+        [&](std::size_t i) {
+            return analysis::runStaticRaceDetectorMemo(
+                workload.module, i == 0 ? nullptr : &invariants);
+        },
+        config.threads);
+    const analysis::StaticRaceResult &sound = *detectors[0];
+    const analysis::StaticRaceResult &predicated = *detectors[1];
     result.soundStaticSeconds =
         double(sound.workUnits) / cost.staticUnitsPerSecond * cost.offlineScale;
     result.predStaticSeconds =

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "analysis/andersen_cache.h"
 #include "dyn/giri.h"
 #include "dyn/invariant_checker.h"
 #include "dyn/plans.h"
@@ -16,12 +17,17 @@ namespace {
 /** Points-to analysis picked CS-first within budget (a Table 2 AT). */
 struct PickedAndersen
 {
-    analysis::AndersenResult result;
+    /** Memoized (possibly shared) result; never mutated. */
+    std::shared_ptr<const analysis::AndersenResult> result;
     AnalysisPick pick;
+    /** Work burnt on a CS attempt that blew the context budget,
+     *  charged to this pick's cost on top of the fallback's units. */
+    std::uint64_t wastedUnits = 0;
 };
 
 PickedAndersen
-pickAndersen(const ir::Module &module, const inv::InvariantSet *invariants,
+pickAndersen(const std::shared_ptr<const ir::Module> &module,
+             const inv::InvariantSet *invariants,
              const OptSliceConfig &config)
 {
     analysis::AndersenOptions options;
@@ -30,20 +36,20 @@ pickAndersen(const ir::Module &module, const inv::InvariantSet *invariants,
     options.maxContexts = config.csContextBudget;
 
     PickedAndersen picked;
-    picked.result = analysis::runAndersen(module, options);
-    if (picked.result.completed) {
+    picked.result = analysis::runAndersenMemo(module, options);
+    if (picked.result->completed) {
         picked.pick.contextSensitive = true;
     } else {
         // CS exhausted the budget: fall back to CI (Table 2's "most
         // accurate analysis that will run").
-        const std::uint64_t wasted = picked.result.workUnits;
+        picked.wastedUnits = picked.result->workUnits;
         options.contextSensitive = false;
-        picked.result = analysis::runAndersen(module, options);
-        picked.result.workUnits += wasted;
+        picked.result = analysis::runAndersenMemo(module, options);
         picked.pick.contextSensitive = false;
     }
     picked.pick.seconds =
-        double(picked.result.workUnits) / config.cost.staticUnitsPerSecond;
+        double(picked.result->workUnits + picked.wastedUnits) /
+        config.cost.staticUnitsPerSecond;
     return picked;
 }
 
@@ -58,70 +64,85 @@ outputInstrs(const ir::Module &module)
     return out;
 }
 
-/** Static slices for all endpoints at one analysis level. */
-struct SliceSet
-{
-    std::vector<std::set<InstrId>> slices;
-    bool contextSensitive = false;
-    bool complete = false;
-    std::uint64_t workUnits = 0;
-};
-
 /**
  * Compute static slices for @p endpoints with fallback: try the
  * picked (possibly CS) points-to result; if any slice blows the work
  * budget, retry context-insensitively.  An incomplete static slice
  * must never become an instrumentation plan — it is not closed, so
  * the dynamic slicer would silently lose dependencies.
+ *
+ * Memoized through the static-result cache: sweep points that rebuild
+ * the same (module, invariants, endpoints) slicing task — Figure 8
+ * re-runs the whole static phase per profiling-run count — reuse the
+ * stored slice sets.  The stored workUnits are the deterministic cost
+ * of the one real computation.
  */
-SliceSet
-computeAllSlices(const ir::Module &module,
+std::shared_ptr<const analysis::SliceSetResult>
+computeAllSlices(const std::shared_ptr<const ir::Module> &module,
                  const std::vector<InstrId> &endpoints,
                  const inv::InvariantSet *invariants,
                  const OptSliceConfig &config,
                  const analysis::AndersenResult &picked, bool pickedCs)
 {
-    SliceSet out;
+    // Everything that can change the output beyond (module,
+    // invariants, endpoints): the per-slice work budget and the
+    // analysis level of the picked points-to result.
+    const std::uint64_t configKey =
+        config.sliceWorkBudget ^ (pickedCs ? 1ull << 63 : 0);
 
-    analysis::SlicerOptions options;
-    options.invariants = invariants;
-    options.maxWork = config.sliceWorkBudget;
+    auto compute = [&]() {
+        analysis::SliceSetResult out;
 
-    auto attempt = [&](const analysis::AndersenResult &pts) {
-        std::vector<std::set<InstrId>> slices;
-        const analysis::StaticSlicer slicer(module, pts, options);
-        for (InstrId endpoint : endpoints) {
-            auto slice = slicer.slice(endpoint);
-            out.workUnits += slice.workUnits;
-            if (!slice.completed)
-                return false;
-            slices.push_back(std::move(slice.instructions));
-        }
-        out.slices = std::move(slices);
-        return true;
-    };
+        analysis::SlicerOptions options;
+        options.invariants = invariants;
+        options.maxWork = config.sliceWorkBudget;
 
-    if (attempt(picked)) {
-        out.contextSensitive = pickedCs;
-        out.complete = true;
-        return out;
-    }
-    if (pickedCs) {
-        analysis::AndersenOptions ciOptions;
-        ciOptions.invariants = invariants;
-        const analysis::AndersenResult ciPts =
-            analysis::runAndersen(module, ciOptions);
-        out.workUnits += ciPts.workUnits;
-        if (attempt(ciPts)) {
-            out.contextSensitive = false;
+        // Endpoints slice independently; compute them batched, then
+        // fold work accounting in endpoint order, stopping at the
+        // first incomplete slice — exactly the serial early-exit
+        // accounting, so reported static-phase costs are thread-count
+        // invariant.
+        auto attempt = [&](const analysis::AndersenResult &pts) {
+            const analysis::StaticSlicer slicer(*module, pts, options);
+            auto sliceResults = support::runBatch(
+                endpoints.size(),
+                [&](std::size_t e) { return slicer.slice(endpoints[e]); },
+                config.threads);
+            std::vector<std::set<InstrId>> slices;
+            for (auto &slice : sliceResults) {
+                out.workUnits += slice.workUnits;
+                if (!slice.completed)
+                    return false;
+                slices.push_back(std::move(slice.instructions));
+            }
+            out.slices = std::move(slices);
+            return true;
+        };
+
+        if (attempt(picked)) {
+            out.contextSensitive = pickedCs;
             out.complete = true;
             return out;
         }
-    }
-    // Static slicing failed entirely: the caller must fall back to
-    // full instrumentation (pure Giri).
-    out.slices.assign(endpoints.size(), {});
-    return out;
+        if (pickedCs) {
+            analysis::AndersenOptions ciOptions;
+            ciOptions.invariants = invariants;
+            const std::shared_ptr<const analysis::AndersenResult> ciPts =
+                analysis::runAndersenMemo(module, ciOptions);
+            out.workUnits += ciPts->workUnits;
+            if (attempt(*ciPts)) {
+                out.contextSensitive = false;
+                out.complete = true;
+                return out;
+            }
+        }
+        // Static slicing failed entirely: the caller must fall back
+        // to full instrumentation (pure Giri).
+        out.slices.assign(endpoints.size(), {});
+        return out;
+    };
+    return analysis::sliceSetMemo(module, invariants, configKey,
+                                  endpoints, compute);
 }
 
 struct GiriRun
@@ -193,9 +214,20 @@ runOptSlice(const workloads::Workload &workload,
                             cost.profilingOverhead / cost.unitsPerSecond * cost.offlineScale;
 
     // ---- Phase 2: static analyses --------------------------------------
-    PickedAndersen soundPts = pickAndersen(module, nullptr, config);
+    // The sound and predicated configurations are independent solves;
+    // run them concurrently (results are collected in index order, so
+    // the reported picks are thread-count invariant).
+    const std::shared_ptr<const ir::Module> moduleSp = workload.module;
+    std::vector<PickedAndersen> picks = support::runBatch(
+        2,
+        [&](std::size_t i) {
+            return pickAndersen(moduleSp, i == 0 ? nullptr : &invariants,
+                                config);
+        },
+        config.threads);
+    PickedAndersen &soundPts = picks[0];
+    PickedAndersen &optPts = picks[1];
     result.soundPts = soundPts.pick;
-    PickedAndersen optPts = pickAndersen(module, &invariants, config);
     result.optPts = optPts.pick;
 
     // ---- Phase 3: endpoint selection ------------------------------------
@@ -203,20 +235,28 @@ runOptSlice(const workloads::Workload &workload,
     // the non-trivial ones (Section 6.1.2).
     std::vector<InstrId> endpoints;
     {
-        std::optional<analysis::AndersenResult> ciPts;
-        const analysis::AndersenResult *rankPts = &soundPts.result;
+        std::shared_ptr<const analysis::AndersenResult> ciPts;
+        const analysis::AndersenResult *rankPts = soundPts.result.get();
         if (soundPts.pick.contextSensitive) {
-            ciPts = analysis::runAndersen(module, {});
-            rankPts = &*ciPts;
+            // The memo serves the CI pre-pass of the sound CS solve
+            // back instead of solving again.
+            ciPts = analysis::runAndersenMemo(moduleSp, {});
+            rankPts = ciPts.get();
         }
         analysis::SlicerOptions rankOptions;
         rankOptions.maxWork = config.sliceWorkBudget;
         const analysis::StaticSlicer ranker(module, *rankPts,
                                             rankOptions);
+        const std::vector<InstrId> outputs = outputInstrs(module);
+        const std::vector<std::size_t> sizes = support::runBatch(
+            outputs.size(),
+            [&](std::size_t i) {
+                return ranker.slice(outputs[i]).instructions.size();
+            },
+            config.threads);
         std::vector<std::pair<std::size_t, InstrId>> candidates;
-        for (InstrId endpoint : outputInstrs(module))
-            candidates.push_back(
-                {ranker.slice(endpoint).instructions.size(), endpoint});
+        for (std::size_t i = 0; i < outputs.size(); ++i)
+            candidates.push_back({sizes[i], outputs[i]});
         std::sort(candidates.rbegin(), candidates.rend());
         for (const auto &[size, endpoint] : candidates) {
             if (endpoints.size() >= config.maxEndpoints)
@@ -228,12 +268,15 @@ runOptSlice(const workloads::Workload &workload,
 
     // Per-endpoint static slices with CS -> CI fallback; incomplete
     // slices must never be used as instrumentation plans.
-    const SliceSet soundSlices =
-        computeAllSlices(module, endpoints, nullptr, config,
-                         soundPts.result, soundPts.pick.contextSensitive);
-    const SliceSet optSlices =
-        computeAllSlices(module, endpoints, &invariants, config,
-                         optPts.result, optPts.pick.contextSensitive);
+    const std::shared_ptr<const analysis::SliceSetResult> soundSlicesSp =
+        computeAllSlices(moduleSp, endpoints, nullptr, config,
+                         *soundPts.result,
+                         soundPts.pick.contextSensitive);
+    const std::shared_ptr<const analysis::SliceSetResult> optSlicesSp =
+        computeAllSlices(moduleSp, endpoints, &invariants, config,
+                         *optPts.result, optPts.pick.contextSensitive);
+    const analysis::SliceSetResult &soundSlices = *soundSlicesSp;
+    const analysis::SliceSetResult &optSlices = *optSlicesSp;
     result.soundSlice.contextSensitive = soundSlices.contextSensitive;
     result.optSlice.contextSensitive = optSlices.contextSensitive;
     result.soundSlice.seconds =
@@ -260,8 +303,8 @@ runOptSlice(const workloads::Workload &workload,
     result.optSliceSize = optSizeSum / double(endpoints.size());
 
     result.soundAliasRate =
-        soundPts.result.aliasRate(module, &invariants);
-    result.optAliasRate = optPts.result.aliasRate(module, &invariants);
+        soundPts.result->aliasRate(module, &invariants);
+    result.optAliasRate = optPts.result->aliasRate(module, &invariants);
 
     // ---- Phase 4: dynamic slicing over the testing corpus ---------------
     dyn::CheckerConfig checkerConfig;

@@ -100,6 +100,58 @@ class SparseBitSet
         return changed;
     }
 
+    /**
+     * Union @p other into this set, accumulating the bits that were
+     * newly added into @p added (itself union-accumulated, so a
+     * caller can collect a running delta across several unions).
+     * Returns true if this set grew.  This is the difference-
+     * propagation primitive of the Andersen solver: a node's
+     * successors receive only the bits in @p added, never the full
+     * set.
+     */
+    bool
+    unionWithDiff(const SparseBitSet &other, SparseBitSet &added)
+    {
+        if (other.chunks_.empty())
+            return false;
+        Chunks merged;
+        Chunks fresh;
+        merged.reserve(chunks_.size() + other.chunks_.size());
+        auto a = chunks_.begin();
+        auto b = other.chunks_.begin();
+        while (a != chunks_.end() || b != other.chunks_.end()) {
+            if (b == other.chunks_.end() ||
+                (a != chunks_.end() && a->first < b->first)) {
+                merged.push_back(*a++);
+            } else if (a == chunks_.end() || b->first < a->first) {
+                merged.push_back(*b);
+                fresh.push_back(*b);
+                ++b;
+            } else {
+                const std::uint64_t gained = b->second & ~a->second;
+                merged.push_back({a->first, a->second | b->second});
+                if (gained)
+                    fresh.push_back({a->first, gained});
+                ++a;
+                ++b;
+            }
+        }
+        chunks_ = std::move(merged);
+        if (fresh.empty())
+            return false;
+        SparseBitSet diff;
+        diff.chunks_ = std::move(fresh);
+        added.unionWith(diff);
+        return true;
+    }
+
+    /** Swap contents with @p other. */
+    void
+    swap(SparseBitSet &other)
+    {
+        chunks_.swap(other.chunks_);
+    }
+
     /** Intersect this set with @p other in place. */
     void
     intersectWith(const SparseBitSet &other)
