@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Record-once/analyze-many microbenchmark: real wall time for the
+ * trace capture/replay subsystem, per workload and per path.
+ *
+ * Two layers of measurement:
+ *
+ *  1. Event level (best-of-N): for each workload's first testing
+ *     input, the cost of (a) recording the trace once, (b) running a
+ *     full-plan analysis on a live interpreter, and (c) replaying the
+ *     recorded trace through the same analysis.  Replay skips guest
+ *     fetch/decode/eval entirely, so (c) should beat (b) on delivered
+ *     events/sec; the `replay_speedup` metric is (b)/(c) wall time.
+ *
+ *  2. Pipeline level: end-to-end runOptFt (Figure 5 workloads) and
+ *     runOptSlice (Figure 6 workloads) with useTraceReplay off vs on.
+ *     Results are byte-identical by construction (pinned by
+ *     trace_replay_parity_test); what changes is interpreter work.
+ *     The `interp_step_ratio` metric — direct interpretedSteps over
+ *     replay interpretedSteps — is the headline: the direct path
+ *     interprets every testing input 3+ times (full, hybrid,
+ *     optimistic, plus rollbacks), the replay path exactly once, so
+ *     the ratio must be >= 2 (the PR's acceptance bar) and is
+ *     architecturally >= 3 on the FastTrack side.  `e2e_speedup` is
+ *     the matching wall-clock ratio.
+ *
+ * OHA_BENCH_SMOKE=1 shrinks corpora and repetitions for CI smoke
+ * runs.  JSON: BENCH_microbench_trace.json.
+ */
+
+#include "bench_common.h"
+
+#include <cstdlib>
+
+#include "dyn/fasttrack.h"
+#include "dyn/giri.h"
+#include "dyn/plans.h"
+#include "exec/trace.h"
+#include "workloads/workloads.h"
+
+using namespace oha;
+
+namespace {
+
+bool
+smokeMode()
+{
+    const char *env = std::getenv("OHA_BENCH_SMOKE");
+    return env && *env && *env != '0';
+}
+
+struct Sample
+{
+    double bestMs = 0;
+    std::uint64_t events = 0;
+
+    double
+    eventsPerSec() const
+    {
+        return bestMs > 0 ? double(events) / (bestMs / 1000.0) : 0;
+    }
+};
+
+/** Best-of-@p reps wall time of one deterministic measurement. */
+template <typename RunOnce>
+Sample
+measure(int reps, RunOnce runOnce)
+{
+    Sample sample;
+    for (int rep = 0; rep < reps; ++rep) {
+        const double t0 = bench::nowMs();
+        const std::uint64_t events = runOnce();
+        const double ms = bench::nowMs() - t0;
+        if (rep == 0 || ms < sample.bestMs)
+            sample.bestMs = ms;
+        sample.events = events;
+    }
+    return sample;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Microbench: record-once / analyze-many trace replay",
+                  "rollback is deterministic re-execution (Section 2.3); "
+                  "capture the event stream once and replay it per "
+                  "analysis instead");
+
+    const bool smoke = smokeMode();
+    const int kReps = smoke ? 2 : 5;
+    const int kPipeReps = smoke ? 1 : 3;
+    const std::size_t profileRuns = smoke ? 4 : bench::kRaceProfileRuns;
+    const std::size_t testRuns = smoke ? 2 : bench::kRaceTestRuns;
+    const std::size_t sliceTestRuns = smoke ? 2 : bench::kSliceTestRuns;
+
+    bench::JsonReport json("microbench_trace");
+    TextTable table({"workload", "variant", "wall ms", "events",
+                     "events/sec"});
+    auto row = [&](const std::string &name, const char *variant,
+                   const Sample &sample) {
+        table.addRow({name, variant, fmtDouble(sample.bestMs, 2),
+                      std::to_string(sample.events),
+                      fmtDouble(sample.eventsPerSec() / 1e6, 2) + "M"});
+        json.add(name, variant, sample.bestMs, sample.events);
+    };
+
+    // ---- Event level: live FastTrack vs replayed FastTrack ----------
+    std::vector<std::string> raceNames = workloads::raceWorkloadNames();
+    std::vector<std::string> sliceNames = workloads::sliceWorkloadNames();
+    if (smoke) {
+        raceNames.resize(std::min<std::size_t>(raceNames.size(), 2));
+        sliceNames.resize(std::min<std::size_t>(sliceNames.size(), 1));
+    }
+
+    std::vector<double> replaySpeedups;
+    for (const std::string &name : raceNames) {
+        const auto workload = workloads::makeRaceWorkload(name, 1, 1);
+        const ir::Module &module = *workload.module;
+        const auto &input = workload.testingSet.front();
+        const auto plan = dyn::fullFastTrackPlan(module);
+
+        const Sample record = measure(kReps, [&] {
+            const auto trace = exec::recordRun(module, input);
+            return trace.result.totalEvents.total();
+        });
+        row(name, "record", record);
+
+        const Sample direct = measure(kReps, [&] {
+            dyn::FastTrack tool;
+            exec::Interpreter interp(module, input);
+            interp.attach(&tool, &plan);
+            const auto result = interp.run();
+            if (tool.races().size() > 1u << 20)
+                std::abort();
+            return result.delivered[0].total();
+        });
+        row(name, "fasttrack-direct", direct);
+
+        const exec::RecordedTrace trace = exec::recordRun(module, input);
+        const Sample replay = measure(kReps, [&] {
+            dyn::FastTrack tool;
+            exec::TraceReplayer replayer(module, trace);
+            replayer.attach(&tool, &plan);
+            const auto result = replayer.run();
+            if (tool.races().size() > 1u << 20)
+                std::abort();
+            return result.delivered[0].total();
+        });
+        row(name, "fasttrack-replay", replay);
+
+        const double speedup =
+            replay.bestMs > 0 ? direct.bestMs / replay.bestMs : 0;
+        json.metric(name, "fasttrack", "replay_speedup", speedup);
+        replaySpeedups.push_back(speedup);
+    }
+
+    for (const std::string &name : sliceNames) {
+        const auto workload = workloads::makeSliceWorkload(name, 1, 1);
+        const ir::Module &module = *workload.module;
+        const auto &input = workload.testingSet.front();
+        const auto plan = dyn::fullGiriPlan(module);
+
+        const Sample direct = measure(kReps, [&] {
+            dyn::GiriSlicer tool(module);
+            exec::Interpreter interp(module, input);
+            interp.attach(&tool, &plan);
+            const auto result = interp.run();
+            if (tool.traceLength() > 1ull << 40)
+                std::abort();
+            return result.delivered[0].total();
+        });
+        row(name, "giri-direct", direct);
+
+        const exec::RecordedTrace trace = exec::recordRun(module, input);
+        const Sample replay = measure(kReps, [&] {
+            dyn::GiriSlicer tool(module);
+            exec::TraceReplayer replayer(module, trace);
+            replayer.attach(&tool, &plan);
+            const auto result = replayer.run();
+            if (tool.traceLength() > 1ull << 40)
+                std::abort();
+            return result.delivered[0].total();
+        });
+        row(name, "giri-replay", replay);
+
+        const double speedup =
+            replay.bestMs > 0 ? direct.bestMs / replay.bestMs : 0;
+        json.metric(name, "giri", "replay_speedup", speedup);
+        replaySpeedups.push_back(speedup);
+    }
+
+    std::printf("%s\n", table.str().c_str());
+
+    // ---- Pipeline level: execute-once vs execute-per-configuration --
+    TextTable pipeTable({"workload", "pipeline", "direct ms", "replay ms",
+                         "interp-step ratio", "e2e speedup"});
+    std::vector<double> stepRatios;
+
+    for (const std::string &name : raceNames) {
+        const auto workload =
+            workloads::makeRaceWorkload(name, profileRuns, testRuns);
+        core::OptFtConfig direct = bench::standardOptFtConfig();
+        direct.useTraceReplay = false;
+        core::OptFtConfig replay = bench::standardOptFtConfig();
+        replay.useTraceReplay = true;
+
+        core::OptFtResult directResult, replayResult;
+        const Sample directMs = measure(kPipeReps, [&] {
+            directResult = core::runOptFt(workload, direct);
+            return directResult.interpretedSteps;
+        });
+        const Sample replayMs = measure(kPipeReps, [&] {
+            replayResult = core::runOptFt(workload, replay);
+            return replayResult.interpretedSteps;
+        });
+
+        const double ratio =
+            replayResult.interpretedSteps > 0
+                ? double(directResult.interpretedSteps) /
+                      double(replayResult.interpretedSteps)
+                : 0;
+        const double e2e = replayMs.bestMs > 0
+                               ? directMs.bestMs / replayMs.bestMs
+                               : 0;
+        stepRatios.push_back(ratio);
+        pipeTable.addRow({name, "optft", fmtDouble(directMs.bestMs, 1),
+                          fmtDouble(replayMs.bestMs, 1),
+                          fmtDouble(ratio, 2), fmtDouble(e2e, 2)});
+        json.add(name, "optft-direct", directMs.bestMs,
+                 directResult.interpretedSteps);
+        json.add(name, "optft-replay", replayMs.bestMs,
+                 replayResult.interpretedSteps);
+        json.metric(name, "optft", "interp_step_ratio", ratio);
+        json.metric(name, "optft", "e2e_speedup", e2e);
+    }
+
+    for (const std::string &name : sliceNames) {
+        const auto workload =
+            workloads::makeSliceWorkload(name, profileRuns, sliceTestRuns);
+        core::OptSliceConfig direct = bench::standardOptSliceConfig();
+        direct.useTraceReplay = false;
+        core::OptSliceConfig replay = bench::standardOptSliceConfig();
+        replay.useTraceReplay = true;
+
+        core::OptSliceResult directResult, replayResult;
+        const Sample directMs = measure(kPipeReps, [&] {
+            directResult = core::runOptSlice(workload, direct);
+            return directResult.interpretedSteps;
+        });
+        const Sample replayMs = measure(kPipeReps, [&] {
+            replayResult = core::runOptSlice(workload, replay);
+            return replayResult.interpretedSteps;
+        });
+
+        const double ratio =
+            replayResult.interpretedSteps > 0
+                ? double(directResult.interpretedSteps) /
+                      double(replayResult.interpretedSteps)
+                : 0;
+        const double e2e = replayMs.bestMs > 0
+                               ? directMs.bestMs / replayMs.bestMs
+                               : 0;
+        stepRatios.push_back(ratio);
+        pipeTable.addRow({name, "optslice", fmtDouble(directMs.bestMs, 1),
+                          fmtDouble(replayMs.bestMs, 1),
+                          fmtDouble(ratio, 2), fmtDouble(e2e, 2)});
+        json.add(name, "optslice-direct", directMs.bestMs,
+                 directResult.interpretedSteps);
+        json.add(name, "optslice-replay", replayMs.bestMs,
+                 replayResult.interpretedSteps);
+        json.metric(name, "optslice", "interp_step_ratio", ratio);
+        json.metric(name, "optslice", "e2e_speedup", e2e);
+    }
+
+    std::printf("%s\n", pipeTable.str().c_str());
+
+    const double meanRatio = bench::mean(stepRatios);
+    std::printf("mean replay speedup (single analysis): %.2fx\n",
+                bench::mean(replaySpeedups));
+    std::printf("mean interpreter-work reduction (pipeline): %.2fx\n",
+                meanRatio);
+    json.metric("aggregate", "all", "mean_interp_step_ratio", meanRatio);
+    if (meanRatio < 2.0) {
+        std::printf("WARNING: interpreter-work reduction below the 2x "
+                    "acceptance bar\n");
+    }
+
+    json.write();
+    return 0;
+}

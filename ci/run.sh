@@ -6,6 +6,10 @@
 #   ci/run.sh tsan       # ThreadSanitizer build, tests under OHA_THREADS=4
 #   ci/run.sh bench      # build + run the wall-time microbenchmarks,
 #                        # leaving BENCH_*.json in the repo root
+#   ci/run.sh bench-release
+#                        # Release (-O2, no asserts) build + smoke run of
+#                        # the trace capture/replay microbenchmark
+#                        # (OHA_BENCH_SMOKE=1: reduced reps and corpus)
 #
 # All test jobs run the same ctest suite; the sanitizer jobs exist to
 # catch memory errors and data races in the parallel static-phase and
@@ -47,8 +51,15 @@ bench)
     "$build_dir"/bench/microbench_static
     "$build_dir"/bench/microbench_shadow
     ;;
+bench-release)
+    build_dir=build-ci-release
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$build_dir" -j "$jobs" --target microbench_trace
+    OHA_BENCH_SMOKE=1 "$build_dir"/bench/microbench_trace
+    ;;
 *)
-    echo "unknown job '$job' (expected: plain | sanitize | tsan | bench)" >&2
+    echo "unknown job '$job' (expected: plain | sanitize | tsan | bench |" \
+        "bench-release)" >&2
     exit 2
     ;;
 esac

@@ -107,7 +107,7 @@ detectRaces(const ir::Module &module, const exec::ExecConfig &config,
     exec::Interpreter interp(module, config);
     interp.attach(&tool, &plan);
     if (checker) {
-        checker->setInterpreter(&interp);
+        checker->setControl(&interp);
         interp.attach(checker, &checker->plan());
     }
     const auto result = interp.run();

@@ -159,7 +159,7 @@ main()
         dyn::CheckerConfig checkerConfig;
         dyn::InvariantChecker checker(module, invariants, checkerConfig);
         exec::Interpreter interp(module, config);
-        checker.setInterpreter(&interp);
+        checker.setControl(&interp);
         interp.attach(&optimistic, &plan);
         interp.attach(&checker, &checker.plan());
         interp.run();

@@ -5,6 +5,7 @@
 #include "dyn/fasttrack.h"
 #include "dyn/invariant_checker.h"
 #include "dyn/plans.h"
+#include "exec/trace.h"
 #include "profile/profiler.h"
 #include "support/thread_pool.h"
 
@@ -35,10 +36,36 @@ runFastTrack(const ir::Module &module, const exec::ExecConfig &config,
     exec::Interpreter interp(module, config);
     interp.attach(&tool, &plan);
     if (checker) {
-        checker->setInterpreter(&interp);
+        checker->setControl(&interp);
         interp.attach(checker, &checker->plan());
     }
     out.result = interp.run();
+    out.races = tool.racePairs();
+    out.ftDelivered = out.result.delivered[0];
+    if (checker) {
+        out.checkerDelivered = out.result.delivered[1];
+        out.slowChecks = checker->slowContextChecks();
+        out.violated = checker->violated();
+    }
+    return out;
+}
+
+/** Same analysis, driven from a recorded trace instead of a live
+ *  interpreter (record-once/analyze-many).  Byte-identical results. */
+FtRun
+replayFastTrack(const ir::Module &module, const exec::RecordedTrace &trace,
+                const exec::InstrumentationPlan &plan,
+                dyn::InvariantChecker *checker = nullptr)
+{
+    FtRun out;
+    dyn::FastTrack tool;
+    exec::TraceReplayer replayer(module, trace);
+    replayer.attach(&tool, &plan);
+    if (checker) {
+        checker->setControl(&replayer);
+        replayer.attach(checker, &checker->plan());
+    }
+    out.result = replayer.run();
     out.races = tool.racePairs();
     out.ftDelivered = out.result.delivered[0];
     if (checker) {
@@ -60,7 +87,8 @@ calibrateLockElision(const ir::Module &module,
                      const inv::InvariantSet &invariants,
                      const analysis::StaticRaceResult &predicated,
                      const workloads::Workload &workload,
-                     std::size_t calibrationRuns, std::size_t threads)
+                     std::size_t calibrationRuns, std::size_t threads,
+                     const std::vector<exec::RecordedTrace> *traces)
 {
     // Candidate lock sites: no potentially-racy access holds them.
     // This is the same predicated CI configuration the static race
@@ -120,16 +148,24 @@ calibrateLockElision(const ir::Module &module,
 
     const std::size_t runs =
         std::min(calibrationRuns, workload.profilingSet.size());
+    OHA_ASSERT(!traces || traces->size() >= runs,
+               "calibration traces must cover the calibration runs");
+
+    // Each calibration execution comes either from a live run or — in
+    // record-once mode — from replaying the input's recorded trace,
+    // so every round of the elision loop reuses the same captures.
+    auto calibRaces = [&](std::size_t i,
+                          const exec::InstrumentationPlan &plan) {
+        if (traces)
+            return replayFastTrack(module, (*traces)[i], plan).races;
+        return runFastTrack(module, workload.profilingSet[i], plan).races;
+    };
 
     // The sound reference races are loop-invariant (the plan never
     // changes across rounds): compute them once, batched.
     const std::vector<RacePairs> soundRaces = support::runBatch(
         runs,
-        [&](std::size_t i) {
-            return runFastTrack(module, workload.profilingSet[i],
-                                soundPlan)
-                .races;
-        },
+        [&](std::size_t i) { return calibRaces(i, soundPlan); },
         threads);
 
     while (!candidates.empty()) {
@@ -142,11 +178,7 @@ calibrateLockElision(const ir::Module &module,
         // Validate every calibration trial of this round concurrently.
         const std::vector<RacePairs> optRaces = support::runBatch(
             runs,
-            [&](std::size_t i) {
-                return runFastTrack(module, workload.profilingSet[i],
-                                    optPlan)
-                    .races;
-            },
+            [&](std::size_t i) { return calibRaces(i, optPlan); },
             threads);
 
         std::set<InstrId> falseRaceFuncs;
@@ -192,6 +224,18 @@ calibrateLockElision(const ir::Module &module,
 }
 
 } // namespace
+
+bool
+optFtShouldRollBack(bool invariantViolated, bool racesReported,
+                    bool lockElisionActive)
+{
+    // See the header: a race report only implies possible
+    // mis-speculation when a lost happens-before edge could have
+    // produced it, i.e. when any lock site is elided — and then
+    // globally, because the false race need not involve the elided
+    // lock itself.
+    return invariantViolated || (racesReported && lockElisionActive);
+}
 
 OptFtResult
 runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
@@ -240,22 +284,41 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     result.predRacyAccesses = predicated.racyAccesses.size();
 
     // ---- Phase 2b: no-custom-sync calibration -------------------------
+    const std::size_t calibRuns = std::min(
+        config.customSyncCalibrationRuns, workload.profilingSet.size());
+    // In record-once mode each calibration input is executed exactly
+    // once; every elision round then replays the captures.
+    std::vector<exec::RecordedTrace> calibTraces;
+    if (config.useTraceReplay) {
+        calibTraces = support::runBatch(
+            calibRuns,
+            [&](std::size_t i) {
+                return exec::recordRun(module, workload.profilingSet[i]);
+            },
+            config.threads);
+    }
     std::uint64_t calibrationSteps = 0;
     invariants.elidableLockSites = calibrateLockElision(
-        module, invariants, predicated, workload,
-        config.customSyncCalibrationRuns, config.threads);
+        module, invariants, predicated, workload, calibRuns,
+        config.threads, config.useTraceReplay ? &calibTraces : nullptr);
     result.elidedLockSites = invariants.elidableLockSites.size();
-    // Calibration executions count as profiling cost.
-    const std::vector<std::uint64_t> probeSteps = support::runBatch(
-        std::min(config.customSyncCalibrationRuns,
-                 workload.profilingSet.size()),
-        [&](std::size_t i) {
-            exec::Interpreter probe(module, workload.profilingSet[i]);
-            return probe.run().steps;
-        },
-        config.threads);
-    for (std::uint64_t steps : probeSteps)
-        calibrationSteps += steps;
+    // Calibration executions count as profiling cost.  The recording
+    // run's step count is the uninstrumented step count, so both modes
+    // price identically.
+    if (config.useTraceReplay) {
+        for (const exec::RecordedTrace &trace : calibTraces)
+            calibrationSteps += trace.result.steps;
+    } else {
+        const std::vector<std::uint64_t> probeSteps = support::runBatch(
+            calibRuns,
+            [&](std::size_t i) {
+                exec::Interpreter probe(module, workload.profilingSet[i]);
+                return probe.run().steps;
+            },
+            config.threads);
+        for (std::uint64_t steps : probeSteps)
+            calibrationSteps += steps;
+    }
     result.profileSeconds =
         (double(campaign.profiledSteps()) +
          2.0 * double(calibrationSteps)) *
@@ -284,29 +347,60 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
         FtRun optimistic;
         bool rolledBack = false;
         FtRun redo;
+        std::uint64_t interpreted = 0; ///< guest steps fetch/decode/eval'd
     };
     const std::vector<TestEval> evals = support::runBatch(
         workload.testingSet.size(),
         [&](std::size_t i) {
             const auto &input = workload.testingSet[i];
             TestEval eval;
-            // Full FastTrack (the sound reference).
-            eval.full = runFastTrack(module, input, fullPlan);
-            // Hybrid FastTrack.
-            eval.hybrid = runFastTrack(module, input, hybridPlan);
-            // OptFT: speculative run + rollback on mis-speculation.
-            dyn::InvariantChecker checker(module, invariants,
-                                          checkerConfig);
-            eval.optimistic =
-                runFastTrack(module, input, optPlan, &checker);
-            const bool raceUnderElision =
-                !eval.optimistic.races.empty() &&
-                !invariants.elidableLockSites.empty();
-            if (eval.optimistic.violated || raceUnderElision) {
-                // Roll back: deterministic re-execution under the
-                // sound hybrid configuration (Section 2.3).
-                eval.rolledBack = true;
-                eval.redo = runFastTrack(module, input, hybridPlan);
+            if (config.useTraceReplay) {
+                // Record once, analyze many: one uninstrumented
+                // execution captures the event stream; every analysis
+                // configuration replays it.
+                const exec::RecordedTrace trace =
+                    exec::recordRun(module, input);
+                eval.interpreted = trace.result.steps;
+                eval.full = replayFastTrack(module, trace, fullPlan);
+                eval.hybrid = replayFastTrack(module, trace, hybridPlan);
+                dyn::InvariantChecker checker(module, invariants,
+                                              checkerConfig);
+                eval.optimistic =
+                    replayFastTrack(module, trace, optPlan, &checker);
+                if (optFtShouldRollBack(
+                        eval.optimistic.violated,
+                        !eval.optimistic.races.empty(),
+                        !invariants.elidableLockSites.empty())) {
+                    // Rollback is a replay of the same trace under
+                    // the sound hybrid plan; determinism makes that
+                    // byte-identical to the hybrid replay above, so
+                    // reuse it instead of decoding the stream again.
+                    eval.rolledBack = true;
+                    eval.redo = eval.hybrid;
+                }
+            } else {
+                // Full FastTrack (the sound reference).
+                eval.full = runFastTrack(module, input, fullPlan);
+                // Hybrid FastTrack.
+                eval.hybrid = runFastTrack(module, input, hybridPlan);
+                // OptFT: speculative run + rollback on mis-speculation.
+                dyn::InvariantChecker checker(module, invariants,
+                                              checkerConfig);
+                eval.optimistic =
+                    runFastTrack(module, input, optPlan, &checker);
+                eval.interpreted = eval.full.result.steps +
+                                   eval.hybrid.result.steps +
+                                   eval.optimistic.result.steps;
+                if (optFtShouldRollBack(
+                        eval.optimistic.violated,
+                        !eval.optimistic.races.empty(),
+                        !invariants.elidableLockSites.empty())) {
+                    // Roll back: deterministic re-execution under the
+                    // sound hybrid configuration (Section 2.3).
+                    eval.rolledBack = true;
+                    eval.redo = runFastTrack(module, input, hybridPlan);
+                    eval.interpreted += eval.redo.result.steps;
+                }
             }
             return eval;
         },
@@ -333,10 +427,28 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
                 cost, eval.redo.result, eval.redo.ftDelivered);
             optCost.rollback = redoCost.total();
             finalRaces = eval.redo.races;
+            // Additive metric: what the rollback costs when performed
+            // as a trace replay instead of the re-execution priced
+            // above.  eval.redo.result is identical in both modes, so
+            // this stays parity-comparable.
+            result.replayRollbackSeconds +=
+                priceTraceReplaySeconds(cost, eval.redo.result);
         }
         result.optFt.add(optCost);
         if (finalRaces != eval.full.races)
             result.raceReportsMatch = false;
+
+        // Execute-once accounting.  The recording run is event- and
+        // step-identical to the full-plan run's underlying execution,
+        // so pricing from eval.full.result keeps both modes equal.
+        result.interpretedSteps += eval.interpreted;
+        result.recordSeconds +=
+            priceTraceRecordSeconds(cost, eval.full.result);
+        if (config.useTraceReplay) {
+            result.replayedEvents += eval.full.result.totalEvents.total() +
+                                     eval.hybrid.result.totalEvents.total() +
+                                     eval.optimistic.result.totalEvents.total();
+        }
     }
 
     result.testRuns = workload.testingSet.size();

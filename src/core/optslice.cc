@@ -7,6 +7,7 @@
 #include "dyn/giri.h"
 #include "dyn/invariant_checker.h"
 #include "dyn/plans.h"
+#include "exec/trace.h"
 #include "profile/profiler.h"
 #include "support/thread_pool.h"
 
@@ -167,10 +168,40 @@ runGiri(const ir::Module &module, const exec::ExecConfig &config,
     exec::Interpreter interp(module, config);
     interp.attach(&tool, &plan);
     if (checker) {
-        checker->setInterpreter(&interp);
+        checker->setControl(&interp);
         interp.attach(checker, &checker->plan());
     }
     out.result = interp.run();
+    for (InstrId endpoint : endpoints)
+        out.slices[endpoint] = tool.slice(endpoint);
+    out.delivered = out.result.delivered[0];
+    if (checker) {
+        out.checkerDelivered = out.result.delivered[1];
+        out.slowChecks = checker->slowContextChecks();
+        out.violated = checker->violated();
+    }
+    out.missingDeps = tool.missingDependencies();
+    return out;
+}
+
+/** Same slicing run, driven from a recorded trace instead of a live
+ *  interpreter (record-once/analyze-many).  Byte-identical results.
+ *  The trace is read-only, so many tasks may replay it concurrently. */
+GiriRun
+replayGiri(const ir::Module &module, const exec::RecordedTrace &trace,
+           const exec::InstrumentationPlan &plan,
+           const std::vector<InstrId> &endpoints,
+           dyn::InvariantChecker *checker = nullptr)
+{
+    GiriRun out;
+    dyn::GiriSlicer tool(module);
+    exec::TraceReplayer replayer(module, trace);
+    replayer.attach(&tool, &plan);
+    if (checker) {
+        checker->setControl(&replayer);
+        replayer.attach(checker, &checker->plan());
+    }
+    out.result = replayer.run();
     for (InstrId endpoint : endpoints)
         out.slices[endpoint] = tool.slice(endpoint);
     out.delivered = out.result.delivered[0];
@@ -312,6 +343,20 @@ runOptSlice(const workloads::Workload &workload,
     checkerConfig.guardingLocks = false;
     checkerConfig.singletonThreads = false;
 
+    // Record-once mode: capture every testing input's trace exactly
+    // once, up front.  The traces are immutable afterwards, so the
+    // per-(input, endpoint) tasks below replay them concurrently
+    // without synchronization.
+    std::vector<exec::RecordedTrace> traces;
+    if (config.useTraceReplay) {
+        traces = support::runBatch(
+            workload.testingSet.size(),
+            [&](std::size_t i) {
+                return exec::recordRun(module, workload.testingSet[i]);
+            },
+            config.threads);
+    }
+
     // Every (testing input, endpoint) pair is an independent slicing
     // task; run them batched and fold the outcomes serially in task
     // order so cost accumulation is identical for any thread count.
@@ -321,31 +366,61 @@ runOptSlice(const workloads::Workload &workload,
         GiriRun optimistic;
         bool rolledBack = false;
         GiriRun redo;
+        std::uint64_t interpreted = 0; ///< guest steps fetch/decode/eval'd
     };
     const std::size_t tasks =
         workload.testingSet.size() * endpoints.size();
     const std::vector<SliceEval> evals = support::runBatch(
         tasks,
         [&](std::size_t task) {
-            const auto &input =
-                workload.testingSet[task / endpoints.size()];
             const std::size_t e = task % endpoints.size();
             const std::vector<InstrId> target = {endpoints[e]};
 
             SliceEval eval;
-            eval.hybrid = runGiri(module, input, hybridPlans[e], target);
-            dyn::InvariantChecker checker(module, invariants,
-                                          checkerConfig);
-            eval.optimistic =
-                runGiri(module, input, optPlans[e], target, &checker);
-            if (eval.optimistic.violated) {
-                eval.rolledBack = true;
-                eval.redo =
+            if (config.useTraceReplay) {
+                const exec::RecordedTrace &trace =
+                    traces[task / endpoints.size()];
+                eval.hybrid =
+                    replayGiri(module, trace, hybridPlans[e], target);
+                dyn::InvariantChecker checker(module, invariants,
+                                              checkerConfig);
+                eval.optimistic = replayGiri(module, trace, optPlans[e],
+                                             target, &checker);
+                if (eval.optimistic.violated) {
+                    // Rollback replays the same trace under the sound
+                    // hybrid plan — byte-identical to the hybrid
+                    // replay above, so reuse it.
+                    eval.rolledBack = true;
+                    eval.redo = eval.hybrid;
+                }
+            } else {
+                const auto &input =
+                    workload.testingSet[task / endpoints.size()];
+                eval.hybrid =
                     runGiri(module, input, hybridPlans[e], target);
+                dyn::InvariantChecker checker(module, invariants,
+                                              checkerConfig);
+                eval.optimistic =
+                    runGiri(module, input, optPlans[e], target, &checker);
+                eval.interpreted = eval.hybrid.result.steps +
+                                   eval.optimistic.result.steps;
+                if (eval.optimistic.violated) {
+                    eval.rolledBack = true;
+                    eval.redo =
+                        runGiri(module, input, hybridPlans[e], target);
+                    eval.interpreted += eval.redo.result.steps;
+                }
             }
             return eval;
         },
         config.threads);
+
+    // In record-once mode each input's interpreter work happened once,
+    // at capture time, regardless of how many endpoint tasks share it.
+    if (config.useTraceReplay) {
+        for (const exec::RecordedTrace &trace : traces)
+            result.interpretedSteps += trace.result.steps;
+    }
 
     for (const SliceEval &eval : evals) {
         result.hybrid.add(priceGiriRun(cost, eval.hybrid.result,
@@ -362,13 +437,35 @@ runOptSlice(const workloads::Workload &workload,
             optCost.rollback =
                 priceGiriRun(cost, eval.redo.result, eval.redo.delivered)
                     .total();
+            // Additive metric; eval.redo.result is identical in both
+            // modes, so it stays parity-comparable.
+            result.replayRollbackSeconds +=
+                priceTraceReplaySeconds(cost, eval.redo.result);
         }
         result.optimistic.add(optCost);
+
+        result.interpretedSteps += eval.interpreted;
+        if (config.useTraceReplay) {
+            result.replayedEvents +=
+                eval.hybrid.result.totalEvents.total() +
+                eval.optimistic.result.totalEvents.total();
+        }
 
         // Soundness: the recovered optimistic slice must equal the
         // traditional hybrid slice.
         if (finalSlices != eval.hybrid.slices)
             result.sliceResultsMatch = false;
+    }
+
+    // One modeled capture per testing input.  The hybrid run's steps
+    // and event totals are plan-independent, so this prices the same
+    // in either mode (the first endpoint task of each input stands in
+    // for the input's execution).
+    if (!endpoints.empty()) {
+        for (std::size_t i = 0; i < workload.testingSet.size(); ++i) {
+            result.recordSeconds += priceTraceRecordSeconds(
+                cost, evals[i * endpoints.size()].hybrid.result);
+        }
     }
 
     result.testRuns = workload.testingSet.size();

@@ -48,6 +48,13 @@ struct OptSliceConfig
      *  merged in input-index order, so they are identical for any
      *  value — only wall-clock time changes. */
     std::size_t threads = 0;
+    /** Record-once/analyze-many: execute each testing input once with
+     *  a TraceRecorder, then drive every per-endpoint hybrid and
+     *  optimistic Giri configuration — and the rollback re-analysis —
+     *  from TraceReplayer.  All reported results are byte-identical
+     *  to the direct path; only interpretedSteps/replayedEvents (and
+     *  wall-clock time) differ. */
+    bool useTraceReplay = true;
     CostModel cost;
 };
 
@@ -88,6 +95,14 @@ struct OptSliceResult
     /** Break-even baseline-seconds vs. traditional hybrid; <0 never;
      *  0 means optimistic is cheaper from the very first run. */
     double breakEven = -1.0;
+
+    // Execute-once/replay-many accounting over the testing corpus
+    // (see OptFtResult for the parity rules: the first two differ
+    // between modes by design, the seconds metrics do not).
+    std::uint64_t interpretedSteps = 0;
+    std::uint64_t replayedEvents = 0;
+    double recordSeconds = 0;
+    double replayRollbackSeconds = 0;
 };
 
 /** Run the whole OptSlice pipeline on @p workload. */

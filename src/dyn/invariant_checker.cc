@@ -71,8 +71,8 @@ InvariantChecker::violate(const std::string &reason)
         return;
     violated_ = true;
     reason_ = reason;
-    if (interp_)
-        interp_->requestAbort("invariant violation: " + reason);
+    if (control_)
+        control_->requestAbort("invariant violation: " + reason);
 }
 
 void

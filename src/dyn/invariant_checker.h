@@ -53,8 +53,11 @@ class InvariantChecker : public exec::Tool
     /** The plan covering exactly this checker's check sites. */
     const exec::InstrumentationPlan &plan() const { return plan_; }
 
-    /** Must be set before the run so violations can abort it. */
-    void setInterpreter(exec::Interpreter *interp) { interp_ = interp; }
+    /** Must be set before the run so violations can abort it.  Takes
+     *  the event source's control surface — a live Interpreter or a
+     *  TraceReplayer — so speculation checking works identically on
+     *  recorded traces. */
+    void setControl(exec::ExecutionControl *control) { control_ = control; }
 
     void onEvent(const exec::EventCtx &ctx) override;
     void onBlockEnter(ThreadId tid, BlockId block) override;
@@ -75,7 +78,7 @@ class InvariantChecker : public exec::Tool
     const inv::InvariantSet &invariants_;
     CheckerConfig config_;
     exec::InstrumentationPlan plan_;
-    exec::Interpreter *interp_ = nullptr;
+    exec::ExecutionControl *control_ = nullptr;
 
     // Call-context tracking.
     struct ThreadCtxState

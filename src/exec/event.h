@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "exec/value.h"
@@ -24,6 +25,24 @@
 namespace oha::exec {
 
 class Interpreter;
+
+/**
+ * The control surface an event source offers to its tools.  Both the
+ * live Interpreter and the TraceReplayer (trace.h) implement it, so a
+ * tool that needs to stop the execution — the invariant checker on a
+ * violated speculation — works identically whether its events come
+ * from a live run or from a recorded trace.
+ */
+class ExecutionControl
+{
+  public:
+    virtual ~ExecutionControl() = default;
+
+    /** Stop the execution/replay from inside a tool callback.  The
+     *  current instruction's remaining deliveries still happen; the
+     *  run ends at the next instruction boundary. */
+    virtual void requestAbort(std::string reason) = 0;
+};
 
 /** Classes of runtime events, used for cost accounting. */
 enum class EventClass : std::uint8_t

@@ -4,6 +4,8 @@
 #include <new>
 #include <utility>
 
+#include "exec/trace.h"
+
 namespace oha::exec {
 
 namespace {
@@ -154,6 +156,8 @@ void
 Interpreter::fireBlockEnter(ThreadId tid, BlockId block)
 {
     ++totalEvents_[EventClass::BlockEnter];
+    if (recorder_)
+        recorder_->recordBlockEnter(tid, block);
     std::uint8_t mask = blockMask_[block];
     for (; mask; mask &= static_cast<std::uint8_t>(mask - 1)) {
         const unsigned i = static_cast<unsigned>(std::countr_zero(mask));
@@ -196,6 +200,8 @@ Interpreter::popFrame(ThreadCtx &thread, const Value &retVal)
         // Thread root returned: the thread is finished.
         thread.retVal = retVal;
         thread.state = ThreadState::Finished;
+        if (recorder_)
+            recorder_->recordThreadFinish(thread.tid);
         for (auto &attachment : attachments_)
             attachment.tool->onThreadFinish(thread.tid);
         // Wake joiners.
@@ -222,6 +228,8 @@ Interpreter::spawnThread(const ir::Function *func,
     ThreadCtx &thread = threads_.back();
     thread.tid = tid;
     thread.spawnSite = spawnSite;
+    if (recorder_)
+        recorder_->recordThreadStart(tid, parent, spawnSite);
     for (auto &attachment : attachments_)
         attachment.tool->onThreadStart(tid, parent, spawnSite);
     pushFrame(thread, func, args, nullptr);
@@ -241,6 +249,12 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
             return;
         if (steps_ >= config_.maxSteps || abortRequested_)
             return;
+
+        // Instruction-boundary marker for trace capture: the next
+        // recorded event carries the step flag, so replay can
+        // reconstruct step counts and abort boundaries.
+        if (recorder_)
+            recorder_->beginStep();
 
         Frame &fr = thread.stack.back();
         // ip stays in range because every block ends in a terminator
@@ -262,14 +276,20 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
         // The context stays uninitialized on uninstrumented sites:
         // zero-filling ~80 bytes per instruction is measurable on the
         // interpreter floor, so construction is deferred into the
-        // evMask branch via a union.
+        // wantCtx branch via a union.  A recorder captures every
+        // event regardless of plan coverage, but reads context fields
+        // only for payload-carrying opcodes, so payload-free records
+        // (the bulk of the stream) skip construction too.
+        const bool wantCtx =
+            evMask != 0 ||
+            (recorder_ != nullptr && TraceRecorder::opHasPayload(ins.op));
         union CtxSlot
         {
             CtxSlot() {}
             EventCtx ctx;
         } slot;
         EventCtx &ctx = slot.ctx;
-        if (evMask) {
+        if (wantCtx) {
             new (&slot.ctx) EventCtx();
             ctx.tid = tid;
             ctx.instr = &ins;
@@ -277,6 +297,8 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
         }
         auto fire = [&] {
             ++totalEvents_.counts[static_cast<std::size_t>(cls)];
+            if (recorder_)
+                recorder_->recordEvent(cls, tid, ins, ctx);
             if (evMask)
                 fireEvent(ctx, evMask, cls);
         };
@@ -360,7 +382,7 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
             checkBounds(ptr);
             const Value value = heap_[ptr.obj].cells[ptr.off];
             reg(fr, ins.dest) = value;
-            if (evMask) {
+            if (wantCtx) {
                 ctx.obj = ptr.obj;
                 ctx.off = ptr.off;
                 ctx.value = value;
@@ -374,7 +396,7 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
             checkBounds(ptr);
             const Value value = regRead(fr, ins.b);
             heap_[ptr.obj].cells[ptr.off] = value;
-            if (evMask) {
+            if (wantCtx) {
                 ctx.obj = ptr.obj;
                 ctx.off = ptr.off;
                 ctx.value = value;
@@ -400,12 +422,12 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
             args.reserve(ins.args.size());
             for (ir::Reg r : ins.args)
                 args.push_back(regRead(fr, r));
-            if (evMask)
+            if (wantCtx)
                 ctx.calleeResolved = callee->id();
             ++fr.ip;
             // pushFrame may reallocate the frame stack; fr is dead after.
             pushFrame(thread, callee, args, &ins);
-            if (evMask)
+            if (wantCtx)
                 ctx.frame2 = thread.stack.back().frameId;
             fire();
             break;
@@ -413,7 +435,7 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
           case Opcode::Ret: {
             const Value retVal = ins.a != ir::kNoReg ? regRead(fr, ins.a)
                                                      : Value::scalar(0);
-            if (evMask) {
+            if (wantCtx) {
                 if (thread.stack.size() > 1) {
                     ctx.frame2 = thread.stack[thread.stack.size() - 2].frameId;
                     ctx.callInstr = fr.callSite;
@@ -445,7 +467,7 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
                 return;
             }
             lockOwner_[ptr.obj] = tid + 1;
-            if (evMask) {
+            if (wantCtx) {
                 ctx.obj = ptr.obj;
                 ctx.off = ptr.off;
             }
@@ -458,7 +480,7 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
             checkBounds(ptr);
             if (lockOwner_[ptr.obj] != tid + 1)
                 guestError("unlock of lock not held");
-            if (evMask) {
+            if (wantCtx) {
                 ctx.obj = ptr.obj;
                 ctx.off = ptr.off;
             }
@@ -486,7 +508,7 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
             const ThreadId child = spawnThread(callee, args, ins.id, tid);
             ThreadCtx &self = threads_[tid];
             reg(self.stack.back(), dest) = Value::thread(child);
-            if (evMask) {
+            if (wantCtx) {
                 ctx.frameId = callerFrame;
                 ctx.otherTid = child;
                 ctx.frame2 = threads_[child].stack.back().frameId;
@@ -506,7 +528,7 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
             }
             if (ins.dest != ir::kNoReg)
                 reg(fr, ins.dest) = target.retVal;
-            if (evMask) {
+            if (wantCtx) {
                 ctx.otherTid = handle.idx;
                 ctx.value = target.retVal;
             }
@@ -517,7 +539,7 @@ Interpreter::runQuantum(std::uint32_t pick, std::uint64_t quantum)
           case Opcode::Output: {
             const Value value = regRead(fr, ins.a);
             outputs_.push_back({ins.id, encodeValue(value)});
-            if (evMask)
+            if (wantCtx)
                 ctx.value = value;
             ++fr.ip;
             fire();

@@ -94,8 +94,10 @@ struct RunResult
     bool finished() const { return status == Status::Finished; }
 };
 
+class TraceRecorder;
+
 /** Deterministic IR interpreter with instrumentation attachments. */
-class Interpreter
+class Interpreter : public ExecutionControl
 {
   public:
     Interpreter(const ir::Module &module, ExecConfig config);
@@ -106,11 +108,18 @@ class Interpreter
      */
     void attach(Tool *tool, const InstrumentationPlan *plan);
 
+    /** Attach a trace-capture sink (trace.h).  Unlike a Tool, the
+     *  recorder sees every event unconditionally — before plan
+     *  filtering — plus instruction-boundary markers, so the recorded
+     *  stream can later be replayed under any plan.  Must outlive
+     *  run(). */
+    void setRecorder(TraceRecorder *recorder) { recorder_ = recorder; }
+
     /** Execute the program to completion (or abort). */
     RunResult run();
 
     /** Stop the execution from inside a tool callback. */
-    void requestAbort(std::string reason);
+    void requestAbort(std::string reason) override;
 
     const ir::Module &module() const { return module_; }
 
@@ -195,6 +204,7 @@ class Interpreter
     Rng rng_;
 
     std::vector<Attachment> attachments_;
+    TraceRecorder *recorder_ = nullptr;
     /** Per-instruction dispatch word: low byte is the OR of attachment
      *  cover bits (bit i set iff attachment i's plan covers the site;
      *  0 = no tool listens and the event path is skipped wholesale),

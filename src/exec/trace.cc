@@ -1,0 +1,244 @@
+#include "exec/trace.h"
+
+#include <bit>
+#include <utility>
+
+namespace oha::exec {
+
+RecordedTrace
+recordRun(const ir::Module &module, const ExecConfig &config)
+{
+    RecordedTrace trace;
+    TraceRecorder recorder;
+    Interpreter interp(module, config);
+    interp.setRecorder(&recorder);
+    trace.result = interp.run();
+    trace.events = recorder.take();
+    return trace;
+}
+
+void
+TraceReplayer::requestAbort(std::string reason)
+{
+    if (!abortRequested_) {
+        abortRequested_ = true;
+        abortReason_ = std::move(reason);
+    }
+}
+
+RunResult
+TraceReplayer::run()
+{
+    RunResult result;
+    result.delivered.assign(attachments_.size(), EventCounts{});
+
+    // Same per-site dispatch snapshot as Interpreter::run(): low byte
+    // = attachment cover bits, high byte = event class.
+    const std::size_t numInstrs = module_.numInstrs();
+    const std::size_t numBlocks = module_.numBlocks();
+    OHA_ASSERT(attachments_.size() <= 8,
+               "dispatch masks hold at most 8 attachments");
+    std::vector<std::uint16_t> dispatch(numInstrs);
+    for (InstrId id = 0; id < numInstrs; ++id) {
+        dispatch[id] = static_cast<std::uint16_t>(
+            static_cast<std::uint16_t>(eventClassOf(module_.instr(id).op))
+            << 8);
+    }
+    std::vector<std::uint8_t> blockMask(numBlocks, 0);
+    for (std::size_t i = 0; i < attachments_.size(); ++i) {
+        const InstrumentationPlan &plan = *attachments_[i].plan;
+        const auto bit = static_cast<std::uint16_t>(1u << i);
+        for (InstrId id = 0; id < numInstrs; ++id)
+            if (plan.coversInstr(id))
+                dispatch[id] |= bit;
+        for (BlockId id = 0; id < numBlocks; ++id)
+            if (plan.coversBlock(id))
+                blockMask[id] |= static_cast<std::uint8_t>(1u << i);
+    }
+
+    // Shadow call stacks: the interpreter assigns frame ids globally
+    // sequentially from 1 (main's root first), and the record stream
+    // is in execution order, so allocating ids in record order
+    // reproduces them exactly.
+    struct SimFrame
+    {
+        std::uint64_t frameId;
+        const ir::Instruction *callSite; ///< null for thread roots
+    };
+    std::vector<std::vector<SimFrame>> stacks;
+    std::uint64_t nextFrameId = 1;
+
+    TraceBuffer::Reader reader = trace_.events.reader();
+    std::int64_t prevInstr = 0;
+    std::int64_t prevObj = 0;
+    std::int64_t prevBlock = 0;
+    std::uint64_t stepsStarted = 0;
+    std::uint32_t numThreads = 0;
+    bool truncated = false;
+
+    while (!reader.atEnd()) {
+        const std::uint8_t header = reader.byte();
+        const std::uint8_t kind = header & 3;
+        // Step flag: this record begins a new guest instruction.  A
+        // live run honours an abort at the next instruction boundary
+        // (the aborting instruction completes all its deliveries);
+        // stopping here reproduces that exactly.
+        if (header & 4) {
+            if (abortRequested_) {
+                truncated = true;
+                break;
+            }
+            ++stepsStarted;
+        }
+        ThreadId tid = header >> 3;
+        if (tid == TraceRecorder::kTidEscape)
+            tid = static_cast<ThreadId>(reader.varint());
+
+        switch (kind) {
+          case TraceRecorder::kInstrEvent: {
+            prevInstr += reader.zigzag();
+            const auto id = static_cast<InstrId>(prevInstr);
+            const ir::Instruction &ins = module_.instr(id);
+            const std::uint16_t disp = dispatch[id];
+            const auto evMask = static_cast<std::uint8_t>(disp & 0xff);
+            const auto cls = static_cast<EventClass>(disp >> 8);
+            ++result.totalEvents[cls];
+
+            // Decode the payload into locals first: most records are
+            // not covered by any attached plan, and for those the only
+            // obligatory work is advancing the delta chains, the
+            // shadow stacks and the output log.  Building the full
+            // EventCtx happens only on delivery.
+            ObjectId obj = 0;
+            std::uint32_t off = 0;
+            FuncId callee = kNoFunc;
+            ThreadId otherTid = 0;
+            switch (ins.op) {
+              case ir::Opcode::Load:
+              case ir::Opcode::Store:
+              case ir::Opcode::Lock:
+              case ir::Opcode::Unlock:
+                prevObj += reader.zigzag();
+                obj = static_cast<ObjectId>(prevObj);
+                off = static_cast<std::uint32_t>(reader.varint());
+                break;
+              case ir::Opcode::Call:
+                callee = ins.callee;
+                break;
+              case ir::Opcode::ICall:
+                callee = static_cast<FuncId>(reader.varint());
+                break;
+              case ir::Opcode::Spawn:
+              case ir::Opcode::Join:
+                otherTid = static_cast<ThreadId>(reader.varint());
+                break;
+              case ir::Opcode::Output:
+                result.outputs.push_back({ins.id, reader.zigzag()});
+                break;
+              default:
+                break;
+            }
+
+            if (evMask) {
+                std::vector<SimFrame> &stack = stacks[tid];
+                EventCtx ctx;
+                ctx.tid = tid;
+                ctx.instr = &ins;
+                ctx.frameId = stack.back().frameId;
+                ctx.obj = obj;
+                ctx.off = off;
+                ctx.calleeResolved = callee;
+                ctx.otherTid = otherTid;
+                switch (ins.op) {
+                  case ir::Opcode::Call:
+                  case ir::Opcode::ICall:
+                    ctx.frame2 = nextFrameId;
+                    break;
+                  case ir::Opcode::Ret:
+                    if (stack.size() > 1) {
+                        ctx.frame2 = stack[stack.size() - 2].frameId;
+                        ctx.callInstr = stack.back().callSite;
+                    }
+                    break;
+                  case ir::Opcode::Spawn:
+                    ctx.frame2 = stacks[otherTid].back().frameId;
+                    break;
+                  default:
+                    break;
+                }
+                for (std::uint8_t mask = evMask; mask;
+                     mask &= static_cast<std::uint8_t>(mask - 1)) {
+                    const unsigned i =
+                        static_cast<unsigned>(std::countr_zero(mask));
+                    ++result.delivered[i][cls];
+                    attachments_[i].tool->onEvent(ctx);
+                }
+            }
+
+            // Stack mutations happen after delivery, mirroring the
+            // interpreter (the Call event sees the caller's frame as
+            // frameId; Ret sees the returning frame).
+            if (ins.op == ir::Opcode::Call ||
+                ins.op == ir::Opcode::ICall) {
+                stacks[tid].push_back({nextFrameId++, &ins});
+            } else if (ins.op == ir::Opcode::Ret) {
+                stacks[tid].pop_back();
+            }
+            break;
+          }
+          case TraceRecorder::kBlockEnter: {
+            prevBlock += reader.zigzag();
+            const auto block = static_cast<BlockId>(prevBlock);
+            ++result.totalEvents[EventClass::BlockEnter];
+            for (std::uint8_t mask = blockMask[block]; mask;
+                 mask &= static_cast<std::uint8_t>(mask - 1)) {
+                const unsigned i =
+                    static_cast<unsigned>(std::countr_zero(mask));
+                ++result.delivered[i][EventClass::BlockEnter];
+                attachments_[i].tool->onBlockEnter(tid, block);
+            }
+            break;
+          }
+          case TraceRecorder::kThreadStart: {
+            const auto parent = static_cast<ThreadId>(reader.varint());
+            const std::uint64_t siteRaw = reader.varint();
+            const InstrId spawnSite =
+                siteRaw == 0 ? kNoInstr
+                             : static_cast<InstrId>(siteRaw - 1);
+            if (tid >= stacks.size())
+                stacks.resize(tid + 1);
+            stacks[tid].push_back({nextFrameId++, nullptr});
+            ++numThreads;
+            for (const Attachment &attachment : attachments_)
+                attachment.tool->onThreadStart(tid, parent, spawnSite);
+            break;
+          }
+          case TraceRecorder::kThreadFinish: {
+            for (const Attachment &attachment : attachments_)
+                attachment.tool->onThreadFinish(tid);
+            break;
+          }
+        }
+    }
+
+    result.numThreads = numThreads;
+    if (abortRequested_) {
+        // Aborted mid-replay (whether or not records remained): a
+        // live run would finish the aborting instruction and stop at
+        // the top of the scheduler loop with exactly this step count.
+        (void)truncated;
+        result.status = RunResult::Status::Aborted;
+        result.abortReason = abortReason_;
+        result.steps = stepsStarted;
+    } else {
+        result.status = trace_.result.status;
+        result.abortReason = trace_.result.abortReason;
+        result.steps = trace_.result.steps;
+        result.schedule = trace_.result.schedule;
+        OHA_ASSERT(stepsStarted == trace_.result.steps,
+                   "trace step flags diverge from recorded step count");
+    }
+    return result;
+}
+
+} // namespace oha::exec

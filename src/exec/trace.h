@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Deterministic event-trace capture and replay (record once, analyze
+ * many).
+ *
+ * The paper assumes a deterministic record/replay environment:
+ * rollback after an invariant violation is "deterministic
+ * re-execution under the sound hybrid analysis" (Section 2.3).  Our
+ * interpreter already *is* that environment — an execution is a pure
+ * function of (module, input, schedule seed) and tools never perturb
+ * it — but the evaluation pipeline used to pay for the determinism
+ * without exploiting it, running every testing input through the full
+ * fetch/decode/eval loop once per analysis configuration.
+ *
+ * This subsystem executes an input once with a TraceRecorder sink
+ * that captures the complete analysis-relevant event stream — memory
+ * accesses, sync operations, spawns/joins, calls/returns, block
+ * entries — into a compact arena-backed byte buffer, then drives any
+ * number of analysis configurations from a TraceReplayer that decodes
+ * the stream and performs only plan filtering + tool dispatch.
+ * Rollback becomes a replay under the hybrid plan instead of a second
+ * full execution.
+ *
+ * Encoding (varint/zigzag-delta, one record per fired event):
+ *
+ *   header byte:  bits 0-1  record kind (instr event / block enter /
+ *                           thread start / thread finish)
+ *                 bit 2     step flag — set on the first record of
+ *                           each executed instruction, so the
+ *                           replayer can reconstruct the step count
+ *                           and stop exactly at the instruction
+ *                           boundary where a live run would abort
+ *                 bits 3-7  thread id (31 = escape, varint follows)
+ *
+ *   instr event:  zigzag delta of the instruction id vs. the previous
+ *                 instr record, then an opcode-dependent payload:
+ *                 Load/Store/Lock/Unlock -> zigzag object-id delta +
+ *                 varint offset; ICall -> varint resolved callee;
+ *                 Spawn/Join -> varint other thread; Output -> zigzag
+ *                 encoded value.  Everything else (the opcode, the
+ *                 event class, Call's static callee) is recomputed
+ *                 from the module at replay time.
+ *
+ *   block enter:  zigzag delta of the block id.
+ *   thread start: varint parent tid + varint spawn site (+1; 0 means
+ *                 kNoInstr, i.e. the main thread).
+ *
+ * Frame identifiers are *not* encoded: the interpreter assigns them
+ * globally sequentially from 1, so the replayer reconstructs
+ * identical frame ids (and Ret's caller frame / call-site context)
+ * with a per-thread shadow call stack.
+ *
+ * Replay fidelity: delivered events, ordering, per-tool counts, step
+ * counts, outputs and abort semantics are byte-identical to a live
+ * run of the same tools under the same plans.  The only EventCtx
+ * field not reconstructed is `value` (loaded/stored/returned Values),
+ * which no current tool consumes; a tool that needs values must run
+ * live or the codec must grow a value payload.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/interpreter.h"
+#include "support/arena.h"
+
+namespace oha::exec {
+
+/** Arena-backed append-only byte stream with varint/zigzag codec. */
+class TraceBuffer
+{
+  public:
+    TraceBuffer() : arena_(std::make_unique<support::Arena>(kChunkBytes)) {}
+
+    TraceBuffer(TraceBuffer &&) = default;
+    TraceBuffer &operator=(TraceBuffer &&) = default;
+
+    void
+    putByte(std::uint8_t byte)
+    {
+        // Hot path: one pointer compare + store.  Chunk allocations
+        // only every kChunkBytes bytes.
+        if (wptr_ == wend_)
+            newChunk();
+        *wptr_++ = byte;
+        ++bytes_;
+    }
+
+    void
+    putVarint(std::uint64_t value)
+    {
+        while (value >= 0x80) {
+            putByte(static_cast<std::uint8_t>(value) | 0x80);
+            value >>= 7;
+        }
+        putByte(static_cast<std::uint8_t>(value));
+    }
+
+    void
+    putZigzag(std::int64_t value)
+    {
+        putVarint((static_cast<std::uint64_t>(value) << 1) ^
+                  static_cast<std::uint64_t>(value >> 63));
+    }
+
+    /** Payload bytes written so far. */
+    std::size_t sizeBytes() const { return bytes_; }
+
+    /** Sequential decoder over the buffer.  The buffer must stay
+     *  alive and unmodified while readers exist; concurrent readers
+     *  over one buffer are safe (reads only). */
+    class Reader
+    {
+      public:
+        bool
+        atEnd() const
+        {
+            return ptr_ == end_ && nextChunk_ >= buffer_->chunks_.size();
+        }
+
+        std::uint8_t
+        byte()
+        {
+            // Hot path: one pointer compare + deref.  Chunk hops only
+            // every kChunkBytes bytes.
+            if (ptr_ == end_)
+                loadNextChunk();
+            return *ptr_++;
+        }
+
+        std::uint64_t
+        varint()
+        {
+            std::uint64_t value = 0;
+            unsigned shift = 0;
+            while (true) {
+                const std::uint8_t b = byte();
+                value |= (std::uint64_t{b} & 0x7f) << shift;
+                if (!(b & 0x80))
+                    return value;
+                shift += 7;
+            }
+        }
+
+        std::int64_t
+        zigzag()
+        {
+            const std::uint64_t raw = varint();
+            return static_cast<std::int64_t>(raw >> 1) ^
+                   -static_cast<std::int64_t>(raw & 1);
+        }
+
+      private:
+        friend class TraceBuffer;
+        explicit Reader(const TraceBuffer *buffer) : buffer_(buffer) {}
+
+        void
+        loadNextChunk()
+        {
+            const Chunk &chunk = buffer_->chunks_[nextChunk_++];
+            ptr_ = chunk.data;
+            end_ = nextChunk_ == buffer_->chunks_.size()
+                       ? buffer_->wptr_
+                       : ptr_ + chunk.size;
+        }
+
+        const TraceBuffer *buffer_;
+        const std::uint8_t *ptr_ = nullptr;
+        const std::uint8_t *end_ = nullptr;
+        std::size_t nextChunk_ = 0;
+    };
+
+    Reader reader() const { return Reader(this); }
+
+  private:
+    static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+    struct Chunk
+    {
+        std::uint8_t *data;
+        std::size_t size;
+    };
+
+    void
+    newChunk()
+    {
+        chunks_.push_back(
+            {arena_->allocateArray<std::uint8_t>(kChunkBytes), kChunkBytes});
+        wptr_ = chunks_.back().data;
+        wend_ = wptr_ + kChunkBytes;
+    }
+
+    std::unique_ptr<support::Arena> arena_;
+    std::vector<Chunk> chunks_;
+    std::uint8_t *wptr_ = nullptr; ///< write cursor in the last chunk
+    std::uint8_t *wend_ = nullptr; ///< end of the last chunk
+    std::size_t bytes_ = 0;
+};
+
+/**
+ * Interpreter-native recording sink (not a Tool: it sees every event
+ * unconditionally, before plan filtering, with the full context).
+ * Attach with Interpreter::setRecorder before run().
+ */
+class TraceRecorder
+{
+  public:
+    /** Mark the start of one guest instruction; the next record
+     *  carries the step flag.  Idempotent, so an instruction that
+     *  blocks without executing (Lock/Join) leaves the flag pending
+     *  for the instruction that actually fires next. */
+    void beginStep() { pendingStep_ = true; }
+
+    /** Does recording @p op read payload fields out of the EventCtx?
+     *  The interpreter skips context construction entirely for
+     *  payload-free records (the bulk of the stream), so recording
+     *  costs little more than the header + instr-delta encode. */
+    static constexpr bool
+    opHasPayload(ir::Opcode op)
+    {
+        switch (op) {
+          case ir::Opcode::Load:
+          case ir::Opcode::Store:
+          case ir::Opcode::Lock:
+          case ir::Opcode::Unlock:
+          case ir::Opcode::ICall:
+          case ir::Opcode::Spawn:
+          case ir::Opcode::Join:
+          case ir::Opcode::Output:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Record one fired event.  @p ctx is consulted only when
+     *  opHasPayload(ins.op) — it may be uninitialized otherwise. */
+    void
+    recordEvent(EventClass cls, ThreadId tid, const ir::Instruction &ins,
+                const EventCtx &ctx)
+    {
+        putHeader(kInstrEvent, tid);
+        const InstrId id = ins.id;
+        buffer_.putZigzag(std::int64_t{id} - prevInstr_);
+        prevInstr_ = id;
+        switch (ins.op) {
+          case ir::Opcode::Load:
+          case ir::Opcode::Store:
+          case ir::Opcode::Lock:
+          case ir::Opcode::Unlock:
+            buffer_.putZigzag(std::int64_t{ctx.obj} - prevObj_);
+            prevObj_ = ctx.obj;
+            buffer_.putVarint(ctx.off);
+            break;
+          case ir::Opcode::ICall:
+            buffer_.putVarint(ctx.calleeResolved);
+            break;
+          case ir::Opcode::Spawn:
+          case ir::Opcode::Join:
+            buffer_.putVarint(ctx.otherTid);
+            break;
+          case ir::Opcode::Output:
+            buffer_.putZigzag(Interpreter::encodeValue(ctx.value));
+            break;
+          default:
+            break;
+        }
+        (void)cls;
+    }
+
+    void
+    recordBlockEnter(ThreadId tid, BlockId block)
+    {
+        putHeader(kBlockEnter, tid);
+        buffer_.putZigzag(std::int64_t{block} - prevBlock_);
+        prevBlock_ = block;
+    }
+
+    void
+    recordThreadStart(ThreadId tid, ThreadId parent, InstrId spawnSite)
+    {
+        putHeader(kThreadStart, tid);
+        buffer_.putVarint(parent);
+        buffer_.putVarint(spawnSite == kNoInstr ? 0
+                                                : std::uint64_t{spawnSite} + 1);
+    }
+
+    void
+    recordThreadFinish(ThreadId tid)
+    {
+        putHeader(kThreadFinish, tid);
+    }
+
+    /** Move the encoded stream out (recorder is spent afterwards). */
+    TraceBuffer take() { return std::move(buffer_); }
+
+    // Record kinds (header bits 0-1).
+    static constexpr std::uint8_t kInstrEvent = 0;
+    static constexpr std::uint8_t kBlockEnter = 1;
+    static constexpr std::uint8_t kThreadStart = 2;
+    static constexpr std::uint8_t kThreadFinish = 3;
+    /** Header tid field value meaning "varint tid follows". */
+    static constexpr std::uint8_t kTidEscape = 31;
+
+  private:
+    void
+    putHeader(std::uint8_t kind, ThreadId tid)
+    {
+        std::uint8_t header = kind;
+        if (pendingStep_) {
+            header |= 4;
+            pendingStep_ = false;
+        }
+        if (tid < kTidEscape) {
+            buffer_.putByte(header |
+                            static_cast<std::uint8_t>(tid << 3));
+        } else {
+            buffer_.putByte(header |
+                            static_cast<std::uint8_t>(kTidEscape << 3));
+            buffer_.putVarint(tid);
+        }
+    }
+
+    TraceBuffer buffer_;
+    bool pendingStep_ = false;
+    std::int64_t prevInstr_ = 0;
+    std::int64_t prevObj_ = 0;
+    std::int64_t prevBlock_ = 0;
+};
+
+/** One recorded execution: the event stream plus the plain run's
+ *  outcome.  Immutable after recording; safe to share read-only
+ *  across concurrent replays. */
+struct RecordedTrace
+{
+    TraceBuffer events;
+    /** Result of the recording run (no tools attached, so
+     *  `delivered` is empty and the status/steps are those of the
+     *  uninstrumented execution). */
+    RunResult result;
+};
+
+/** Execute @p config once, uninstrumented, capturing its trace. */
+RecordedTrace recordRun(const ir::Module &module, const ExecConfig &config);
+
+/**
+ * Drives attached tools from a recorded trace without re-running
+ * fetch/decode/eval.  The attach/run/requestAbort surface mirrors
+ * Interpreter, and the resulting RunResult (status, steps, outputs,
+ * event accounting, per-tool delivery counts) is byte-identical to a
+ * live run of the same tools under the same plans on the same input.
+ *
+ * Aborts (the invariant checker on a violation) truncate the replay
+ * at the same instruction boundary a live run would stop at: the
+ * aborting instruction's remaining records are still delivered, then
+ * the replay ends with Status::Aborted and the step count of the live
+ * aborted run.  A full (un-aborted) replay reports the recorded run's
+ * status — including Aborted/StepLimit when the *recording* itself
+ * was truncated.
+ */
+class TraceReplayer : public ExecutionControl
+{
+  public:
+    TraceReplayer(const ir::Module &module, const RecordedTrace &trace)
+        : module_(module), trace_(trace)
+    {
+    }
+
+    /** Attach a tool filtered by @p plan (same contract as
+     *  Interpreter::attach). */
+    void
+    attach(Tool *tool, const InstrumentationPlan *plan)
+    {
+        OHA_ASSERT(tool && plan);
+        attachments_.push_back({tool, plan});
+    }
+
+    /** Replay the recorded stream through the attached tools. */
+    RunResult run();
+
+    void requestAbort(std::string reason) override;
+
+  private:
+    struct Attachment
+    {
+        Tool *tool;
+        const InstrumentationPlan *plan;
+    };
+
+    const ir::Module &module_;
+    const RecordedTrace &trace_;
+    std::vector<Attachment> attachments_;
+
+    bool abortRequested_ = false;
+    std::string abortReason_;
+};
+
+} // namespace oha::exec

@@ -17,19 +17,22 @@ ProfilingCampaign::ProfilingCampaign(const ir::Module &module,
 
 void
 ProfilingCampaign::mergeLockObservations(
-    const std::map<InstrId, std::set<exec::ObjectId>> &objects)
+    const std::vector<std::pair<InstrId, std::vector<exec::ObjectId>>>
+        &objects)
 {
     // A pair (a, b) is a must-alias candidate in this run if both
     // sites locked exactly one object and it was the same one; it is
     // violated if either site locked several objects or the two
     // singleton objects differ.  Reflexive pairs (a, a) capture
     // "site always locks a single object".
-    for (auto ia = objects.begin(); ia != objects.end(); ++ia) {
-        for (auto ib = ia; ib != objects.end(); ++ib) {
-            const auto pair = std::make_pair(ia->first, ib->first);
-            const bool bothSingle =
-                ia->second.size() == 1 && ib->second.size() == 1;
-            if (bothSingle && *ia->second.begin() == *ib->second.begin())
+    for (std::size_t a = 0; a < objects.size(); ++a) {
+        for (std::size_t b = a; b < objects.size(); ++b) {
+            const auto pair =
+                std::make_pair(objects[a].first, objects[b].first);
+            const bool bothSingle = objects[a].second.size() == 1 &&
+                                    objects[b].second.size() == 1;
+            if (bothSingle &&
+                objects[a].second.front() == objects[b].second.front())
                 lockCandidates_.insert(pair);
             else
                 lockViolated_.insert(pair);
@@ -78,12 +81,12 @@ ProfilingCampaign::observeRun(const exec::ExecConfig &config) const
     const exec::RunResult result = interp.run();
 
     RunObservations run;
-    run.blockCounts = blocks.counts();
-    run.calleeSets = callees.callees();
+    run.blockCounts = blocks.flatCounts();
+    run.calleeSets = callees.flatCallees();
     if (options_.callContexts)
         run.callContexts = contexts.contexts();
-    run.lockObjects = locks.objects();
-    run.spawnCounts = spawns.counts();
+    run.lockObjects = locks.flatObjects();
+    run.spawnCounts = spawns.flatCounts();
     run.steps = result.steps;
     run.status = result.status;
     return run;

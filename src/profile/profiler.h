@@ -19,6 +19,7 @@
 
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "exec/interpreter.h"
@@ -42,11 +43,16 @@ struct ProfileOptions
  */
 struct RunObservations
 {
-    std::map<BlockId, std::uint64_t> blockCounts;
-    std::map<InstrId, std::set<FuncId>> calleeSets;
+    // Keyed observations are flat vectors sorted by key (inner sets
+    // are sorted-unique vectors): same iteration order the merge
+    // loops saw with std::map/std::set, minus the per-node
+    // allocations on the fully-instrumented profiling hot path.
+    std::vector<std::pair<BlockId, std::uint64_t>> blockCounts;
+    std::vector<std::pair<InstrId, std::vector<FuncId>>> calleeSets;
     std::set<inv::CallContext> callContexts;
-    std::map<InstrId, std::set<exec::ObjectId>> lockObjects;
-    std::map<InstrId, std::uint64_t> spawnCounts;
+    std::vector<std::pair<InstrId, std::vector<exec::ObjectId>>>
+        lockObjects;
+    std::vector<std::pair<InstrId, std::uint64_t>> spawnCounts;
     std::uint64_t steps = 0;
     exec::RunResult::Status status = exec::RunResult::Status::Finished;
 };
@@ -107,7 +113,8 @@ class ProfilingCampaign
 
   private:
     void mergeLockObservations(
-        const std::map<InstrId, std::set<exec::ObjectId>> &objects);
+        const std::vector<std::pair<InstrId, std::vector<exec::ObjectId>>>
+            &objects);
 
     const ir::Module &module_;
     ProfileOptions options_;

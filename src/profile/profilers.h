@@ -6,17 +6,26 @@
  * it observes one kind of program behaviour during a single execution
  * and exposes the raw observations.  ProfilingCampaign (profiler.h)
  * merges observations across runs into an InvariantSet.
+ *
+ * Profiling runs everything fully instrumented, so these callbacks
+ * are the hottest tool code in phase 1.  The per-event state is kept
+ * in dense vectors (block counts) and open-addressed FlatMaps (keyed
+ * observations) instead of node-based std::map/std::set; observations
+ * are emitted as sorted flat vectors, which is exactly the key order
+ * the campaign's merge loops relied on with std::map.
  */
 
 #pragma once
 
-#include <map>
+#include <algorithm>
 #include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/event.h"
 #include "invariants/invariant_set.h"
+#include "support/flat_map.h"
 
 namespace oha::prof {
 
@@ -27,16 +36,30 @@ class BlockCountProfiler : public exec::Tool
     void
     onBlockEnter(ThreadId, BlockId block) override
     {
+        if (block >= counts_.size())
+            counts_.resize(std::size_t{block} + 1, 0);
         ++counts_[block];
     }
 
-    const std::map<BlockId, std::uint64_t> &counts() const
+    /** Dense counts indexed by block id (may be shorter than the
+     *  module's block count; trailing never-entered blocks are
+     *  simply absent). */
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+    /** Sorted (block, count) pairs over entered blocks only. */
+    std::vector<std::pair<BlockId, std::uint64_t>>
+    flatCounts() const
     {
-        return counts_;
+        std::vector<std::pair<BlockId, std::uint64_t>> out;
+        for (std::size_t block = 0; block < counts_.size(); ++block)
+            if (counts_[block])
+                out.push_back({static_cast<BlockId>(block),
+                               counts_[block]});
+        return out;
     }
 
   private:
-    std::map<BlockId, std::uint64_t> counts_;
+    std::vector<std::uint64_t> counts_;
 };
 
 /** Records observed targets of each indirect call (likely callee sets). */
@@ -46,17 +69,33 @@ class CalleeSetProfiler : public exec::Tool
     void
     onEvent(const exec::EventCtx &ctx) override
     {
-        if (ctx.instr->op == ir::Opcode::ICall)
-            callees_[ctx.instr->id].insert(ctx.calleeResolved);
+        if (ctx.instr->op != ir::Opcode::ICall)
+            return;
+        // Callee sets are tiny (a handful of targets), so a sorted
+        // vector beats a node-based set on both insert and merge.
+        std::vector<FuncId> &funcs = callees_[ctx.instr->id];
+        const auto it = std::lower_bound(funcs.begin(), funcs.end(),
+                                         ctx.calleeResolved);
+        if (it == funcs.end() || *it != ctx.calleeResolved)
+            funcs.insert(it, ctx.calleeResolved);
     }
 
-    const std::map<InstrId, std::set<FuncId>> &callees() const
+    /** (site, sorted-unique callees) pairs, sorted by site. */
+    std::vector<std::pair<InstrId, std::vector<FuncId>>>
+    flatCallees() const
     {
-        return callees_;
+        std::vector<std::pair<InstrId, std::vector<FuncId>>> out;
+        out.reserve(callees_.size());
+        callees_.forEach(
+            [&](std::uint64_t site, const std::vector<FuncId> &funcs) {
+                out.push_back({static_cast<InstrId>(site), funcs});
+            });
+        std::sort(out.begin(), out.end());
+        return out;
     }
 
   private:
-    std::map<InstrId, std::set<FuncId>> callees_;
+    support::FlatMap<std::vector<FuncId>> callees_;
 };
 
 /**
@@ -114,17 +153,31 @@ class LockObjectProfiler : public exec::Tool
     void
     onEvent(const exec::EventCtx &ctx) override
     {
-        if (ctx.instr->op == ir::Opcode::Lock)
-            objects_[ctx.instr->id].insert(ctx.obj);
+        if (ctx.instr->op != ir::Opcode::Lock)
+            return;
+        std::vector<exec::ObjectId> &objs = objects_[ctx.instr->id];
+        const auto it =
+            std::lower_bound(objs.begin(), objs.end(), ctx.obj);
+        if (it == objs.end() || *it != ctx.obj)
+            objs.insert(it, ctx.obj);
     }
 
-    const std::map<InstrId, std::set<exec::ObjectId>> &objects() const
+    /** (site, sorted-unique objects) pairs, sorted by site. */
+    std::vector<std::pair<InstrId, std::vector<exec::ObjectId>>>
+    flatObjects() const
     {
-        return objects_;
+        std::vector<std::pair<InstrId, std::vector<exec::ObjectId>>> out;
+        out.reserve(objects_.size());
+        objects_.forEach([&](std::uint64_t site,
+                             const std::vector<exec::ObjectId> &objs) {
+            out.push_back({static_cast<InstrId>(site), objs});
+        });
+        std::sort(out.begin(), out.end());
+        return out;
     }
 
   private:
-    std::map<InstrId, std::set<exec::ObjectId>> objects_;
+    support::FlatMap<std::vector<exec::ObjectId>> objects_;
 };
 
 /** Counts threads created at each spawn site (likely singleton thread). */
@@ -138,13 +191,21 @@ class SpawnCountProfiler : public exec::Tool
             ++counts_[ctx.instr->id];
     }
 
-    const std::map<InstrId, std::uint64_t> &counts() const
+    /** (site, count) pairs, sorted by site. */
+    std::vector<std::pair<InstrId, std::uint64_t>>
+    flatCounts() const
     {
-        return counts_;
+        std::vector<std::pair<InstrId, std::uint64_t>> out;
+        out.reserve(counts_.size());
+        counts_.forEach([&](std::uint64_t site, std::uint64_t count) {
+            out.push_back({static_cast<InstrId>(site), count});
+        });
+        std::sort(out.begin(), out.end());
+        return out;
     }
 
   private:
-    std::map<InstrId, std::uint64_t> counts_;
+    support::FlatMap<std::uint64_t> counts_;
 };
 
 } // namespace oha::prof

@@ -33,7 +33,7 @@ runChecked(const ir::Module &module, const inv::InvariantSet &invariants,
 {
     InvariantChecker checker(module, invariants, checkerConfig);
     exec::Interpreter interp(module, config);
-    checker.setInterpreter(&interp);
+    checker.setControl(&interp);
     interp.attach(&checker, &checker.plan());
     const auto result = interp.run();
     return {checker.violated(), checker.violationReason(), result.status};
@@ -252,7 +252,7 @@ TEST(InvariantChecker, ContextFastPathElidesExactChecks)
     config.callContexts = true;
     InvariantChecker checker(module, inv, config);
     exec::Interpreter interp(module, {});
-    checker.setInterpreter(&interp);
+    checker.setControl(&interp);
     interp.attach(&checker, &checker.plan());
     ASSERT_TRUE(interp.run().finished());
     EXPECT_FALSE(checker.violated());

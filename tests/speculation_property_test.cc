@@ -133,7 +133,7 @@ TEST_P(SpeculationSeedTest, OptimisticRaceReportsEqualSoundReports)
         dyn::InvariantChecker checker(*module_, invariants_,
                                       checkerConfig);
         exec::Interpreter interp(*module_, config);
-        checker.setInterpreter(&interp);
+        checker.setControl(&interp);
         interp.attach(&optimistic, &optPlan);
         interp.attach(&checker, &checker.plan());
         interp.run();
@@ -198,7 +198,7 @@ TEST_P(SpeculationSeedTest, OptimisticSlicesEqualSoundSlices)
         dyn::InvariantChecker checker(*module_, invariants_,
                                       checkerConfig);
         exec::Interpreter interp(*module_, config);
-        checker.setInterpreter(&interp);
+        checker.setControl(&interp);
         interp.attach(&optimistic, &optPlan);
         interp.attach(&checker, &checker.plan());
         interp.run();
