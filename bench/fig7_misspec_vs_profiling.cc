@@ -7,6 +7,13 @@
  *
  * Paper reference: most benchmarks converge to ~0% very quickly;
  * vim and go explore large state spaces and converge slowest.
+ *
+ * Two series per benchmark: "misspec_rate" is the historical
+ * fire-and-forget pipeline (adaptiveRecovery off — every bad input
+ * pays its own rollback), "misspec_rate_adaptive" is the default
+ * demote + re-predicate repair loop, which should dominate the
+ * historical series wherever misspeculation is frequent (one repair
+ * per lying fact instead of one rollback per affected task).
  */
 
 #include "bench_common.h"
@@ -27,38 +34,61 @@ main()
         headers.push_back(std::to_string(runs) + " runs");
     TextTable table(headers);
 
-    // Every (benchmark, profiling-effort) cell of the sweep grid is an
-    // independent pipeline evaluation; batch the whole grid over
-    // OHA_THREADS workers and format the cells in grid order.
+    // Every (benchmark, profiling-effort, recovery-mode) cell of the
+    // sweep grid is an independent pipeline evaluation; batch the
+    // whole grid over OHA_THREADS workers and format the cells in
+    // grid order.
     const auto &names = workloads::sliceWorkloadNames();
     const auto cells = support::runBatch(
-        names.size() * sweep.size(), [&](std::size_t cell) {
-            const std::string &name = names[cell / sweep.size()];
-            const std::size_t runs = sweep[cell % sweep.size()];
+        names.size() * sweep.size() * 2, [&](std::size_t cell) {
+            const std::size_t grid = cell / 2;
+            const std::string &name = names[grid / sweep.size()];
+            const std::size_t runs = sweep[grid % sweep.size()];
             const auto workload = workloads::makeSliceWorkload(
                 name, runs, bench::kSliceTestRuns);
             core::OptSliceConfig config = bench::standardOptSliceConfig();
             config.maxProfileRuns = runs;
             config.convergenceWindow = runs; // profile the whole set
+            config.adaptiveRecovery = cell % 2 == 1;
             return core::runOptSlice(workload, config);
         });
+
+    auto misspecRate = [](const core::OptSliceResult &result) {
+        const double tasks =
+            double(result.testRuns) * double(result.endpoints);
+        return tasks > 0 ? double(result.misSpeculations) / tasks : 0.0;
+    };
 
     bench::JsonReport json("fig7_misspec_vs_profiling");
     for (std::size_t n = 0; n < names.size(); ++n) {
         std::vector<std::string> row = {names[n]};
         for (std::size_t s = 0; s < sweep.size(); ++s) {
-            const auto &result = cells[n * sweep.size() + s];
-            const double tasks =
-                double(result.testRuns) * double(result.endpoints);
-            const double rate =
-                tasks > 0 ? double(result.misSpeculations) / tasks : 0.0;
-            row.push_back(fmtDouble(rate, 3));
-            json.metric(names[n],
-                        "profile-" + std::to_string(sweep[s]),
-                        "misspec_rate", rate);
-            if (!result.sliceResultsMatch) {
+            const auto &historical =
+                cells[(n * sweep.size() + s) * 2];
+            const auto &adaptive =
+                cells[(n * sweep.size() + s) * 2 + 1];
+            const double rate = misspecRate(historical);
+            const double adaptiveRate = misspecRate(adaptive);
+            row.push_back(fmtDouble(rate, 3) + "/" +
+                          fmtDouble(adaptiveRate, 3));
+            const std::string variant =
+                "profile-" + std::to_string(sweep[s]);
+            json.metric(names[n], variant, "misspec_rate", rate);
+            json.metric(names[n], variant, "misspec_rate_adaptive",
+                        adaptiveRate);
+            json.metric(names[n], variant, "repredications",
+                        double(adaptive.repredications));
+            if (!historical.sliceResultsMatch ||
+                !adaptive.sliceResultsMatch) {
                 std::printf("SOUNDNESS VIOLATION in %s @ %zu runs\n",
                             names[n].c_str(), sweep[s]);
+                return 1;
+            }
+            if (adaptiveRate > rate) {
+                std::printf("RECOVERY REGRESSION in %s @ %zu runs: "
+                            "adaptive %.3f > historical %.3f\n",
+                            names[n].c_str(), sweep[s], adaptiveRate,
+                            rate);
                 return 1;
             }
         }
@@ -66,9 +96,9 @@ main()
     }
 
     std::printf("%s\n", table.str().c_str());
-    std::printf("(cells are mis-speculation rates over testing tasks; "
-                "the x-axis sweeps profiling executions, the paper's "
-                "profiling-time axis)\n");
+    std::printf("(cells are historical/adaptive mis-speculation rates "
+                "over testing tasks; the x-axis sweeps profiling "
+                "executions, the paper's profiling-time axis)\n");
     json.write();
     return 0;
 }

@@ -10,6 +10,10 @@
 #                        # Release (-O2, no asserts) build + smoke run of
 #                        # the trace capture/replay microbenchmark
 #                        # (OHA_BENCH_SMOKE=1: reduced reps and corpus)
+#   ci/run.sh faults     # fault-injection sweep: the misspeculation
+#                        # recovery tests under OHA_FAULT_SEED 1..3,
+#                        # each at OHA_THREADS=1 and 4 (seeded faults
+#                        # must repair identically at any thread count)
 #
 # All test jobs run the same ctest suite; the sanitizer jobs exist to
 # catch memory errors and data races in the parallel static-phase and
@@ -57,9 +61,23 @@ bench-release)
     cmake --build "$build_dir" -j "$jobs" --target microbench_trace
     OHA_BENCH_SMOKE=1 "$build_dir"/bench/microbench_trace
     ;;
+faults)
+    build_dir=build-ci
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$build_dir" -j "$jobs"
+    for seed in 1 2 3; do
+        for threads in 1 4; do
+            echo "=== fault sweep: OHA_FAULT_SEED=$seed" \
+                "OHA_THREADS=$threads ==="
+            OHA_FAULT_SEED="$seed" OHA_THREADS="$threads" \
+                ctest --test-dir "$build_dir" --output-on-failure \
+                -R 'FaultInjection|FaultInjector|AdaptiveRecovery|Violation'
+        done
+    done
+    ;;
 *)
     echo "unknown job '$job' (expected: plain | sanitize | tsan | bench |" \
-        "bench-release)" >&2
+        "bench-release | faults)" >&2
     exit 2
     ;;
 esac

@@ -1,7 +1,9 @@
 #include "core/optft.h"
 
 #include "analysis/andersen_cache.h"
+#include "analysis/callgraph.h"
 #include "analysis/lockset.h"
+#include "core/recovery.h"
 #include "dyn/fasttrack.h"
 #include "dyn/invariant_checker.h"
 #include "dyn/plans.h"
@@ -76,6 +78,73 @@ replayFastTrack(const ir::Module &module, const exec::RecordedTrace &trace,
     return out;
 }
 
+/** Lock and unlock sites in profiled-visited code. */
+struct LockSiteSets
+{
+    std::set<InstrId> locks;
+    std::set<InstrId> unlocks;
+};
+
+LockSiteSets
+collectLockSites(const ir::Module &module,
+                 const inv::InvariantSet &invariants)
+{
+    LockSiteSets sites;
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        if (!invariants.blockVisited(ins.block))
+            continue;
+        if (ins.op == ir::Opcode::Lock)
+            sites.locks.insert(id);
+        else if (ins.op == ir::Opcode::Unlock)
+            sites.unlocks.insert(id);
+    }
+    return sites;
+}
+
+/** Lock sites held at some potentially-racy access (these must keep
+ *  their instrumentation: they order the accesses the dynamic
+ *  detector still watches). */
+std::set<InstrId>
+guardingLockSites(const ir::Module &module,
+                  const analysis::AndersenResult &andersen,
+                  const inv::InvariantSet &invariants,
+                  const std::set<InstrId> &racyAccesses)
+{
+    const analysis::LocksetAnalysis locksets(module, andersen,
+                                             &invariants);
+    std::set<InstrId> guarding;
+    for (InstrId access : racyAccesses) {
+        const auto &held = locksets.locksHeldAt(access);
+        guarding.insert(held.begin(), held.end());
+    }
+    return guarding;
+}
+
+/** Close an elided-lock set over its unlocks: an unlock is elidable
+ *  when every lock site it may release is elided. */
+std::set<InstrId>
+elidableWithUnlocks(const analysis::AndersenResult &andersen,
+                    const LockSiteSets &sites,
+                    const std::set<InstrId> &locks)
+{
+    std::set<InstrId> all = locks;
+    for (InstrId unlock : sites.unlocks) {
+        const SparseBitSet targets = andersen.pointerTargets(unlock);
+        bool allElided = true;
+        for (InstrId lock : sites.locks) {
+            if (andersen.pointerTargets(lock).intersects(targets) &&
+                !locks.count(lock)) {
+                allElided = false;
+                break;
+            }
+        }
+        if (allElided)
+            all.insert(unlock);
+    }
+    return all;
+}
+
 /**
  * No-custom-sync calibration (Section 4.2.4): propose eliding
  * lock/unlock sites whose critical sections contain no remaining
@@ -98,50 +167,19 @@ calibrateLockElision(const ir::Module &module,
     const std::shared_ptr<const analysis::AndersenResult> andersenSp =
         analysis::runAndersenMemo(workload.module, aopts);
     const analysis::AndersenResult &andersen = *andersenSp;
-    const analysis::LocksetAnalysis locksets(module, andersen,
-                                             &invariants);
 
-    std::set<InstrId> guardingSites;
-    for (InstrId access : predicated.racyAccesses) {
-        const auto &held = locksets.locksHeldAt(access);
-        guardingSites.insert(held.begin(), held.end());
-    }
-
-    std::set<InstrId> lockSites, unlockSites;
-    for (InstrId id = 0; id < module.numInstrs(); ++id) {
-        const ir::Instruction &ins = module.instr(id);
-        if (!invariants.blockVisited(ins.block))
-            continue;
-        if (ins.op == ir::Opcode::Lock)
-            lockSites.insert(id);
-        else if (ins.op == ir::Opcode::Unlock)
-            unlockSites.insert(id);
-    }
+    const std::set<InstrId> guardingSites = guardingLockSites(
+        module, andersen, invariants, predicated.racyAccesses);
+    const LockSiteSets sites = collectLockSites(module, invariants);
 
     std::set<InstrId> candidates;
-    for (InstrId lock : lockSites)
+    for (InstrId lock : sites.locks)
         if (!guardingSites.count(lock))
             candidates.insert(lock);
 
-    auto elidableWithUnlocks = [&](const std::set<InstrId> &locks) {
-        std::set<InstrId> all = locks;
-        // An unlock is elidable when every lock site it may release
-        // is elided.
-        for (InstrId unlock : unlockSites) {
-            const SparseBitSet targets = andersen.pointerTargets(unlock);
-            bool allElided = true;
-            for (InstrId lock : lockSites) {
-                if (andersen.pointerTargets(lock).intersects(targets) &&
-                    !locks.count(lock)) {
-                    allElided = false;
-                    break;
-                }
-            }
-            if (allElided)
-                all.insert(unlock);
-        }
-        return all;
-    };
+    // For withdrawing offenders below: which functions each false
+    // race implicates, including their direct callees.
+    const analysis::CallGraph callgraph(module, andersen, &invariants);
 
     const exec::InstrumentationPlan soundPlan =
         dyn::fullFastTrackPlan(module);
@@ -170,7 +208,8 @@ calibrateLockElision(const ir::Module &module,
 
     while (!candidates.empty()) {
         inv::InvariantSet trial = invariants;
-        trial.elidableLockSites = elidableWithUnlocks(candidates);
+        trial.elidableLockSites =
+            elidableWithUnlocks(andersen, sites, candidates);
         const exec::InstrumentationPlan optPlan =
             dyn::optimisticFastTrackPlan(module, predicated.racyAccesses,
                                          trial);
@@ -196,19 +235,21 @@ calibrateLockElision(const ir::Module &module,
             break;
 
         // Restore instrumentation for offending locks: candidates in
-        // the functions involved in false races (fall back to popping
-        // one candidate if the heuristic makes no progress).
+        // the functions involved in false races, plus — Figure 4: the
+        // lost happens-before edge can surface as a false race in a
+        // *caller* of the function whose lock was elided — candidates
+        // in functions directly called from an implicated function
+        // (fall back to popping one candidate if the heuristic makes
+        // no progress).
+        std::set<FuncId> offendingFuncs = falseRaceFuncs;
+        for (FuncId func : falseRaceFuncs) {
+            const std::set<FuncId> &callees = callgraph.callees(func);
+            offendingFuncs.insert(callees.begin(), callees.end());
+        }
         bool removed = false;
         for (auto it = candidates.begin(); it != candidates.end();) {
             const ir::Instruction &lock = module.instr(*it);
-            bool offending = falseRaceFuncs.count(lock.func) > 0;
-            if (!offending) {
-                // Figure 4: the lost edge may order accesses in other
-                // functions; treat locks in the offending *thread
-                // region* conservatively by also matching callers.
-                offending = false;
-            }
-            if (offending) {
+            if (offendingFuncs.count(lock.func) > 0) {
                 it = candidates.erase(it);
                 removed = true;
             } else {
@@ -219,8 +260,45 @@ calibrateLockElision(const ir::Module &module,
             candidates.erase(std::prev(candidates.end()));
     }
 
-    return candidates.empty() ? std::set<InstrId>{}
-                              : elidableWithUnlocks(candidates);
+    return candidates.empty()
+               ? std::set<InstrId>{}
+               : elidableWithUnlocks(andersen, sites, candidates);
+}
+
+/**
+ * Adaptive recovery: a demotion can only grow the predicated
+ * racy-access set, so calibrated elisions may now sit on locks that
+ * guard racy accesses.  Keep the already-validated elided lock sites
+ * that still guard nothing racy and re-derive the elidable unlocks
+ * for the surviving set; never add new elisions — that would need
+ * the calibration runs again.
+ */
+std::set<InstrId>
+refilterElidableLocks(const std::shared_ptr<const ir::Module> &moduleSp,
+                      const inv::InvariantSet &invariants,
+                      const analysis::StaticRaceResult &predicated)
+{
+    if (invariants.elidableLockSites.empty())
+        return {};
+    const ir::Module &module = *moduleSp;
+    analysis::AndersenOptions aopts;
+    aopts.invariants = &invariants;
+    const std::shared_ptr<const analysis::AndersenResult> andersenSp =
+        analysis::runAndersenMemo(moduleSp, aopts);
+    const analysis::AndersenResult &andersen = *andersenSp;
+
+    const std::set<InstrId> guarding = guardingLockSites(
+        module, andersen, invariants, predicated.racyAccesses);
+    const LockSiteSets sites = collectLockSites(module, invariants);
+
+    std::set<InstrId> kept;
+    for (InstrId lock : sites.locks)
+        if (invariants.elidableLockSites.count(lock) &&
+            !guarding.count(lock))
+            kept.insert(lock);
+    if (kept.empty())
+        return {};
+    return elidableWithUnlocks(andersen, sites, kept);
 }
 
 } // namespace
@@ -261,6 +339,18 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
             : campaign.invariants();
     result.profileRunsUsed = campaign.numRuns();
 
+    // ---- Phase 1b: optional fault injection ---------------------------
+    // Perturb the profiled invariants so the testing corpus provably
+    // mis-speculates — exercises the rollback/demotion/circuit-breaker
+    // machinery below on demand (tests, CI seed sweeps).
+    if (config.faultSeed != 0) {
+        dyn::FaultInjectorOptions injectOptions;
+        injectOptions.seed = config.faultSeed;
+        const dyn::FaultInjector injector(module, injectOptions);
+        result.injectedFaults =
+            injector.inject(invariants, workload.testingSet);
+    }
+
     // ---- Phase 2: static analyses -------------------------------------
     // Sound and predicated detectors are independent; run them
     // concurrently (collected in index order for determinism) and
@@ -274,7 +364,11 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
         },
         config.threads);
     const analysis::StaticRaceResult &sound = *detectors[0];
-    const analysis::StaticRaceResult &predicated = *detectors[1];
+    // Mutable handle: adaptive recovery re-runs the predicated
+    // detector (through the memo) after each demotion.
+    std::shared_ptr<const analysis::StaticRaceResult> predicatedSp =
+        detectors[1];
+    const analysis::StaticRaceResult &predicated = *predicatedSp;
     result.soundStaticSeconds =
         double(sound.workUnits) / cost.staticUnitsPerSecond * cost.offlineScale;
     result.predStaticSeconds =
@@ -328,126 +422,226 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     const auto fullPlan = dyn::fullFastTrackPlan(module);
     const auto hybridPlan =
         dyn::hybridFastTrackPlan(module, sound.racyAccesses);
-    const auto optPlan = dyn::optimisticFastTrackPlan(
-        module, predicated.racyAccesses, invariants);
+    exec::InstrumentationPlan optPlan = dyn::optimisticFastTrackPlan(
+        module, predicatedSp->racyAccesses, invariants);
 
     dyn::CheckerConfig checkerConfig;
     checkerConfig.callContexts = false;
 
-    // Each testing input is an independent evaluation job (full,
-    // hybrid and speculative runs plus the deterministic rollback
-    // re-execution); jobs run batched and their outcomes are folded
-    // into the result serially in input-index order, so accumulation
-    // — including floating-point cost sums — is identical for any
-    // thread count.
-    struct TestEval
+    const std::size_t numTests = workload.testingSet.size();
+
+    // Record once, analyze many: one uninstrumented execution per
+    // input captures the event stream; every analysis configuration
+    // (and every adaptive re-evaluation) replays it.
+    std::vector<exec::RecordedTrace> traces;
+    if (config.useTraceReplay) {
+        traces = support::runBatch(
+            numTests,
+            [&](std::size_t i) {
+                return exec::recordRun(module, workload.testingSet[i]);
+            },
+            config.threads);
+    }
+
+    // Reference runs.  Full and hybrid FastTrack do not depend on the
+    // speculative plan, so they are evaluated once per input up
+    // front; the hybrid result doubles as the deterministic rollback
+    // re-analysis (identical by determinism) and as the degraded
+    // configuration once the circuit breaker trips.
+    struct RefEval
     {
         FtRun full;
         FtRun hybrid;
-        FtRun optimistic;
-        bool rolledBack = false;
-        FtRun redo;
-        std::uint64_t interpreted = 0; ///< guest steps fetch/decode/eval'd
     };
-    const std::vector<TestEval> evals = support::runBatch(
-        workload.testingSet.size(),
+    const std::vector<RefEval> refs = support::runBatch(
+        numTests,
         [&](std::size_t i) {
-            const auto &input = workload.testingSet[i];
-            TestEval eval;
+            RefEval ref;
             if (config.useTraceReplay) {
-                // Record once, analyze many: one uninstrumented
-                // execution captures the event stream; every analysis
-                // configuration replays it.
-                const exec::RecordedTrace trace =
-                    exec::recordRun(module, input);
-                eval.interpreted = trace.result.steps;
-                eval.full = replayFastTrack(module, trace, fullPlan);
-                eval.hybrid = replayFastTrack(module, trace, hybridPlan);
-                dyn::InvariantChecker checker(module, invariants,
-                                              checkerConfig);
-                eval.optimistic =
-                    replayFastTrack(module, trace, optPlan, &checker);
-                if (optFtShouldRollBack(
-                        eval.optimistic.violated,
-                        !eval.optimistic.races.empty(),
-                        !invariants.elidableLockSites.empty())) {
-                    // Rollback is a replay of the same trace under
-                    // the sound hybrid plan; determinism makes that
-                    // byte-identical to the hybrid replay above, so
-                    // reuse it instead of decoding the stream again.
-                    eval.rolledBack = true;
-                    eval.redo = eval.hybrid;
-                }
+                ref.full = replayFastTrack(module, traces[i], fullPlan);
+                ref.hybrid =
+                    replayFastTrack(module, traces[i], hybridPlan);
             } else {
-                // Full FastTrack (the sound reference).
-                eval.full = runFastTrack(module, input, fullPlan);
-                // Hybrid FastTrack.
-                eval.hybrid = runFastTrack(module, input, hybridPlan);
-                // OptFT: speculative run + rollback on mis-speculation.
-                dyn::InvariantChecker checker(module, invariants,
-                                              checkerConfig);
-                eval.optimistic =
-                    runFastTrack(module, input, optPlan, &checker);
-                eval.interpreted = eval.full.result.steps +
-                                   eval.hybrid.result.steps +
-                                   eval.optimistic.result.steps;
-                if (optFtShouldRollBack(
-                        eval.optimistic.violated,
-                        !eval.optimistic.races.empty(),
-                        !invariants.elidableLockSites.empty())) {
-                    // Roll back: deterministic re-execution under the
-                    // sound hybrid configuration (Section 2.3).
-                    eval.rolledBack = true;
-                    eval.redo = runFastTrack(module, input, hybridPlan);
-                    eval.interpreted += eval.redo.result.steps;
-                }
+                ref.full = runFastTrack(module, workload.testingSet[i],
+                                        fullPlan);
+                ref.hybrid = runFastTrack(module, workload.testingSet[i],
+                                          hybridPlan);
             }
-            return eval;
+            return ref;
         },
         config.threads);
 
-    std::set<std::pair<InstrId, InstrId>> allRaces;
-    for (const TestEval &eval : evals) {
-        result.fastTrack.add(priceFastTrackRun(cost, eval.full.result,
-                                               eval.full.ftDelivered));
-        allRaces.insert(eval.full.races.begin(), eval.full.races.end());
+    // Speculative runs, in adaptive rounds.  Each round batch-runs
+    // the remaining inputs under the current optimistic plan, then
+    // scans the outcomes serially in input-index order.  At the first
+    // rollback the round stops: the lying invariant is demoted, the
+    // predicated static phase re-runs through the memo cache, the
+    // plan is rebuilt, and the next round restarts at the following
+    // input — so results are exactly those of the serial repair loop
+    // at any thread count (later same-round evaluations are
+    // discarded, not folded).  A circuit breaker degrades the
+    // remaining corpus to the sound hybrid configuration when the
+    // repair budget or the observed misspeculation rate is exceeded.
+    struct OptEval
+    {
+        FtRun optimistic;
+        bool rolledBack = false;
+        bool degraded = false;
+        dyn::Violation violation;
+    };
+    std::vector<OptEval> opts(numTests);
+    const RecoveryBreaker breaker{config.maxRepredications,
+                                  config.misspecRateThreshold,
+                                  config.minRunsForMisspecRate};
+    std::uint64_t rollbacksSeen = 0;
+    bool degraded = false;
+    std::size_t next = 0;
+    while (next < numTests) {
+        if (degraded) {
+            // Sound fallback: the rest of the corpus runs the hybrid
+            // configuration (no speculation, no checker).  By
+            // determinism that evaluation is identical to the hybrid
+            // reference, so reuse it.
+            for (std::size_t i = next; i < numTests; ++i) {
+                opts[i].optimistic = refs[i].hybrid;
+                opts[i].degraded = true;
+            }
+            break;
+        }
+        const std::size_t start = next;
+        const std::vector<OptEval> round = support::runBatch(
+            numTests - start,
+            [&](std::size_t k) {
+                const std::size_t i = start + k;
+                OptEval eval;
+                dyn::InvariantChecker checker(module, invariants,
+                                              checkerConfig);
+                eval.optimistic =
+                    config.useTraceReplay
+                        ? replayFastTrack(module, traces[i], optPlan,
+                                          &checker)
+                        : runFastTrack(module, workload.testingSet[i],
+                                       optPlan, &checker);
+                if (optFtShouldRollBack(
+                        eval.optimistic.violated,
+                        !eval.optimistic.races.empty(),
+                        !invariants.elidableLockSites.empty())) {
+                    eval.rolledBack = true;
+                    if (checker.violated()) {
+                        eval.violation = checker.violation();
+                    } else {
+                        eval.violation.family =
+                            dyn::ViolationFamily::ElidedLockRace;
+                    }
+                }
+                return eval;
+            },
+            config.threads);
 
-        result.hybridFt.add(priceFastTrackRun(cost, eval.hybrid.result,
-                                              eval.hybrid.ftDelivered));
-        if (eval.hybrid.races != eval.full.races)
+        next = numTests;
+        for (std::size_t k = 0; k < round.size(); ++k) {
+            const std::size_t i = start + k;
+            opts[i] = round[k];
+            if (!opts[i].rolledBack)
+                continue;
+            ++rollbacksSeen;
+            if (!config.adaptiveRecovery)
+                continue; // historical behavior: plan never changes
+            const dyn::Violation &violation = opts[i].violation;
+            if (breaker.tripped(result.repredications, rollbacksSeen,
+                                i + 1)) {
+                degraded = true;
+                result.circuitBroken = true;
+            } else if (!invariants.demote(violation)) {
+                // Defensive: an unrepairable violation (nothing left
+                // to remove) must degrade rather than spin.
+                degraded = true;
+                result.circuitBroken = true;
+            } else {
+                result.demotions.push_back(violation);
+                ++result.repredications;
+                if (violation.family !=
+                    dyn::ViolationFamily::ElidedLockRace) {
+                    // Re-predicate on the repaired invariants.  The
+                    // memo keys on the invariant text, so repeated
+                    // repairs of converging sets are incremental in
+                    // practice.
+                    predicatedSp = analysis::runStaticRaceDetectorMemo(
+                        workload.module, &invariants);
+                    result.repredStaticSeconds +=
+                        double(predicatedSp->workUnits) /
+                        cost.staticUnitsPerSecond * cost.offlineScale;
+                    invariants.elidableLockSites = refilterElidableLocks(
+                        workload.module, invariants, *predicatedSp);
+                }
+                optPlan = dyn::optimisticFastTrackPlan(
+                    module, predicatedSp->racyAccesses, invariants);
+            }
+            next = i + 1; // discard this round's later evaluations
+            break;
+        }
+    }
+
+    // Fold the outcomes serially in input-index order, so
+    // accumulation — including floating-point cost sums — is
+    // identical for any thread count.
+    std::set<std::pair<InstrId, InstrId>> allRaces;
+    for (std::size_t i = 0; i < numTests; ++i) {
+        const RefEval &ref = refs[i];
+        const OptEval &opt = opts[i];
+        result.fastTrack.add(priceFastTrackRun(cost, ref.full.result,
+                                               ref.full.ftDelivered));
+        allRaces.insert(ref.full.races.begin(), ref.full.races.end());
+
+        result.hybridFt.add(priceFastTrackRun(cost, ref.hybrid.result,
+                                              ref.hybrid.ftDelivered));
+        if (ref.hybrid.races != ref.full.races)
             result.raceReportsMatch = false;
 
         RunCost optCost = priceFastTrackRun(
-            cost, eval.optimistic.result, eval.optimistic.ftDelivered,
-            &eval.optimistic.checkerDelivered, eval.optimistic.slowChecks);
-        RacePairs finalRaces = eval.optimistic.races;
-        if (eval.rolledBack) {
+            cost, opt.optimistic.result, opt.optimistic.ftDelivered,
+            &opt.optimistic.checkerDelivered, opt.optimistic.slowChecks);
+        RacePairs finalRaces = opt.optimistic.races;
+        if (opt.rolledBack) {
             ++result.misSpeculations;
+            // Roll back: deterministic re-analysis under the sound
+            // hybrid configuration (Section 2.3) — identical to the
+            // hybrid reference by determinism, so reuse it.
+            const FtRun &redo = ref.hybrid;
             const RunCost redoCost = priceFastTrackRun(
-                cost, eval.redo.result, eval.redo.ftDelivered);
+                cost, redo.result, redo.ftDelivered);
             optCost.rollback = redoCost.total();
-            finalRaces = eval.redo.races;
+            finalRaces = redo.races;
             // Additive metric: what the rollback costs when performed
             // as a trace replay instead of the re-execution priced
-            // above.  eval.redo.result is identical in both modes, so
-            // this stays parity-comparable.
+            // above.  redo.result is identical in both modes, so this
+            // stays parity-comparable.
             result.replayRollbackSeconds +=
-                priceTraceReplaySeconds(cost, eval.redo.result);
+                priceTraceReplaySeconds(cost, redo.result);
         }
         result.optFt.add(optCost);
-        if (finalRaces != eval.full.races)
+        if (finalRaces != ref.full.races)
             result.raceReportsMatch = false;
 
         // Execute-once accounting.  The recording run is event- and
         // step-identical to the full-plan run's underlying execution,
-        // so pricing from eval.full.result keeps both modes equal.
-        result.interpretedSteps += eval.interpreted;
-        result.recordSeconds +=
-            priceTraceRecordSeconds(cost, eval.full.result);
+        // so pricing from ref.full.result keeps both modes equal.
         if (config.useTraceReplay) {
-            result.replayedEvents += eval.full.result.totalEvents.total() +
-                                     eval.hybrid.result.totalEvents.total() +
-                                     eval.optimistic.result.totalEvents.total();
+            result.interpretedSteps += traces[i].result.steps;
+        } else {
+            result.interpretedSteps += ref.full.result.steps +
+                                       ref.hybrid.result.steps +
+                                       opt.optimistic.result.steps;
+            if (opt.rolledBack)
+                result.interpretedSteps += ref.hybrid.result.steps;
+        }
+        result.recordSeconds +=
+            priceTraceRecordSeconds(cost, ref.full.result);
+        if (config.useTraceReplay) {
+            result.replayedEvents +=
+                ref.full.result.totalEvents.total() +
+                ref.hybrid.result.totalEvents.total() +
+                opt.optimistic.result.totalEvents.total();
         }
     }
 

@@ -24,9 +24,12 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 #include "analysis/race_detector.h"
 #include "core/cost_model.h"
+#include "dyn/fault_injector.h"
+#include "dyn/violation.h"
 #include "workloads/workloads.h"
 
 namespace oha::core {
@@ -58,6 +61,27 @@ struct OptFtConfig
      *  the direct path; only interpretedSteps/replayedEvents (and
      *  wall-clock time) differ. */
     bool useTraceReplay = true;
+    /** Adaptive misspeculation recovery (Section 2.3's rollback, made
+     *  a loop): after a rollback, demote the violated invariant,
+     *  re-run the predicated static phase through the andersen_cache
+     *  memo, rebuild the optimistic plan, and continue the remaining
+     *  testing inputs under the repaired plan.  Off reproduces the
+     *  historical fire-and-forget behavior (every input keeps the
+     *  original plan and pays its own rollback). */
+    bool adaptiveRecovery = true;
+    /** Circuit breaker: maximum demote + re-predicate repairs before
+     *  the remaining corpus degrades to the sound hybrid plan. */
+    std::size_t maxRepredications = 4;
+    /** Circuit breaker: degrade when rollbacks / inputs-evaluated
+     *  exceeds this rate (see minRunsForMisspecRate). */
+    double misspecRateThreshold = 0.5;
+    /** Rate threshold only arms after this many evaluated inputs. */
+    std::size_t minRunsForMisspecRate = 8;
+    /** Non-zero: deterministically perturb the profiled invariants
+     *  (dyn::FaultInjector) so the testing corpus mis-speculates —
+     *  exercises rollback/demotion/breaker paths on demand.  CI
+     *  sweeps this via OHA_FAULT_SEED (see ci/run.sh faults). */
+    std::uint64_t faultSeed = 0;
     CostModel cost;
 };
 
@@ -118,6 +142,22 @@ struct OptFtResult
     /** Modeled cost of the rollback re-analyses when performed as
      *  trace replays rather than re-executions. */
     double replayRollbackSeconds = 0;
+
+    // Adaptive-recovery accounting (all zero when adaptiveRecovery is
+    // off or nothing mis-speculated).
+    /** Demote + re-predicate repair cycles performed. */
+    std::size_t repredications = 0;
+    /** Modeled cost of the repair-time static re-analyses.  Additive
+     *  metric, like recordSeconds: not folded into predStaticSeconds,
+     *  so the headline upfront figures stay comparable to the
+     *  non-adaptive pipeline. */
+    double repredStaticSeconds = 0;
+    /** The circuit breaker degraded the remaining corpus to hybrid. */
+    bool circuitBroken = false;
+    /** Invariant facts demoted, in rollback order. */
+    std::vector<dyn::Violation> demotions;
+    /** Faults injected when config.faultSeed is non-zero. */
+    std::vector<dyn::FaultInjection> injectedFaults;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "analysis/andersen_cache.h"
+#include "core/recovery.h"
 #include "dyn/giri.h"
 #include "dyn/invariant_checker.h"
 #include "dyn/plans.h"
@@ -235,7 +236,7 @@ runOptSlice(const workloads::Workload &workload,
     campaign.addRunsUntilConverged(workload.profilingSet,
                                    config.maxProfileRuns,
                                    config.convergenceWindow);
-    const inv::InvariantSet invariants =
+    inv::InvariantSet invariants =
         config.aggressiveLucMinVisits > 1
             ? campaign.invariantsWithAggressiveLuc(
                   config.aggressiveLucMinVisits)
@@ -243,6 +244,23 @@ runOptSlice(const workloads::Workload &workload,
     result.profileRunsUsed = campaign.numRuns();
     result.profileSeconds = double(campaign.profiledSteps()) *
                             cost.profilingOverhead / cost.unitsPerSecond * cost.offlineScale;
+
+    // ---- Phase 1b: optional fault injection ---------------------------
+    // Perturb the profiled invariants so the testing corpus provably
+    // mis-speculates (tests, CI seed sweeps).  Only the families the
+    // OptSlice checker configuration watches are injectable here: lock
+    // and spawn invariants are race-detection machinery the slicing
+    // checker never arms (guardingLocks/singletonThreads below).
+    if (config.faultSeed != 0) {
+        dyn::FaultInjectorOptions injectOptions;
+        injectOptions.seed = config.faultSeed;
+        injectOptions.families = {dyn::ViolationFamily::UnreachableBlock,
+                                  dyn::ViolationFamily::CalleeSet,
+                                  dyn::ViolationFamily::CallContext};
+        const dyn::FaultInjector injector(module, injectOptions);
+        result.injectedFaults =
+            injector.inject(invariants, workload.testingSet);
+    }
 
     // ---- Phase 2: static analyses --------------------------------------
     // The sound and predicated configurations are independent solves;
@@ -358,62 +376,136 @@ runOptSlice(const workloads::Workload &workload,
     }
 
     // Every (testing input, endpoint) pair is an independent slicing
-    // task; run them batched and fold the outcomes serially in task
-    // order so cost accumulation is identical for any thread count.
-    struct SliceEval
-    {
-        GiriRun hybrid;
-        GiriRun optimistic;
-        bool rolledBack = false;
-        GiriRun redo;
-        std::uint64_t interpreted = 0; ///< guest steps fetch/decode/eval'd
-    };
+    // task, ordered input-major.  The hybrid references do not depend
+    // on the speculative plans, so they are evaluated once per task up
+    // front; each reference doubles as the deterministic rollback
+    // re-analysis and as the degraded configuration once the circuit
+    // breaker trips.
     const std::size_t tasks =
         workload.testingSet.size() * endpoints.size();
-    const std::vector<SliceEval> evals = support::runBatch(
+    const std::vector<GiriRun> refs = support::runBatch(
         tasks,
         [&](std::size_t task) {
             const std::size_t e = task % endpoints.size();
             const std::vector<InstrId> target = {endpoints[e]};
-
-            SliceEval eval;
             if (config.useTraceReplay) {
-                const exec::RecordedTrace &trace =
-                    traces[task / endpoints.size()];
-                eval.hybrid =
-                    replayGiri(module, trace, hybridPlans[e], target);
-                dyn::InvariantChecker checker(module, invariants,
-                                              checkerConfig);
-                eval.optimistic = replayGiri(module, trace, optPlans[e],
-                                             target, &checker);
-                if (eval.optimistic.violated) {
-                    // Rollback replays the same trace under the sound
-                    // hybrid plan — byte-identical to the hybrid
-                    // replay above, so reuse it.
-                    eval.rolledBack = true;
-                    eval.redo = eval.hybrid;
-                }
-            } else {
-                const auto &input =
-                    workload.testingSet[task / endpoints.size()];
-                eval.hybrid =
-                    runGiri(module, input, hybridPlans[e], target);
+                return replayGiri(module, traces[task / endpoints.size()],
+                                  hybridPlans[e], target);
+            }
+            return runGiri(module,
+                           workload.testingSet[task / endpoints.size()],
+                           hybridPlans[e], target);
+        },
+        config.threads);
+
+    // Speculative runs, in adaptive rounds (same repair loop as
+    // runOptFt): batch the remaining tasks under the current
+    // optimistic plans, scan serially in task order, and at the first
+    // rollback demote the lying invariant, re-run the predicated
+    // points-to + slicing phase through the memo caches, rebuild the
+    // per-endpoint plans, and restart at the following task.  Later
+    // same-round evaluations are discarded, so results equal the
+    // serial repair loop at any thread count.
+    struct OptEval
+    {
+        GiriRun optimistic;
+        bool rolledBack = false;
+        bool degraded = false;
+        dyn::Violation violation;
+    };
+    std::vector<OptEval> opts(tasks);
+    const RecoveryBreaker breaker{config.maxRepredications,
+                                  config.misspecRateThreshold,
+                                  config.minRunsForMisspecRate};
+    std::uint64_t rollbacksSeen = 0;
+    bool degraded = false;
+    std::size_t next = 0;
+    while (next < tasks) {
+        if (degraded) {
+            // Sound fallback: the rest of the corpus runs the hybrid
+            // plans (no speculation, no checker).  By determinism that
+            // evaluation is identical to the hybrid reference.
+            for (std::size_t task = next; task < tasks; ++task) {
+                opts[task].optimistic = refs[task];
+                opts[task].degraded = true;
+            }
+            break;
+        }
+        const std::size_t start = next;
+        const std::vector<OptEval> round = support::runBatch(
+            tasks - start,
+            [&](std::size_t k) {
+                const std::size_t task = start + k;
+                const std::size_t e = task % endpoints.size();
+                const std::vector<InstrId> target = {endpoints[e]};
+                OptEval eval;
                 dyn::InvariantChecker checker(module, invariants,
                                               checkerConfig);
                 eval.optimistic =
-                    runGiri(module, input, optPlans[e], target, &checker);
-                eval.interpreted = eval.hybrid.result.steps +
-                                   eval.optimistic.result.steps;
+                    config.useTraceReplay
+                        ? replayGiri(module,
+                                     traces[task / endpoints.size()],
+                                     optPlans[e], target, &checker)
+                        : runGiri(module,
+                                  workload
+                                      .testingSet[task / endpoints.size()],
+                                  optPlans[e], target, &checker);
                 if (eval.optimistic.violated) {
                     eval.rolledBack = true;
-                    eval.redo =
-                        runGiri(module, input, hybridPlans[e], target);
-                    eval.interpreted += eval.redo.result.steps;
+                    eval.violation = checker.violation();
+                }
+                return eval;
+            },
+            config.threads);
+
+        next = tasks;
+        for (std::size_t k = 0; k < round.size(); ++k) {
+            const std::size_t task = start + k;
+            opts[task] = round[k];
+            if (!opts[task].rolledBack)
+                continue;
+            ++rollbacksSeen;
+            if (!config.adaptiveRecovery)
+                continue; // historical behavior: plans never change
+            const dyn::Violation &violation = opts[task].violation;
+            if (breaker.tripped(result.repredications, rollbacksSeen,
+                                task + 1)) {
+                degraded = true;
+                result.circuitBroken = true;
+            } else if (!invariants.demote(violation)) {
+                // Defensive: an unrepairable violation must degrade
+                // rather than spin.
+                degraded = true;
+                result.circuitBroken = true;
+            } else {
+                result.demotions.push_back(violation);
+                ++result.repredications;
+                // Re-predicate points-to and slicing on the repaired
+                // invariants; both routes are memoized, so repeated
+                // repairs of converging sets are incremental.
+                const PickedAndersen repredPts =
+                    pickAndersen(moduleSp, &invariants, config);
+                const std::shared_ptr<const analysis::SliceSetResult>
+                    repredSlices = computeAllSlices(
+                        moduleSp, endpoints, &invariants, config,
+                        *repredPts.result,
+                        repredPts.pick.contextSensitive);
+                result.repredStaticSeconds +=
+                    repredPts.pick.seconds +
+                    double(repredSlices->workUnits) /
+                        cost.staticUnitsPerSecond * cost.offlineScale;
+                for (std::size_t e = 0; e < endpoints.size(); ++e) {
+                    optPlans[e] =
+                        repredSlices->complete
+                            ? dyn::sliceGiriPlan(module,
+                                                 repredSlices->slices[e])
+                            : dyn::fullGiriPlan(module);
                 }
             }
-            return eval;
-        },
-        config.threads);
+            next = task + 1; // discard this round's later evaluations
+            break;
+        }
+    }
 
     // In record-once mode each input's interpreter work happened once,
     // at capture time, regardless of how many endpoint tasks share it.
@@ -422,38 +514,49 @@ runOptSlice(const workloads::Workload &workload,
             result.interpretedSteps += trace.result.steps;
     }
 
-    for (const SliceEval &eval : evals) {
-        result.hybrid.add(priceGiriRun(cost, eval.hybrid.result,
-                                       eval.hybrid.delivered));
+    // Fold serially in task order, so cost accumulation — including
+    // floating-point sums — is identical for any thread count.
+    for (std::size_t task = 0; task < tasks; ++task) {
+        const GiriRun &hybrid = refs[task];
+        const OptEval &opt = opts[task];
+        result.hybrid.add(
+            priceGiriRun(cost, hybrid.result, hybrid.delivered));
 
-        RunCost optCost = priceGiriRun(cost, eval.optimistic.result,
-                                       eval.optimistic.delivered,
-                                       &eval.optimistic.checkerDelivered,
-                                       eval.optimistic.slowChecks);
+        RunCost optCost = priceGiriRun(cost, opt.optimistic.result,
+                                       opt.optimistic.delivered,
+                                       &opt.optimistic.checkerDelivered,
+                                       opt.optimistic.slowChecks);
         const std::map<InstrId, std::set<InstrId>> &finalSlices =
-            eval.rolledBack ? eval.redo.slices : eval.optimistic.slices;
-        if (eval.rolledBack) {
+            opt.rolledBack ? hybrid.slices : opt.optimistic.slices;
+        if (opt.rolledBack) {
             ++result.misSpeculations;
+            // Roll back: deterministic re-analysis under the sound
+            // hybrid plan — identical to the hybrid reference by
+            // determinism, so reuse it.
             optCost.rollback =
-                priceGiriRun(cost, eval.redo.result, eval.redo.delivered)
+                priceGiriRun(cost, hybrid.result, hybrid.delivered)
                     .total();
-            // Additive metric; eval.redo.result is identical in both
+            // Additive metric; hybrid.result is identical in both
             // modes, so it stays parity-comparable.
             result.replayRollbackSeconds +=
-                priceTraceReplaySeconds(cost, eval.redo.result);
+                priceTraceReplaySeconds(cost, hybrid.result);
         }
         result.optimistic.add(optCost);
 
-        result.interpretedSteps += eval.interpreted;
         if (config.useTraceReplay) {
             result.replayedEvents +=
-                eval.hybrid.result.totalEvents.total() +
-                eval.optimistic.result.totalEvents.total();
+                hybrid.result.totalEvents.total() +
+                opt.optimistic.result.totalEvents.total();
+        } else {
+            result.interpretedSteps += hybrid.result.steps +
+                                       opt.optimistic.result.steps;
+            if (opt.rolledBack)
+                result.interpretedSteps += hybrid.result.steps;
         }
 
         // Soundness: the recovered optimistic slice must equal the
         // traditional hybrid slice.
-        if (finalSlices != eval.hybrid.slices)
+        if (finalSlices != hybrid.slices)
             result.sliceResultsMatch = false;
     }
 
@@ -464,7 +567,7 @@ runOptSlice(const workloads::Workload &workload,
     if (!endpoints.empty()) {
         for (std::size_t i = 0; i < workload.testingSet.size(); ++i) {
             result.recordSeconds += priceTraceRecordSeconds(
-                cost, evals[i * endpoints.size()].hybrid.result);
+                cost, refs[i * endpoints.size()].result);
         }
     }
 

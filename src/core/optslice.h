@@ -25,6 +25,8 @@
 
 #include "analysis/slicer.h"
 #include "core/cost_model.h"
+#include "dyn/fault_injector.h"
+#include "dyn/violation.h"
 #include "workloads/workloads.h"
 
 namespace oha::core {
@@ -55,6 +57,24 @@ struct OptSliceConfig
      *  to the direct path; only interpretedSteps/replayedEvents (and
      *  wall-clock time) differ. */
     bool useTraceReplay = true;
+    /** Adaptive misspeculation recovery: after a rollback, demote the
+     *  violated invariant, re-run the predicated points-to + slicing
+     *  phase through the memo caches, rebuild the optimistic plans,
+     *  and continue the remaining (input, endpoint) tasks under the
+     *  repaired plans.  Off reproduces the historical behavior. */
+    bool adaptiveRecovery = true;
+    /** Circuit breaker: maximum demote + re-predicate repairs before
+     *  the remaining corpus degrades to the sound hybrid plans. */
+    std::size_t maxRepredications = 4;
+    /** Circuit breaker: degrade when rollbacks / tasks-evaluated
+     *  exceeds this rate (see minRunsForMisspecRate). */
+    double misspecRateThreshold = 0.5;
+    /** Rate threshold only arms after this many evaluated tasks. */
+    std::size_t minRunsForMisspecRate = 8;
+    /** Non-zero: deterministically perturb the profiled invariants
+     *  (dyn::FaultInjector) so the testing corpus mis-speculates.
+     *  CI sweeps this via OHA_FAULT_SEED (see ci/run.sh faults). */
+    std::uint64_t faultSeed = 0;
     CostModel cost;
 };
 
@@ -103,6 +123,13 @@ struct OptSliceResult
     std::uint64_t replayedEvents = 0;
     double recordSeconds = 0;
     double replayRollbackSeconds = 0;
+
+    // Adaptive-recovery accounting (see OptFtResult).
+    std::size_t repredications = 0;
+    double repredStaticSeconds = 0;
+    bool circuitBroken = false;
+    std::vector<dyn::Violation> demotions;
+    std::vector<dyn::FaultInjection> injectedFaults;
 };
 
 /** Run the whole OptSlice pipeline on @p workload. */

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Circuit-breaker policy for adaptive misspeculation recovery.
+ *
+ * Adaptive recovery (runOptFt/runOptSlice with
+ * config.adaptiveRecovery) repairs the optimistic plan after every
+ * rollback: demote the lying invariant, re-run the predicated static
+ * phase through the memo cache, continue the corpus.  That loop must
+ * not be allowed to spin when speculation keeps losing — each repair
+ * costs a (memoized) static re-analysis, and a corpus that violates
+ * invariants at a high rate is telling us the profile does not
+ * transfer, so the honest move is the paper's fallback: run the
+ * remainder under the sound hybrid plan.  The breaker trips on either
+ * signal:
+ *  - the repair budget is exhausted (repredications >=
+ *    maxRepredications), or
+ *  - the observed misspeculation rate over the inputs evaluated so
+ *    far exceeds misspecRateThreshold, once at least minRunsForRate
+ *    inputs have been seen (so one early rollback cannot trip it).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oha::core {
+
+/** Decides when adaptive recovery must degrade to the hybrid plan. */
+struct RecoveryBreaker
+{
+    std::size_t maxRepredications = 4;
+    double misspecRateThreshold = 0.5;
+    std::size_t minRunsForRate = 8;
+
+    /** Evaluate the policy after a rollback: @p repredications repairs
+     *  performed, @p rollbacks total rollbacks, @p evaluated inputs
+     *  scanned so far. */
+    bool
+    tripped(std::size_t repredications, std::uint64_t rollbacks,
+            std::size_t evaluated) const
+    {
+        if (repredications >= maxRepredications)
+            return true;
+        return evaluated >= minRunsForRate &&
+               double(rollbacks) >
+                   misspecRateThreshold * double(evaluated);
+    }
+};
+
+} // namespace oha::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic fault injection for the misspeculation recovery path.
+ *
+ * Rollback, demotion and the circuit breaker are safety mechanisms:
+ * on well-profiled workloads they almost never fire, which means
+ * nothing exercises them unless we make speculation lose on purpose.
+ * The injector perturbs a profiled InvariantSet so that running the
+ * given corpus *must* trip a chosen violation family:
+ *  - UnreachableBlock: un-visit a block the corpus executes;
+ *  - CalleeSet: drop a callee the corpus resolves at an icall site;
+ *  - CallContext: forget a call context the corpus pushes;
+ *  - MustAliasLock: assert must-alias for a site (or pair) the corpus
+ *    observably re-binds (or diverges);
+ *  - SingletonSpawn: assert spawn-once for a site the corpus spawns
+ *    from more than once.
+ *
+ * Candidates come from profiling-instrumented observation runs of the
+ * corpus itself, so every injected fault is guaranteed to be detected
+ * by the InvariantChecker on some corpus input.  Selection is driven
+ * by a seeded support::Rng (OHA_FAULT_SEED in CI), so sweeps are
+ * reproducible and independent of thread count.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dyn/violation.h"
+#include "exec/interpreter.h"
+#include "invariants/invariant_set.h"
+
+namespace oha::dyn {
+
+/** One perturbation applied to an invariant set. */
+struct FaultInjection
+{
+    ViolationFamily family = ViolationFamily::None;
+    InstrId site = kNoInstr;    ///< perturbed site / block id
+    InstrId partner = kNoInstr; ///< partner lock site (pair injections)
+    std::uint64_t detail = 0;   ///< family-specific (e.g. dropped callee)
+
+    std::string describe() const;
+};
+
+struct FaultInjectorOptions
+{
+    /** Selection seed; every choice derives from it deterministically. */
+    std::uint64_t seed = 1;
+    /** Families to perturb, in order.  Families without a viable
+     *  candidate on the given corpus are skipped. */
+    std::vector<ViolationFamily> families = {
+        ViolationFamily::UnreachableBlock,
+        ViolationFamily::CalleeSet,
+        ViolationFamily::MustAliasLock,
+        ViolationFamily::SingletonSpawn,
+    };
+};
+
+/** OHA_FAULT_SEED environment value, or 0 when unset/invalid. */
+std::uint64_t faultSeedFromEnv();
+
+/** Perturbs invariant sets so a corpus provably mis-speculates. */
+class FaultInjector
+{
+  public:
+    FaultInjector(const ir::Module &module, FaultInjectorOptions options);
+
+    /** Observe @p corpus under profiling instrumentation, then apply
+     *  one perturbation per requested family to @p invariants.
+     *  Returns the injections actually applied. */
+    std::vector<FaultInjection>
+    inject(inv::InvariantSet &invariants,
+           const std::vector<exec::ExecConfig> &corpus) const;
+
+  private:
+    const ir::Module &module_;
+    FaultInjectorOptions options_;
+};
+
+} // namespace oha::dyn

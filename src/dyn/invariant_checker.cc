@@ -1,5 +1,7 @@
 #include "dyn/invariant_checker.h"
 
+#include <algorithm>
+
 namespace oha::dyn {
 
 InvariantChecker::InvariantChecker(const ir::Module &module,
@@ -46,16 +48,30 @@ InvariantChecker::InvariantChecker(const ir::Module &module,
     }
 
     if (config_.guardingLocks) {
+        // Collect the pair adjacency in a transient ordered map, then
+        // flatten it into the CSR table probed on every Lock event.
+        std::map<InstrId, std::vector<InstrId>> adjacency;
         for (const auto &[a, b] : invariants.mustAliasLocks) {
             plan_.setInstr(a, true);
             plan_.setInstr(b, true);
             if (a != b) {
-                lockPartners_[a].push_back(b);
-                lockPartners_[b].push_back(a);
+                adjacency[a].push_back(b);
+                adjacency[b].push_back(a);
             } else {
-                lockPartners_[a]; // ensure single-object tracking
+                adjacency[a]; // ensure single-object tracking
             }
         }
+        pairSites_.reserve(adjacency.size());
+        pairOffsets_.reserve(adjacency.size() + 1);
+        pairOffsets_.push_back(0);
+        for (auto &[site, partners] : adjacency) {
+            pairSites_.push_back(site);
+            pairPartners_.insert(pairPartners_.end(), partners.begin(),
+                                 partners.end());
+            pairOffsets_.push_back(
+                static_cast<std::uint32_t>(pairPartners_.size()));
+        }
+        boundLockObject_.reserve(pairSites_.size());
     }
 
     if (config_.callContexts) {
@@ -65,29 +81,37 @@ InvariantChecker::InvariantChecker(const ir::Module &module,
 }
 
 void
-InvariantChecker::violate(const std::string &reason)
+InvariantChecker::violate(Violation violation)
 {
     if (violated_)
         return;
     violated_ = true;
-    reason_ = reason;
+    violation_ = std::move(violation);
+    reason_ = violation_.describe();
     if (control_)
-        control_->requestAbort("invariant violation: " + reason);
+        control_->requestAbort("invariant violation: " + reason_,
+                               violation_.toAbortMetadata());
 }
 
 void
-InvariantChecker::onBlockEnter(ThreadId, BlockId block)
+InvariantChecker::onBlockEnter(ThreadId tid, BlockId block)
 {
     // Only likely-unreachable blocks are hooked.
-    violate("likely-unreachable code reached (block " +
-            std::to_string(block) + ")");
+    Violation v;
+    v.family = ViolationFamily::UnreachableBlock;
+    v.site = block;
+    v.thread = tid;
+    violate(std::move(v));
 }
 
 void
 InvariantChecker::onThreadStart(ThreadId tid, ThreadId, InstrId)
 {
-    if (config_.callContexts)
-        ctxState_[tid].hashStack.clear();
+    if (config_.callContexts) {
+        ThreadCtxState &state = ctxState_[tid];
+        state.hashStack.clear();
+        state.siteStack.clear();
+    }
 }
 
 void
@@ -102,33 +126,44 @@ InvariantChecker::onEvent(const exec::EventCtx &ctx)
             auto it = invariants_.calleeSets.find(ins.id);
             if (it != invariants_.calleeSets.end() &&
                 !it->second.count(ctx.calleeResolved)) {
-                violate("unexpected indirect-call target at site " +
-                        std::to_string(ins.id));
+                Violation v;
+                v.family = ViolationFamily::CalleeSet;
+                v.site = ins.id;
+                v.observed = ctx.calleeResolved;
+                v.thread = ctx.tid;
+                violate(std::move(v));
                 return;
             }
         }
         if (config_.callContexts) {
-            auto &stack = ctxState_[ctx.tid].hashStack;
+            ThreadCtxState &state = ctxState_[ctx.tid];
             const std::uint64_t parent =
-                stack.empty() ? 0x51ed270b0a1f39c1ULL : stack.back();
+                state.hashStack.empty() ? 0x51ed270b0a1f39c1ULL
+                                        : state.hashStack.back();
             const std::uint64_t hash =
                 inv::contextHashPush(parent, ins.id);
-            stack.push_back(hash);
+            state.hashStack.push_back(hash);
+            state.siteStack.push_back(ins.id);
             // Contexts deeper than the profiler records are exempt
             // (the profiler skips them symmetrically, by sharing
             // inv::kMaxContextDepth).
-            if (stack.size() <= inv::kMaxContextDepth &&
+            if (state.hashStack.size() <= inv::kMaxContextDepth &&
                 !confirmedContexts_.count(hash)) {
-                if (!contextBloom_.mayContain(hash)) {
-                    violate("unobserved call context at site " +
-                            std::to_string(ins.id));
-                    return;
+                const bool mayContain = contextBloom_.mayContain(hash);
+                bool confirmed = false;
+                if (mayContain) {
+                    // Bloom positive: confirm against the exact set.
+                    ++slowChecks_;
+                    confirmed = invariants_.contextHashes.count(hash) > 0;
                 }
-                // Bloom positive: confirm against the exact set.
-                ++slowChecks_;
-                if (!invariants_.contextHashes.count(hash)) {
-                    violate("unobserved call context at site " +
-                            std::to_string(ins.id));
+                if (!confirmed) {
+                    Violation v;
+                    v.family = ViolationFamily::CallContext;
+                    v.site = ins.id;
+                    v.observed = hash;
+                    v.thread = ctx.tid;
+                    v.contextChain = state.siteStack;
+                    violate(std::move(v));
                     return;
                 }
                 confirmedContexts_.insert(hash);
@@ -138,29 +173,48 @@ InvariantChecker::onEvent(const exec::EventCtx &ctx)
       }
       case ir::Opcode::Ret: {
         if (config_.callContexts) {
-            auto &stack = ctxState_[ctx.tid].hashStack;
-            if (!stack.empty())
-                stack.pop_back();
+            ThreadCtxState &state = ctxState_[ctx.tid];
+            if (!state.hashStack.empty()) {
+                state.hashStack.pop_back();
+                state.siteStack.pop_back();
+            }
         }
         break;
       }
       case ir::Opcode::Lock: {
-        auto partnersIt = lockPartners_.find(ins.id);
-        if (partnersIt == lockPartners_.end())
+        const auto siteIt = std::lower_bound(pairSites_.begin(),
+                                             pairSites_.end(), ins.id);
+        if (siteIt == pairSites_.end() || *siteIt != ins.id)
             break;
-        auto [boundIt, isNew] =
-            boundLockObject_.emplace(ins.id, ctx.obj);
-        if (!isNew && boundIt->second != ctx.obj) {
-            violate("lock site " + std::to_string(ins.id) +
-                    " locked a second object");
+        // Bindings are stored biased by +1: 0 means "not bound yet"
+        // (ObjectId 0 is a real object — the first global).
+        const exec::ObjectId biased = ctx.obj + 1;
+        exec::ObjectId &bound = boundLockObject_[ins.id];
+        if (bound == 0) {
+            bound = biased;
+        } else if (bound != biased) {
+            Violation v;
+            v.family = ViolationFamily::MustAliasLock;
+            v.site = ins.id;
+            v.partner = ins.id;
+            v.observed = ctx.obj;
+            v.thread = ctx.tid;
+            violate(std::move(v));
             return;
         }
-        for (InstrId partner : partnersIt->second) {
-            auto other = boundLockObject_.find(partner);
-            if (other != boundLockObject_.end() &&
-                other->second != ctx.obj) {
-                violate("must-alias lock pair (" + std::to_string(ins.id) +
-                        ", " + std::to_string(partner) + ") diverged");
+        const std::size_t idx = siteIt - pairSites_.begin();
+        for (std::uint32_t p = pairOffsets_[idx];
+             p < pairOffsets_[idx + 1]; ++p) {
+            const InstrId partner = pairPartners_[p];
+            const exec::ObjectId *other = boundLockObject_.find(partner);
+            if (other && *other != 0 && *other != biased) {
+                Violation v;
+                v.family = ViolationFamily::MustAliasLock;
+                v.site = ins.id;
+                v.partner = partner;
+                v.observed = ctx.obj;
+                v.thread = ctx.tid;
+                violate(std::move(v));
                 return;
             }
         }
@@ -168,8 +222,12 @@ InvariantChecker::onEvent(const exec::EventCtx &ctx)
       }
       case ir::Opcode::Spawn: {
         if (++spawnCounts_[ins.id] > 1) {
-            violate("singleton spawn site " + std::to_string(ins.id) +
-                    " spawned again");
+            Violation v;
+            v.family = ViolationFamily::SingletonSpawn;
+            v.site = ins.id;
+            v.observed = spawnCounts_[ins.id];
+            v.thread = ctx.tid;
+            violate(std::move(v));
         }
         break;
       }

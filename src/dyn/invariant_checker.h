@@ -13,8 +13,15 @@
  *  - lock sites involved in must-alias pairs;
  *  - likely-singleton spawn sites.
  *
- * On the first violated check it aborts the execution; the driver
- * rolls back and re-runs under traditional hybrid analysis.
+ * On the first violated check it aborts the execution with a typed
+ * dyn::Violation; the driver rolls back, re-runs under traditional
+ * hybrid analysis and — in adaptive mode — demotes the lying
+ * invariant so the rest of the corpus runs under a repaired plan.
+ *
+ * Per-event state lives in support::FlatMap / sorted flat vectors
+ * (lock bindings, spawn counts, pair adjacency), not node-based maps:
+ * these are touched on every delivered Lock/Spawn event, the same
+ * hot-path discipline as the FastTrack/Giri shadow state.
  */
 
 #pragma once
@@ -26,9 +33,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dyn/violation.h"
 #include "exec/interpreter.h"
 #include "invariants/invariant_set.h"
 #include "support/bloom_filter.h"
+#include "support/flat_map.h"
 
 namespace oha::dyn {
 
@@ -67,12 +76,15 @@ class InvariantChecker : public exec::Tool
     bool violated() const { return violated_; }
     const std::string &violationReason() const { return reason_; }
 
+    /** The typed first violation (family None when !violated()). */
+    const Violation &violation() const { return violation_; }
+
     /** Exact-set context probes that the Bloom filter + confirmed
      *  cache could not elide (the expensive path of Section 5.2.3). */
     std::uint64_t slowContextChecks() const { return slowChecks_; }
 
   private:
-    void violate(const std::string &reason);
+    void violate(Violation violation);
 
     const ir::Module &module_;
     const inv::InvariantSet &invariants_;
@@ -84,21 +96,28 @@ class InvariantChecker : public exec::Tool
     struct ThreadCtxState
     {
         std::vector<std::uint64_t> hashStack; ///< hash per depth
+        std::vector<InstrId> siteStack;       ///< call site per depth
     };
     std::unordered_map<ThreadId, ThreadCtxState> ctxState_;
     BloomFilter contextBloom_;
     std::unordered_set<std::uint64_t> confirmedContexts_;
 
     // Guarding-lock tracking: first object each checked site locked.
-    std::map<InstrId, exec::ObjectId> boundLockObject_;
-    /** site -> partner sites in must-alias pairs. */
-    std::map<InstrId, std::vector<InstrId>> lockPartners_;
+    support::FlatMap<exec::ObjectId> boundLockObject_;
+    /** Must-alias pair adjacency, CSR layout: pairSites_ sorted, the
+     *  partners of pairSites_[i] are pairPartners_[pairOffsets_[i] ..
+     *  pairOffsets_[i + 1]).  Single-object sites (reflexive pairs)
+     *  appear with an empty partner range. */
+    std::vector<InstrId> pairSites_;
+    std::vector<std::uint32_t> pairOffsets_;
+    std::vector<InstrId> pairPartners_;
 
     // Singleton-spawn tracking.
-    std::map<InstrId, std::uint32_t> spawnCounts_;
+    support::FlatMap<std::uint32_t> spawnCounts_;
 
     bool violated_ = false;
     std::string reason_;
+    Violation violation_;
     std::uint64_t slowChecks_ = 0;
 };
 

@@ -1,0 +1,61 @@
+#include "dyn/violation.h"
+
+namespace oha::dyn {
+
+const char *
+violationFamilyName(ViolationFamily family)
+{
+    switch (family) {
+      case ViolationFamily::None: return "none";
+      case ViolationFamily::UnreachableBlock: return "unreachable-block";
+      case ViolationFamily::CalleeSet: return "callee-set";
+      case ViolationFamily::CallContext: return "call-context";
+      case ViolationFamily::MustAliasLock: return "must-alias-lock";
+      case ViolationFamily::SingletonSpawn: return "singleton-spawn";
+      case ViolationFamily::ElidedLockRace: return "elided-lock-race";
+    }
+    return "none";
+}
+
+std::string
+Violation::describe() const
+{
+    switch (family) {
+      case ViolationFamily::None:
+        return "no violation";
+      case ViolationFamily::UnreachableBlock:
+        return "likely-unreachable code reached (block " +
+               std::to_string(site) + ")";
+      case ViolationFamily::CalleeSet:
+        return "unexpected indirect-call target at site " +
+               std::to_string(site);
+      case ViolationFamily::CallContext:
+        return "unobserved call context at site " + std::to_string(site);
+      case ViolationFamily::MustAliasLock:
+        if (partner == site)
+            return "lock site " + std::to_string(site) +
+                   " locked a second object";
+        return "must-alias lock pair (" + std::to_string(site) + ", " +
+               std::to_string(partner) + ") diverged";
+      case ViolationFamily::SingletonSpawn:
+        return "singleton spawn site " + std::to_string(site) +
+               " spawned again";
+      case ViolationFamily::ElidedLockRace:
+        return "race reported while lock elision was active";
+    }
+    return "no violation";
+}
+
+exec::AbortMetadata
+Violation::toAbortMetadata() const
+{
+    exec::AbortMetadata meta;
+    meta.kind = static_cast<std::uint32_t>(family);
+    meta.site = site;
+    meta.aux = partner;
+    meta.observed = observed;
+    meta.thread = thread;
+    return meta;
+}
+
+} // namespace oha::dyn

@@ -27,6 +27,26 @@ namespace oha::exec {
 class Interpreter;
 
 /**
+ * Structured metadata attached to an abort request.  A plain-data
+ * mirror of the aborting tool's diagnosis (for the invariant checker,
+ * a dyn::Violation): the field meanings are owned by the tool that
+ * raised the abort, the execution layer only carries them through to
+ * RunResult::abortMeta so drivers can act on *why* a speculative run
+ * died without parsing the reason string.  Kept POD so recorded and
+ * replayed runs can compare it field-for-field.
+ */
+struct AbortMetadata
+{
+    std::uint32_t kind = 0;     ///< tool-defined discriminator (0 = none)
+    std::uint64_t site = 0;     ///< primary site (instruction/block id)
+    std::uint64_t aux = 0;      ///< secondary site (e.g. partner lock)
+    std::uint64_t observed = 0; ///< offending observed value
+    std::uint32_t thread = 0;   ///< thread that tripped the check
+
+    bool operator==(const AbortMetadata &other) const = default;
+};
+
+/**
  * The control surface an event source offers to its tools.  Both the
  * live Interpreter and the TraceReplayer (trace.h) implement it, so a
  * tool that needs to stop the execution — the invariant checker on a
@@ -42,6 +62,17 @@ class ExecutionControl
      *  current instruction's remaining deliveries still happen; the
      *  run ends at the next instruction boundary. */
     virtual void requestAbort(std::string reason) = 0;
+
+    /** As above, with structured metadata surfaced through
+     *  RunResult::abortMeta.  The default drops the metadata, so
+     *  ExecutionControl implementations that predate it (and test
+     *  doubles) keep working unchanged. */
+    virtual void
+    requestAbort(std::string reason, const AbortMetadata &meta)
+    {
+        (void)meta;
+        requestAbort(std::move(reason));
+    }
 };
 
 /** Classes of runtime events, used for cost accounting. */

@@ -116,6 +116,15 @@ Interpreter::requestAbort(std::string reason)
 }
 
 void
+Interpreter::requestAbort(std::string reason, const AbortMetadata &meta)
+{
+    if (!abortRequested_) {
+        abortMeta_ = meta;
+        requestAbort(std::move(reason));
+    }
+}
+
+void
 Interpreter::buildDispatchTables()
 {
     const std::size_t numInstrs = module_.numInstrs();
@@ -592,6 +601,7 @@ Interpreter::run()
             if (abortRequested_) {
                 result.status = RunResult::Status::Aborted;
                 result.abortReason = abortReason_;
+                result.abortMeta = abortMeta_;
                 break;
             }
             if (steps_ >= config_.maxSteps) {

@@ -75,6 +75,9 @@ struct RunResult
 
     Status status = Status::Finished;
     std::string abortReason;
+    /** Structured metadata from the aborting tool (all-zero unless the
+     *  abort came through the metadata-carrying requestAbort). */
+    AbortMetadata abortMeta;
 
     /** (instruction, value) pairs emitted by Output, in order. */
     std::vector<std::pair<InstrId, std::int64_t>> outputs;
@@ -120,6 +123,8 @@ class Interpreter : public ExecutionControl
 
     /** Stop the execution from inside a tool callback. */
     void requestAbort(std::string reason) override;
+    void requestAbort(std::string reason,
+                      const AbortMetadata &meta) override;
 
     const ir::Module &module() const { return module_; }
 
@@ -227,6 +232,7 @@ class Interpreter : public ExecutionControl
 
     bool abortRequested_ = false;
     std::string abortReason_;
+    AbortMetadata abortMeta_;
     bool guestFault_ = false;
     std::string faultReason_;
 };

@@ -26,6 +26,15 @@ TraceReplayer::requestAbort(std::string reason)
     }
 }
 
+void
+TraceReplayer::requestAbort(std::string reason, const AbortMetadata &meta)
+{
+    if (!abortRequested_) {
+        abortMeta_ = meta;
+        requestAbort(std::move(reason));
+    }
+}
+
 RunResult
 TraceReplayer::run()
 {
@@ -229,10 +238,12 @@ TraceReplayer::run()
         (void)truncated;
         result.status = RunResult::Status::Aborted;
         result.abortReason = abortReason_;
+        result.abortMeta = abortMeta_;
         result.steps = stepsStarted;
     } else {
         result.status = trace_.result.status;
         result.abortReason = trace_.result.abortReason;
+        result.abortMeta = trace_.result.abortMeta;
         result.steps = trace_.result.steps;
         result.schedule = trace_.result.schedule;
         OHA_ASSERT(stepsStarted == trace_.result.steps,

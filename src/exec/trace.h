@@ -382,6 +382,8 @@ class TraceReplayer : public ExecutionControl
     RunResult run();
 
     void requestAbort(std::string reason) override;
+    void requestAbort(std::string reason,
+                      const AbortMetadata &meta) override;
 
   private:
     struct Attachment
@@ -396,6 +398,7 @@ class TraceReplayer : public ExecutionControl
 
     bool abortRequested_ = false;
     std::string abortReason_;
+    AbortMetadata abortMeta_;
 };
 
 } // namespace oha::exec

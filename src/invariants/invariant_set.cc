@@ -2,7 +2,84 @@
 
 #include <sstream>
 
+#include "dyn/violation.h"
+
 namespace oha::inv {
+
+bool
+InvariantSet::demote(const dyn::Violation &violation)
+{
+    using dyn::ViolationFamily;
+    switch (violation.family) {
+      case ViolationFamily::UnreachableBlock: {
+        const BlockId block = violation.site;
+        if (visitedBlocks.contains(block))
+            return false;
+        visitedBlocks.insert(block);
+        return true;
+      }
+      case ViolationFamily::CalleeSet: {
+        // Widen, don't drop: to the predicated analyses a missing
+        // entry means the site never executes at all (profiler output
+        // only omits sites in likely-unreachable code), which would
+        // make the repaired plan *stronger* with no check guarding it.
+        auto it = calleeSets.find(violation.site);
+        if (it == calleeSets.end())
+            return false;
+        return it->second.insert(static_cast<FuncId>(violation.observed))
+            .second;
+      }
+      case ViolationFamily::CallContext: {
+        // Admit the offending chain plus every prefix — the same
+        // closure the profiler maintains, so saveText/loadText and
+        // the checker's incremental hashes stay consistent.
+        bool changed = false;
+        CallContext prefix;
+        prefix.reserve(violation.contextChain.size());
+        for (InstrId site : violation.contextChain) {
+            prefix.push_back(site);
+            if (callContexts.insert(prefix).second) {
+                contextHashes.insert(contextHash(prefix));
+                changed = true;
+            }
+        }
+        return changed;
+      }
+      case ViolationFamily::MustAliasLock: {
+        if (violation.partner == violation.site) {
+            // The site itself is not single-object: no pair that
+            // includes it can survive.
+            bool changed = false;
+            for (auto it = mustAliasLocks.begin();
+                 it != mustAliasLocks.end();) {
+                if (it->first == violation.site ||
+                    it->second == violation.site) {
+                    it = mustAliasLocks.erase(it);
+                    changed = true;
+                } else {
+                    ++it;
+                }
+            }
+            return changed;
+        }
+        InstrId a = violation.site;
+        InstrId b = violation.partner;
+        if (a > b)
+            std::swap(a, b);
+        return mustAliasLocks.erase({a, b}) > 0;
+      }
+      case ViolationFamily::SingletonSpawn:
+        return singletonSpawnSites.erase(violation.site) > 0;
+      case ViolationFamily::ElidedLockRace: {
+        const bool changed = !elidableLockSites.empty();
+        elidableLockSites.clear();
+        return changed;
+      }
+      case ViolationFamily::None:
+        return false;
+    }
+    return false;
+}
 
 std::size_t
 InvariantSet::factCount() const

@@ -23,6 +23,10 @@
 #include "support/common.h"
 #include "support/sparse_bit_set.h"
 
+namespace oha::dyn {
+struct Violation;
+} // namespace oha::dyn
+
 namespace oha::inv {
 
 /** A call context: chain of call-site instruction ids, outermost first. */
@@ -120,6 +124,25 @@ struct InvariantSet
         for (const CallContext &context : callContexts)
             contextHashes.insert(contextHash(context));
     }
+
+    /**
+     * Remove exactly the fact @p violation disproved — the repair
+     * step of adaptive misspeculation recovery (driven by
+     * runOptFt/runOptSlice after a rollback).  By family:
+     *  - UnreachableBlock: mark the block visited (it is reachable);
+     *  - CalleeSet: admit the observed target into the site's set (a
+     *    *missing* entry means "the site never executes" to the
+     *    predicated analyses — LUC guards that — so the set must be
+     *    widened, never dropped);
+     *  - CallContext: admit the observed chain and all its prefixes;
+     *  - MustAliasLock: a single-site rebind removes every pair the
+     *    site participates in; a pair divergence removes that pair;
+     *  - SingletonSpawn: drop the site from the singleton set;
+     *  - ElidedLockRace: withdraw lock elision entirely (the rollback
+     *    predicate is global, so no one site can be blamed).
+     * Returns whether anything changed.
+     */
+    bool demote(const dyn::Violation &violation);
 
     /** Total number of individual invariant facts (for convergence). */
     std::size_t factCount() const;

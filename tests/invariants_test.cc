@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dyn/violation.h"
 #include "invariants/invariant_set.h"
 
 namespace oha::inv {
@@ -105,6 +106,117 @@ TEST(InvariantSet, BlockVisitedOutOfRangeIsFalse)
     EXPECT_FALSE(set.blockVisited(1000));
     EXPECT_TRUE(set.blockVisited(3));
     EXPECT_FALSE(set.blockVisited(4));
+}
+
+dyn::Violation
+violation(dyn::ViolationFamily family, InstrId site,
+          InstrId partner = kNoInstr)
+{
+    dyn::Violation v;
+    v.family = family;
+    v.site = site;
+    v.partner = partner;
+    return v;
+}
+
+TEST(InvariantDemotion, UnreachableBlockBecomesVisited)
+{
+    InvariantSet set = sample();
+    ASSERT_FALSE(set.blockVisited(4));
+    EXPECT_TRUE(
+        set.demote(violation(dyn::ViolationFamily::UnreachableBlock, 4)));
+    EXPECT_TRUE(set.blockVisited(4));
+    // Already repaired: nothing left to remove.
+    EXPECT_FALSE(
+        set.demote(violation(dyn::ViolationFamily::UnreachableBlock, 4)));
+}
+
+TEST(InvariantDemotion, CalleeSetAdmitsTheObservedTarget)
+{
+    InvariantSet set = sample();
+    ASSERT_EQ(set.calleeSets.at(42), (std::set<FuncId>{1, 2}));
+    dyn::Violation v = violation(dyn::ViolationFamily::CalleeSet, 42);
+    v.observed = 9;
+    EXPECT_TRUE(set.demote(v));
+    // Widened, never dropped: a missing entry would read as "the site
+    // never executes" to the predicated analyses.
+    EXPECT_EQ(set.calleeSets.at(42), (std::set<FuncId>{1, 2, 9}));
+    EXPECT_EQ(set.calleeSets.at(77), std::set<FuncId>{0})
+        << "other sites untouched";
+    EXPECT_FALSE(set.demote(v)) << "target already admitted";
+    // A violation at an unknown site is unrepairable (the checker
+    // never watches such sites, so this cannot happen organically).
+    dyn::Violation stray = violation(dyn::ViolationFamily::CalleeSet, 5);
+    stray.observed = 1;
+    EXPECT_FALSE(set.demote(stray));
+}
+
+TEST(InvariantDemotion, CallContextInsertsChainAndPrefixes)
+{
+    InvariantSet set = sample();
+    dyn::Violation v =
+        violation(dyn::ViolationFamily::CallContext, 9);
+    v.contextChain = {5, 9, 13};
+    ASSERT_FALSE(set.callContexts.count({5, 9, 13}));
+    EXPECT_TRUE(set.demote(v));
+    EXPECT_TRUE(set.callContexts.count({5, 9, 13}));
+    EXPECT_TRUE(set.callContexts.count({5, 9})) << "prefixes too";
+    EXPECT_TRUE(set.contextHashes.count(contextHash({5, 9, 13})))
+        << "hash index updated incrementally";
+    EXPECT_EQ(set.contextHashes.size(), set.callContexts.size());
+    EXPECT_FALSE(set.demote(v)) << "chain already admitted";
+}
+
+TEST(InvariantDemotion, MustAliasPairErased)
+{
+    InvariantSet set = sample();
+    ASSERT_TRUE(set.locksMustAlias(11, 23));
+    // Pair divergence removes the (normalized) pair only.
+    EXPECT_TRUE(
+        set.demote(violation(dyn::ViolationFamily::MustAliasLock, 23, 11)));
+    EXPECT_FALSE(set.locksMustAlias(11, 23));
+    EXPECT_TRUE(set.mustAliasLocks.count({11, 11}))
+        << "reflexive fact survives a pair divergence";
+}
+
+TEST(InvariantDemotion, RebindErasesEveryPairTouchingTheSite)
+{
+    InvariantSet set = sample();
+    // partner == site encodes a single-site rebind: the site is not
+    // single-object, so every pair built on it is unsound.
+    EXPECT_TRUE(
+        set.demote(violation(dyn::ViolationFamily::MustAliasLock, 11, 11)));
+    EXPECT_TRUE(set.mustAliasLocks.empty());
+    EXPECT_FALSE(
+        set.demote(violation(dyn::ViolationFamily::MustAliasLock, 11, 11)));
+}
+
+TEST(InvariantDemotion, SingletonSpawnErased)
+{
+    InvariantSet set = sample();
+    EXPECT_TRUE(
+        set.demote(violation(dyn::ViolationFamily::SingletonSpawn, 31)));
+    EXPECT_FALSE(set.singletonSpawnSites.count(31));
+    EXPECT_FALSE(
+        set.demote(violation(dyn::ViolationFamily::SingletonSpawn, 31)));
+}
+
+TEST(InvariantDemotion, ElidedLockRaceClearsAllElisions)
+{
+    InvariantSet set = sample();
+    ASSERT_FALSE(set.elidableLockSites.empty());
+    EXPECT_TRUE(
+        set.demote(violation(dyn::ViolationFamily::ElidedLockRace, 0)));
+    EXPECT_TRUE(set.elidableLockSites.empty());
+    EXPECT_FALSE(
+        set.demote(violation(dyn::ViolationFamily::ElidedLockRace, 0)));
+}
+
+TEST(InvariantDemotion, NoneIsNotDemotable)
+{
+    InvariantSet set = sample();
+    EXPECT_FALSE(set.demote(violation(dyn::ViolationFamily::None, 0)));
+    EXPECT_TRUE(set == sample());
 }
 
 } // namespace
