@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Analysis-daemon throughput benchmark: the service's steady-state
+ * win over batch mode is the shared cross-request cache.
+ *
+ * Protocol:
+ *
+ *  1. Parity: one race and one slice workload run once in batch mode
+ *     (direct runOptFt/runOptSlice calls on a cold cache) and then
+ *     through the service at 1 and 4 shards.  The field comparison
+ *     must match exactly — the determinism contract says the service
+ *     is just a scheduler around pure pipeline functions.
+ *
+ *  2. Cold pass: reset the shared cache, submit a mixed corpus of
+ *     race + slice requests to a 4-shard daemon, collect per-request
+ *     latency (queue + run wall time) and requests/sec.  Every static
+ *     solve and trace capture misses.
+ *
+ *  3. Warm pass: rebuild every workload from scratch (NEW module
+ *     objects — the cache is value-keyed, not pointer-keyed) and
+ *     submit the same corpus again.  The static phase and the trace
+ *     captures all hit; the acceptance bar is a >= 90% cache hit rate
+ *     and a warm p50 latency below 50% of cold p50.
+ *
+ * OHA_BENCH_SMOKE=1 shrinks the corpus for CI.  JSON output:
+ * BENCH_service_throughput.json.
+ */
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "analysis/andersen_cache.h"
+#include "service/analysis_service.h"
+#include "workloads/workloads.h"
+
+using namespace oha;
+
+namespace {
+
+bool
+smokeMode()
+{
+    const char *env = std::getenv("OHA_BENCH_SMOKE");
+    return env && *env && *env != '0';
+}
+
+/** Percentile over a copy of @p values (nearest-rank). */
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    const std::size_t rank = std::min(
+        values.size() - 1,
+        static_cast<std::size_t>(p / 100.0 * double(values.size())));
+    return values[rank];
+}
+
+struct Corpus
+{
+    std::vector<std::string> race;
+    std::vector<std::string> slice;
+    std::size_t profileRuns;
+    std::size_t raceTestRuns;
+    std::size_t sliceTestRuns;
+
+    std::size_t size() const { return race.size() + slice.size(); }
+
+    /** Build request @p i from scratch — fresh module objects every
+     *  call, so warm-pass hits prove the cache is value-keyed. */
+    service::AnalysisRequest
+    request(std::size_t i) const
+    {
+        service::AnalysisRequest request;
+        request.workload =
+            i < race.size()
+                ? workloads::makeRaceWorkload(race[i], profileRuns,
+                                              raceTestRuns)
+                : workloads::makeSliceWorkload(slice[i - race.size()],
+                                               profileRuns, sliceTestRuns);
+        return request;
+    }
+};
+
+struct PassStats
+{
+    double wallMs = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double requestsPerSec = 0;
+    double hitRate = 0;
+};
+
+/** Submit the whole corpus to a fresh @p shards-shard daemon and
+ *  measure latency distribution plus the shared-cache hit rate. */
+PassStats
+runPass(const Corpus &corpus, std::size_t shards)
+{
+    const auto before = analysis::andersenCacheStats();
+
+    service::ServiceConfig config;
+    config.shards = shards;
+    config.maxQueueDepth = corpus.size() + 1;
+    service::AnalysisService daemon(config);
+
+    const double t0 = bench::nowMs();
+    std::vector<std::future<service::ServiceRunResult>> futures;
+    futures.reserve(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        futures.push_back(daemon.submit(corpus.request(i)));
+
+    std::vector<double> latencies;
+    latencies.reserve(futures.size());
+    for (auto &future : futures) {
+        const auto result = future.get();
+        if (result.outcome != service::RequestOutcome::Done) {
+            std::fprintf(stderr, "request failed: %s\n",
+                         result.error.c_str());
+            std::abort();
+        }
+        latencies.push_back(result.queueMs + result.runMs);
+    }
+    daemon.drain();
+
+    PassStats stats;
+    stats.wallMs = bench::nowMs() - t0;
+    stats.p50 = percentile(latencies, 50);
+    stats.p95 = percentile(latencies, 95);
+    stats.requestsPerSec =
+        stats.wallMs > 0 ? double(corpus.size()) / (stats.wallMs / 1000.0)
+                         : 0;
+
+    const auto after = analysis::andersenCacheStats();
+    const std::uint64_t hits = after.hits - before.hits;
+    const std::uint64_t misses = (after.misses - before.misses) +
+                                 (after.verifiedMisses -
+                                  before.verifiedMisses);
+    stats.hitRate =
+        hits + misses > 0 ? double(hits) / double(hits + misses) : 0;
+    return stats;
+}
+
+bool
+sameFtResult(const core::OptFtResult &a, const core::OptFtResult &b)
+{
+    return a.name == b.name && a.testRuns == b.testRuns &&
+           a.soundStaticSeconds == b.soundStaticSeconds &&
+           a.predStaticSeconds == b.predStaticSeconds &&
+           a.misSpeculations == b.misSpeculations &&
+           a.racesObserved == b.racesObserved &&
+           a.raceReportsMatch == b.raceReportsMatch &&
+           a.speedupVsFastTrack == b.speedupVsFastTrack &&
+           a.speedupVsHybrid == b.speedupVsHybrid &&
+           a.interpretedSteps == b.interpretedSteps &&
+           a.optFt.total() == b.optFt.total() &&
+           a.hybridFt.total() == b.hybridFt.total();
+}
+
+bool
+sameSliceResult(const core::OptSliceResult &a, const core::OptSliceResult &b)
+{
+    return a.name == b.name && a.testRuns == b.testRuns &&
+           a.endpoints == b.endpoints &&
+           a.misSpeculations == b.misSpeculations &&
+           a.sliceResultsMatch == b.sliceResultsMatch &&
+           a.soundSliceSize == b.soundSliceSize &&
+           a.optSliceSize == b.optSliceSize &&
+           a.dynSpeedup == b.dynSpeedup &&
+           a.interpretedSteps == b.interpretedSteps &&
+           a.optimistic.total() == b.optimistic.total() &&
+           a.hybrid.total() == b.hybrid.total();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Service throughput: persistent daemon + shared cross-request cache",
+        "amortize predicated static analysis and trace capture across "
+        "requests instead of paying them per invocation");
+
+    const bool smoke = smokeMode();
+    Corpus corpus;
+    {
+        const auto &race = workloads::raceWorkloadNames();
+        const auto &slice = workloads::sliceWorkloadNames();
+        const std::size_t raceCount = smoke ? 3 : 8;
+        const std::size_t sliceCount = smoke ? 1 : 4;
+        corpus.race.assign(race.begin(),
+                           race.begin() +
+                               std::min(raceCount, race.size()));
+        corpus.slice.assign(slice.begin(),
+                            slice.begin() +
+                                std::min(sliceCount, slice.size()));
+        // Small corpora on purpose: the shared cache carries the
+        // static phase, the trace captures and the profiling
+        // observations, but the per-configuration dynamic tools
+        // (FastTrack/Giri over the testing inputs) run live in every
+        // pass — the smaller the testing corpus, the closer the
+        // measurement is to the cacheable share of a steady-state
+        // daemon request.
+        corpus.profileRuns = smoke ? 2 : 4;
+        corpus.raceTestRuns = 2;
+        corpus.sliceTestRuns = 2;
+    }
+
+    bench::JsonReport json("service_throughput");
+
+    // ---- 1. Service-vs-batch parity at 1 and 4 shards ---------------
+    analysis::resetAndersenCache();
+    const auto batchFt =
+        core::runOptFt(workloads::makeRaceWorkload(
+                           corpus.race.front(), corpus.profileRuns,
+                           corpus.raceTestRuns),
+                       {});
+    const auto batchSlice =
+        core::runOptSlice(workloads::makeSliceWorkload(
+                              corpus.slice.front(), corpus.profileRuns,
+                              corpus.sliceTestRuns),
+                          {});
+    bool parityOk = true;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+        service::ServiceConfig config;
+        config.shards = shards;
+        service::AnalysisService daemon(config);
+        auto ftFuture = daemon.submit(corpus.request(0));
+        auto sliceFuture = daemon.submit(corpus.request(corpus.race.size()));
+        const auto ft = ftFuture.get();
+        const auto slice = sliceFuture.get();
+        const bool ok =
+            ft.outcome == service::RequestOutcome::Done &&
+            slice.outcome == service::RequestOutcome::Done &&
+            ft.ft.has_value() && slice.slice.has_value() &&
+            sameFtResult(batchFt, *ft.ft) &&
+            sameSliceResult(batchSlice, *slice.slice);
+        parityOk = parityOk && ok;
+        json.metric("parity", "shards_" + std::to_string(shards),
+                    "matches_batch", ok ? 1 : 0);
+        std::printf("parity @ %zu shards: %s\n", shards,
+                    ok ? "MATCH" : "MISMATCH");
+    }
+
+    // ---- 2+3. Cold pass vs warm pass --------------------------------
+    analysis::resetAndersenCache();
+    const PassStats cold = runPass(corpus, 4);
+    const PassStats warm = runPass(corpus, 4);
+
+    TextTable table({"pass", "wall ms", "req/s", "p50 ms", "p95 ms",
+                     "cache hit rate"});
+    auto row = [&](const char *pass, const PassStats &s) {
+        table.addRow({pass, fmtDouble(s.wallMs, 1),
+                      fmtDouble(s.requestsPerSec, 1), fmtDouble(s.p50, 2),
+                      fmtDouble(s.p95, 2), fmtDouble(s.hitRate * 100, 1) +
+                                               "%"});
+        const std::string variant = pass;
+        json.metric("corpus", variant, "wall_ms", s.wallMs);
+        json.metric("corpus", variant, "requests_per_sec",
+                    s.requestsPerSec);
+        json.metric("corpus", variant, "p50_ms", s.p50);
+        json.metric("corpus", variant, "p95_ms", s.p95);
+        json.metric("corpus", variant, "cache_hit_rate", s.hitRate);
+    };
+    row("cold", cold);
+    row("warm", warm);
+    std::printf("%s\n", table.str().c_str());
+
+    const double p50Ratio = cold.p50 > 0 ? warm.p50 / cold.p50 : 0;
+    json.metric("corpus", "warm", "p50_vs_cold", p50Ratio);
+    std::printf("requests: %zu (%zu race + %zu slice)\n", corpus.size(),
+                corpus.race.size(), corpus.slice.size());
+    std::printf("warm hit rate: %.1f%% (bar: >= 90%%)\n",
+                warm.hitRate * 100);
+    std::printf("warm p50 / cold p50: %.2f (bar: < 0.50)\n", p50Ratio);
+
+    bool ok = parityOk;
+    if (warm.hitRate < 0.9) {
+        std::printf("WARNING: warm hit rate below the 90%% bar\n");
+        ok = false;
+    }
+    if (p50Ratio >= 0.5) {
+        std::printf("WARNING: warm p50 not under half of cold p50\n");
+        ok = false;
+    }
+    if (!parityOk)
+        std::printf("WARNING: service/batch parity mismatch\n");
+
+    json.write();
+    return ok ? 0 : 1;
+}

@@ -14,6 +14,11 @@
 #                        # recovery tests under OHA_FAULT_SEED 1..3,
 #                        # each at OHA_THREADS=1 and 4 (seeded faults
 #                        # must repair identically at any thread count)
+#   ci/run.sh service    # ThreadSanitizer build of the analysis-daemon
+#                        # stack: the service/shared-cache test suite,
+#                        # then a smoke run of the service_throughput
+#                        # bench (parity + hit-rate + latency bars),
+#                        # leaving BENCH_service_throughput.json
 #
 # All test jobs run the same ctest suite; the sanitizer jobs exist to
 # catch memory errors and data races in the parallel static-phase and
@@ -75,9 +80,23 @@ faults)
         done
     done
     ;;
+service)
+    build_dir=build-ci-tsan
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DOHA_SANITIZE=thread
+    cmake --build "$build_dir" -j "$jobs"
+    # The concurrent pieces of the daemon under TSan: the request
+    # queue, the service itself, and the shared cross-request cache
+    # (including the torture test).
+    OHA_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
+        -R 'RequestQueue|AnalysisService|LruList|SharedCache|ConfiguredThreads'
+    # Smoke throughput run; the binary exits non-zero if the parity,
+    # warm-hit-rate, or warm-latency acceptance bars fail.
+    OHA_BENCH_SMOKE=1 OHA_THREADS=4 "$build_dir"/bench/service_throughput
+    ;;
 *)
     echo "unknown job '$job' (expected: plain | sanitize | tsan | bench |" \
-        "bench-release | faults)" >&2
+        "bench-release | faults | service)" >&2
     exit 2
     ;;
 esac

@@ -44,6 +44,30 @@ AndersenResult::AndersenResult(AndersenResult &&) noexcept = default;
 AndersenResult &
 AndersenResult::operator=(AndersenResult &&) noexcept = default;
 
+std::size_t
+AndersenResult::byteSizeEstimate() const
+{
+    // Deliberately rough: the point is that big results charge the
+    // shared cache budget in proportion to their real footprint, not
+    // byte-exact accounting.  The hash-consed pts pool dominates.
+    std::size_t bytes = sizeof(*this);
+    bytes += regBase_.capacity() * sizeof(std::uint32_t);
+    bytes += ptsIdx_.capacity() * sizeof(std::uint32_t);
+    bytes += repr_.capacity() * sizeof(std::uint32_t);
+    for (const SparseBitSet &set : ptsPool_)
+        bytes += set.byteSizeEstimate();
+    for (const std::vector<std::uint32_t> &instances : funcInstances_)
+        bytes += sizeof(instances) +
+                 instances.capacity() * sizeof(std::uint32_t);
+    // Red-black tree node overhead on top of the payload.
+    bytes += callEdges_.size() *
+             (sizeof(std::tuple<std::uint32_t, InstrId, FuncId>) +
+              sizeof(std::uint32_t) + 48);
+    for (const ContextInstance &ctx : contexts)
+        bytes += sizeof(ctx) + ctx.chain.size() * sizeof(InstrId);
+    return bytes;
+}
+
 std::uint32_t
 AndersenResult::nodeOf(std::uint32_t ctx, ir::Reg reg) const
 {

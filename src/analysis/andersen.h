@@ -149,6 +149,10 @@ class AndersenResult
     double aliasRate(const ir::Module &module,
                      const inv::InvariantSet *filter = nullptr) const;
 
+    /** Approximate heap footprint (excluding the module and the
+     *  lazily-filled query cache), for cache byte budgeting. */
+    std::size_t byteSizeEstimate() const;
+
   private:
     friend class AndersenSolver;
 

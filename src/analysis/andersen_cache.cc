@@ -4,22 +4,19 @@
 #include <mutex>
 #include <string>
 #include <tuple>
+#include <utility>
 
 #include "invariants/invariant_set.h"
 #include "ir/printer.h"
+#include "service/shared_cache.h"
 
 namespace oha::analysis {
 
 namespace {
 
-std::uint64_t
-fnv1a(const std::string &text)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (unsigned char c : text)
-        h = (h ^ c) * 0x100000001b3ULL;
-    return h;
-}
+using service::Fingerprint;
+using service::LruList;
+using service::SharedCache;
 
 /** Solver options packed into a comparable key. */
 std::uint64_t
@@ -35,6 +32,26 @@ optionsKey(const AndersenOptions &options)
     return key;
 }
 
+Fingerprint
+invariantFingerprint(const inv::InvariantSet *invariants)
+{
+    return invariants ? service::fingerprintText(invariants->saveText())
+                      : Fingerprint{};
+}
+
+Fingerprint
+endpointsFingerprint(const std::vector<InstrId> &endpoints)
+{
+    std::string packed;
+    packed.reserve(endpoints.size() * sizeof(InstrId));
+    for (InstrId endpoint : endpoints) {
+        for (unsigned shift = 0; shift < 32; shift += 8)
+            packed.push_back(
+                static_cast<char>((endpoint >> shift) & 0xff));
+    }
+    return service::fingerprintText(packed);
+}
+
 struct CacheKey
 {
     std::uint64_t moduleFp;
@@ -47,13 +64,6 @@ struct CacheKey
         return std::tie(moduleFp, invariantFp, options) <
                std::tie(other.moduleFp, other.invariantFp, other.options);
     }
-};
-
-struct CacheEntry
-{
-    /** Results reference the module internally; keep it alive. */
-    std::shared_ptr<const ir::Module> module;
-    std::shared_ptr<const AndersenResult> result;
 };
 
 /** Key for the higher-level (detector / slice-set) memo layers. */
@@ -73,52 +83,137 @@ struct StaticKey
     }
 };
 
-struct RaceEntry
+/** The independent second fingerprints verified on every hit.  The
+ *  primary fingerprints form the map key; a key match with a
+ *  verification mismatch is a real 64-bit collision and is served as
+ *  a fresh solve (the colliding entry is evicted). */
+struct VerifyFps
 {
+    std::uint64_t module = 0;
+    std::uint64_t invariant = 0;
+    std::uint64_t aux = 0;
+
+    bool
+    operator==(const VerifyFps &other) const
+    {
+        return module == other.module && invariant == other.invariant &&
+               aux == other.aux;
+    }
+};
+
+template <typename Result>
+struct Entry
+{
+    VerifyFps verify;
+    /** Results reference the module internally; the entry keeps it
+     *  alive until evicted. */
     std::shared_ptr<const ir::Module> module;
-    std::shared_ptr<const StaticRaceResult> result;
+    std::shared_ptr<const Result> result;
+    LruList::Handle handle;
 };
 
-struct SliceEntry
+/** The andersen_cache section of the shared cache: typed maps whose
+ *  entries are linked into the shared LRU/byte-budget spine. */
+struct Section
 {
-    std::shared_ptr<const ir::Module> module;
-    std::shared_ptr<const SliceSetResult> result;
+    std::map<CacheKey, Entry<AndersenResult>> andersen;
+    std::map<StaticKey, Entry<StaticRaceResult>> race;
+    std::map<StaticKey, Entry<SliceSetResult>> slice;
 };
 
-struct Cache
+/**
+ * The section singleton, registered with the shared cache on first
+ * use.  Callers MUST materialize this before taking the spine mutex
+ * (registration itself takes that mutex).
+ */
+Section &
+section()
 {
-    std::mutex mutex;
-    std::map<CacheKey, CacheEntry> entries;
-    std::map<StaticKey, RaceEntry> raceEntries;
-    std::map<StaticKey, SliceEntry> sliceEntries;
-    /** Module fingerprints are expensive (they print the module);
-     *  memoize by object identity, kept valid by the keepalive. */
-    std::map<const ir::Module *, std::pair<std::shared_ptr<const ir::Module>,
-                                           std::uint64_t>>
-        moduleFps;
-    AndersenCacheStats stats;
-};
-
-Cache &
-cache()
-{
-    static Cache instance;
-    return instance;
+    static Section *instance = [] {
+        auto *s = new Section;
+        SharedCache::instance().registerSection([s] {
+            s->andersen.clear();
+            s->race.clear();
+            s->slice.clear();
+        });
+        return s;
+    }();
+    return *instance;
 }
 
-std::uint64_t
-moduleFingerprint(const std::shared_ptr<const ir::Module> &module)
+/**
+ * Probe @p map for @p key under the (held) spine lock.  A hit is
+ * verified against @p verify; a verification mismatch evicts the
+ * colliding entry and reports a miss.  Returns null on miss.
+ */
+template <typename Map>
+auto
+probeLocked(SharedCache &sc, Map &map,
+            const typename Map::key_type &key, const VerifyFps &verify)
+    -> decltype(map.begin()->second.result)
 {
-    {
-        std::lock_guard<std::mutex> lock(cache().mutex);
-        auto it = cache().moduleFps.find(module.get());
-        if (it != cache().moduleFps.end())
-            return it->second.second;
+    auto it = map.find(key);
+    if (it == map.end()) {
+        sc.noteMiss();
+        return nullptr;
     }
-    const std::uint64_t fp = fnv1a(ir::printModule(*module));
-    std::lock_guard<std::mutex> lock(cache().mutex);
-    cache().moduleFps.emplace(module.get(), std::make_pair(module, fp));
-    return fp;
+    if (!(it->second.verify == verify)) {
+        sc.noteVerifiedMiss();
+        sc.lru().remove(it->second.handle);
+        map.erase(it);
+        return nullptr;
+    }
+    sc.noteHit();
+    sc.lru().touch(it->second.handle);
+    return it->second.result;
+}
+
+/**
+ * Insert a freshly-computed entry under the (held) spine lock.
+ *
+ *  - If @p gen no longer matches the cache generation, a reset
+ *    happened while the solve ran: the result is returned to the
+ *    caller but NOT cached (a stale insert would pin a pre-reset
+ *    result under first-insert-wins).
+ *  - If a concurrent solver won the race to this key, its (verified)
+ *    result is shared and ours discarded — one object per key.
+ *  - Otherwise the entry joins the LRU spine with @p bytes charged
+ *    against the shared budget, evicting cold entries as needed.
+ */
+template <typename Map, typename Result>
+std::shared_ptr<const Result>
+insertLocked(SharedCache &sc, Map &map,
+             const typename Map::key_type &key, VerifyFps verify,
+             std::shared_ptr<const ir::Module> module,
+             std::shared_ptr<const Result> result, std::size_t bytes,
+             std::uint64_t gen)
+{
+    if (gen != sc.generation()) {
+        sc.noteStaleDrop();
+        return result;
+    }
+    auto it = map.find(key);
+    if (it != map.end()) {
+        if (it->second.verify == verify)
+            return it->second.result; // first insert wins
+        // The concurrent winner is a colliding entry (different
+        // verification fingerprints): replace it with ours.
+        sc.lru().remove(it->second.handle);
+        map.erase(it);
+    }
+    Entry<Result> entry;
+    entry.verify = verify;
+    entry.module = std::move(module);
+    entry.result = std::move(result);
+    auto [pos, inserted] = map.emplace(key, std::move(entry));
+    OHA_ASSERT(inserted);
+    pos->second.handle =
+        sc.lru().insert(bytes, [&map, key] { map.erase(key); });
+    std::shared_ptr<const Result> shared = pos->second.result;
+    // May evict anything cold — including, for an oversized result,
+    // the entry just inserted; `shared` keeps the result valid.
+    sc.enforceBudget();
+    return shared;
 }
 
 } // namespace
@@ -129,20 +224,26 @@ runAndersenMemo(const std::shared_ptr<const ir::Module> &module,
 {
     OHA_ASSERT(module && module->finalized());
 
-    CacheKey key;
-    key.moduleFp = moduleFingerprint(module);
-    key.invariantFp =
-        options.invariants ? fnv1a(options.invariants->saveText()) : 0;
-    key.options = optionsKey(options);
+    Section &sec = section();
+    SharedCache &sc = SharedCache::instance();
 
+    const Fingerprint moduleFp = service::fingerprintModule(module);
+    const Fingerprint invariantFp = invariantFingerprint(options.invariants);
+
+    CacheKey key;
+    key.moduleFp = moduleFp.primary;
+    key.invariantFp = invariantFp.primary;
+    key.options = optionsKey(options);
+    VerifyFps verify;
+    verify.module = moduleFp.secondary;
+    verify.invariant = invariantFp.secondary;
+
+    std::uint64_t gen = 0;
     {
-        std::lock_guard<std::mutex> lock(cache().mutex);
-        auto it = cache().entries.find(key);
-        if (it != cache().entries.end()) {
-            ++cache().stats.hits;
-            return it->second.result;
-        }
-        ++cache().stats.misses;
+        std::lock_guard<std::mutex> lock(sc.mutex());
+        gen = sc.generation();
+        if (auto hit = probeLocked(sc, sec.andersen, key, verify))
+            return hit;
     }
 
     // Solve outside the lock.  Sound CS runs reuse the memoized CI
@@ -163,12 +264,10 @@ runAndersenMemo(const std::shared_ptr<const ir::Module> &module,
 
     auto result =
         std::make_shared<const AndersenResult>(std::move(computed));
-    std::lock_guard<std::mutex> lock(cache().mutex);
-    auto [it, inserted] =
-        cache().entries.emplace(key, CacheEntry{module, result});
-    // First insert wins: a concurrent solver may have beaten us here;
-    // everyone shares its result so clients see one object per key.
-    return it->second.result;
+    const std::size_t bytes = result->byteSizeEstimate();
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    return insertLocked(sc, sec.andersen, key, verify, module,
+                        std::move(result), bytes, gen);
 }
 
 std::shared_ptr<const StaticRaceResult>
@@ -177,30 +276,37 @@ runStaticRaceDetectorMemo(const std::shared_ptr<const ir::Module> &module,
 {
     OHA_ASSERT(module && module->finalized());
 
+    Section &sec = section();
+    SharedCache &sc = SharedCache::instance();
+
+    const Fingerprint moduleFp = service::fingerprintModule(module);
+    const Fingerprint invariantFp = invariantFingerprint(invariants);
+
     StaticKey key;
-    key.moduleFp = moduleFingerprint(module);
-    key.invariantFp = invariants ? fnv1a(invariants->saveText()) : 0;
+    key.moduleFp = moduleFp.primary;
+    key.invariantFp = invariantFp.primary;
     key.configKey = 0;
     key.auxFp = 0;
+    VerifyFps verify;
+    verify.module = moduleFp.secondary;
+    verify.invariant = invariantFp.secondary;
 
+    std::uint64_t gen = 0;
     {
-        std::lock_guard<std::mutex> lock(cache().mutex);
-        auto it = cache().raceEntries.find(key);
-        if (it != cache().raceEntries.end()) {
-            ++cache().stats.hits;
-            return it->second.result;
-        }
-        ++cache().stats.misses;
+        std::lock_guard<std::mutex> lock(sc.mutex());
+        gen = sc.generation();
+        if (auto hit = probeLocked(sc, sec.race, key, verify))
+            return hit;
     }
 
     // The detector's own points-to solve still goes through the
     // Andersen memo (shared with calibration and the slicer picks).
     auto result = std::make_shared<const StaticRaceResult>(
         runStaticRaceDetector(*module, invariants, module));
-    std::lock_guard<std::mutex> lock(cache().mutex);
-    auto [it, inserted] =
-        cache().raceEntries.emplace(key, RaceEntry{module, result});
-    return it->second.result;
+    const std::size_t bytes = byteSizeEstimate(*result);
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    return insertLocked(sc, sec.race, key, verify, module,
+                        std::move(result), bytes, gen);
 }
 
 std::shared_ptr<const SliceSetResult>
@@ -211,48 +317,74 @@ sliceSetMemo(const std::shared_ptr<const ir::Module> &module,
 {
     OHA_ASSERT(module && module->finalized());
 
-    StaticKey key;
-    key.moduleFp = moduleFingerprint(module);
-    key.invariantFp = invariants ? fnv1a(invariants->saveText()) : 0;
-    key.configKey = configKey;
-    std::uint64_t auxFp = 0xcbf29ce484222325ULL;
-    for (InstrId endpoint : endpoints)
-        auxFp = (auxFp ^ endpoint) * 0x100000001b3ULL;
-    key.auxFp = auxFp;
+    Section &sec = section();
+    SharedCache &sc = SharedCache::instance();
 
+    const Fingerprint moduleFp = service::fingerprintModule(module);
+    const Fingerprint invariantFp = invariantFingerprint(invariants);
+    const Fingerprint auxFp = endpointsFingerprint(endpoints);
+
+    StaticKey key;
+    key.moduleFp = moduleFp.primary;
+    key.invariantFp = invariantFp.primary;
+    key.configKey = configKey;
+    key.auxFp = auxFp.primary;
+    VerifyFps verify;
+    verify.module = moduleFp.secondary;
+    verify.invariant = invariantFp.secondary;
+    verify.aux = auxFp.secondary;
+
+    std::uint64_t gen = 0;
     {
-        std::lock_guard<std::mutex> lock(cache().mutex);
-        auto it = cache().sliceEntries.find(key);
-        if (it != cache().sliceEntries.end()) {
-            ++cache().stats.hits;
-            return it->second.result;
-        }
-        ++cache().stats.misses;
+        std::lock_guard<std::mutex> lock(sc.mutex());
+        gen = sc.generation();
+        if (auto hit = probeLocked(sc, sec.slice, key, verify))
+            return hit;
     }
 
     auto result = std::make_shared<const SliceSetResult>(compute());
-    std::lock_guard<std::mutex> lock(cache().mutex);
-    auto [it, inserted] =
-        cache().sliceEntries.emplace(key, SliceEntry{module, result});
-    return it->second.result;
+    const std::size_t bytes = byteSizeEstimate(*result);
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    return insertLocked(sc, sec.slice, key, verify, module,
+                        std::move(result), bytes, gen);
 }
 
 AndersenCacheStats
 andersenCacheStats()
 {
-    std::lock_guard<std::mutex> lock(cache().mutex);
-    return cache().stats;
+    const service::SharedCacheStats stats =
+        SharedCache::instance().stats();
+    AndersenCacheStats out;
+    out.hits = stats.hits;
+    out.misses = stats.misses;
+    out.verifiedMisses = stats.verifiedMisses;
+    out.evictions = stats.evictions;
+    out.staleDrops = stats.staleDrops;
+    out.entries = stats.entries;
+    out.bytesCached = stats.bytesCached;
+    out.byteBudget = stats.byteBudget;
+    return out;
+}
+
+void
+setStaticCacheByteBudget(std::size_t bytes)
+{
+    SharedCache::instance().setByteBudget(bytes);
+}
+
+std::size_t
+staticCacheByteBudget()
+{
+    return SharedCache::instance().byteBudget();
 }
 
 void
 resetAndersenCache()
 {
-    std::lock_guard<std::mutex> lock(cache().mutex);
-    cache().entries.clear();
-    cache().raceEntries.clear();
-    cache().sliceEntries.clear();
-    cache().moduleFps.clear();
-    cache().stats = {};
+    // Materialize the section first: reset() runs registered clears,
+    // and registration takes the spine mutex.
+    section();
+    SharedCache::instance().reset();
 }
 
 } // namespace oha::analysis

@@ -1,6 +1,7 @@
 /**
  * @file
- * Memoized points-to analysis for the static phase.
+ * Memoized static-phase results, backed by the shared cross-request
+ * cache (service/shared_cache.h).
  *
  * The pipeline and the calibration sweeps (Figures 7/8, Table 2) run
  * the same Andersen configurations repeatedly: the sound analyses are
@@ -9,18 +10,34 @@
  * OptFT/OptSlice invocation itself re-runs configurations (the CI
  * pre-pass of a sound CS solve doubles as the endpoint-ranking
  * analysis; lock-elision calibration re-runs the predicated CI
- * analysis the race detector already solved).  Results are immutable
- * after solving, so they are cached process-wide, keyed by
+ * analysis the race detector already solved).  In service mode
+ * (service/analysis_service.h) the same sharing happens *across
+ * requests*: the Nth request for a hot (module, invariant-set) pair
+ * skips its static phase entirely.
+ *
+ * Results are immutable after solving, so they are cached
+ * process-wide, keyed by
  *
  *   (module fingerprint, invariant-set fingerprint, solver options)
  *
  * where the fingerprints hash the module's printed form and the
  * invariant set's canonical text serialization — value identity, not
- * object identity, so sweeps that rebuild equal workloads still hit.
- * Entries hold the module alive (results reference it internally).
+ * object identity, so sweeps (and requests) that rebuild equal
+ * workloads still hit.  Entries hold the module alive (results
+ * reference it internally) until they are evicted: the shared cache
+ * is LRU-evicting against a configurable byte budget, so a long-lived
+ * daemon's memory is bounded.
  *
- * Thread-safe; solves run outside the cache lock and the first insert
- * wins, so concurrent clients share one result object.
+ * Correctness properties of the cache layer:
+ *  - every hit verifies a second, independent fingerprint stored in
+ *    the entry, so a 64-bit key collision degrades to a counted
+ *    verified-miss + fresh solve instead of silently returning the
+ *    wrong result;
+ *  - inserts are generation-stamped: a solve that started before a
+ *    resetAndersenCache() is dropped (counted as staleDrop) instead
+ *    of re-populating the fresh cache with a pre-reset result;
+ *  - solves run outside the cache lock and the first insert wins, so
+ *    concurrent clients share one result object.
  */
 
 #pragma once
@@ -37,17 +54,27 @@
 
 namespace oha::analysis {
 
-/** Hit/miss counters for bench reporting. */
+/** Cache counters for bench reporting (a view of the shared cache's
+ *  counters — see service::SharedCacheStats for field semantics). */
 struct AndersenCacheStats
 {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /** Primary-fingerprint hits rejected by the secondary-fingerprint
+     *  verification (real collisions, served as fresh solves). */
+    std::uint64_t verifiedMisses = 0;
+    std::uint64_t evictions = 0;
+    /** Inserts dropped because a reset intervened mid-solve. */
+    std::uint64_t staleDrops = 0;
+    std::size_t entries = 0;
+    std::size_t bytesCached = 0;
+    std::size_t byteBudget = 0;
 };
 
 /**
  * Memoized runAndersen.  @p module must be the module the options'
  * invariants were profiled on; the returned result (and the cache
- * entry behind it) keeps it alive.
+ * entry behind it, until evicted) keeps it alive.
  */
 std::shared_ptr<const AndersenResult>
 runAndersenMemo(const std::shared_ptr<const ir::Module> &module,
@@ -77,6 +104,16 @@ struct SliceSetResult
     std::uint64_t workUnits = 0;
 };
 
+/** Approximate heap footprint, for cache byte budgeting. */
+inline std::size_t
+byteSizeEstimate(const SliceSetResult &result)
+{
+    std::size_t bytes = sizeof(result);
+    for (const std::set<InstrId> &slice : result.slices)
+        bytes += sizeof(slice) + slice.size() * (sizeof(InstrId) + 48);
+    return bytes;
+}
+
 /**
  * Memoize a slice-set computation.  Keyed by (module, invariants,
  * configKey, endpoints); @p configKey must encode every slicing knob
@@ -93,7 +130,13 @@ sliceSetMemo(const std::shared_ptr<const ir::Module> &module,
 /** Process-wide cache counters since start / last reset. */
 AndersenCacheStats andersenCacheStats();
 
-/** Drop all cached results and zero the counters (tests, benchmarks). */
+/** Byte budget the shared cache evicts against.  Convenience
+ *  forwarders to service::SharedCache::instance(). */
+void setStaticCacheByteBudget(std::size_t bytes);
+std::size_t staticCacheByteBudget();
+
+/** Drop all cached results (static results AND recorded traces — the
+ *  whole shared cache) and zero the counters (tests, benchmarks). */
 void resetAndersenCache();
 
 } // namespace oha::analysis

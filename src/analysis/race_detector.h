@@ -43,6 +43,19 @@ struct StaticRaceResult
     std::size_t accessesConsidered = 0;
 };
 
+/** Approximate heap footprint, for cache byte budgeting.  std::set
+ *  nodes cost roughly payload + two pointers + color + allocator
+ *  overhead; 48 bytes is a sane per-node charge. */
+inline std::size_t
+byteSizeEstimate(const StaticRaceResult &result)
+{
+    return sizeof(result) +
+           result.racyAccesses.size() * (sizeof(InstrId) + 48) +
+           (result.racyPairs.size() + result.usedLockAliases.size()) *
+               (sizeof(std::pair<InstrId, InstrId>) + 48) +
+           result.usedSingletonSites.size() * (sizeof(InstrId) + 48);
+}
+
 /**
  * Run the static race detector.
  * @param invariants null => sound analysis (no lockset pruning, no

@@ -8,6 +8,8 @@
 #include "dyn/invariant_checker.h"
 #include "dyn/plans.h"
 #include "exec/trace.h"
+#include "exec/trace_cache.h"
+#include "profile/observation_cache.h"
 #include "profile/profiler.h"
 #include "support/thread_pool.h"
 
@@ -157,7 +159,9 @@ calibrateLockElision(const ir::Module &module,
                      const analysis::StaticRaceResult &predicated,
                      const workloads::Workload &workload,
                      std::size_t calibrationRuns, std::size_t threads,
-                     const std::vector<exec::RecordedTrace> *traces)
+                     const std::vector<
+                         std::shared_ptr<const exec::RecordedTrace>>
+                         *traces)
 {
     // Candidate lock sites: no potentially-racy access holds them.
     // This is the same predicated CI configuration the static race
@@ -195,7 +199,7 @@ calibrateLockElision(const ir::Module &module,
     auto calibRaces = [&](std::size_t i,
                           const exec::InstrumentationPlan &plan) {
         if (traces)
-            return replayFastTrack(module, (*traces)[i], plan).races;
+            return replayFastTrack(module, *(*traces)[i], plan).races;
         return runFastTrack(module, workload.profilingSet[i], plan).races;
     };
 
@@ -329,9 +333,15 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     prof::ProfileOptions profOptions;
     profOptions.threads = config.threads;
     prof::ProfilingCampaign campaign(module, profOptions);
+    prof::Observer observer;
+    if (config.cacheProfileObservations)
+        observer = [&](const exec::ExecConfig &input) {
+            return prof::observeRunMemo(workload.module, profOptions,
+                                        input);
+        };
     campaign.addRunsUntilConverged(workload.profilingSet,
                                    config.maxProfileRuns,
-                                   config.convergenceWindow);
+                                   config.convergenceWindow, observer);
     inv::InvariantSet invariants =
         config.aggressiveLucMinVisits > 1
             ? campaign.invariantsWithAggressiveLuc(
@@ -381,13 +391,22 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     const std::size_t calibRuns = std::min(
         config.customSyncCalibrationRuns, workload.profilingSet.size());
     // In record-once mode each calibration input is executed exactly
-    // once; every elision round then replays the captures.
-    std::vector<exec::RecordedTrace> calibTraces;
+    // once; every elision round then replays the captures.  With
+    // cacheTraceCaptures the captures come from (and feed) the shared
+    // cross-request cache, so a warm service request skips even that
+    // one execution.
+    auto capture = [&](const exec::ExecConfig &input) {
+        return config.cacheTraceCaptures
+                   ? exec::recordRunMemo(workload.module, input)
+                   : std::make_shared<const exec::RecordedTrace>(
+                         exec::recordRun(module, input));
+    };
+    std::vector<std::shared_ptr<const exec::RecordedTrace>> calibTraces;
     if (config.useTraceReplay) {
         calibTraces = support::runBatch(
             calibRuns,
             [&](std::size_t i) {
-                return exec::recordRun(module, workload.profilingSet[i]);
+                return capture(workload.profilingSet[i]);
             },
             config.threads);
     }
@@ -400,8 +419,8 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     // run's step count is the uninstrumented step count, so both modes
     // price identically.
     if (config.useTraceReplay) {
-        for (const exec::RecordedTrace &trace : calibTraces)
-            calibrationSteps += trace.result.steps;
+        for (const auto &trace : calibTraces)
+            calibrationSteps += trace->result.steps;
     } else {
         const std::vector<std::uint64_t> probeSteps = support::runBatch(
             calibRuns,
@@ -433,13 +452,11 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     // Record once, analyze many: one uninstrumented execution per
     // input captures the event stream; every analysis configuration
     // (and every adaptive re-evaluation) replays it.
-    std::vector<exec::RecordedTrace> traces;
+    std::vector<std::shared_ptr<const exec::RecordedTrace>> traces;
     if (config.useTraceReplay) {
         traces = support::runBatch(
             numTests,
-            [&](std::size_t i) {
-                return exec::recordRun(module, workload.testingSet[i]);
-            },
+            [&](std::size_t i) { return capture(workload.testingSet[i]); },
             config.threads);
     }
 
@@ -458,9 +475,9 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
         [&](std::size_t i) {
             RefEval ref;
             if (config.useTraceReplay) {
-                ref.full = replayFastTrack(module, traces[i], fullPlan);
+                ref.full = replayFastTrack(module, *traces[i], fullPlan);
                 ref.hybrid =
-                    replayFastTrack(module, traces[i], hybridPlan);
+                    replayFastTrack(module, *traces[i], hybridPlan);
             } else {
                 ref.full = runFastTrack(module, workload.testingSet[i],
                                         fullPlan);
@@ -518,7 +535,7 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
                                               checkerConfig);
                 eval.optimistic =
                     config.useTraceReplay
-                        ? replayFastTrack(module, traces[i], optPlan,
+                        ? replayFastTrack(module, *traces[i], optPlan,
                                           &checker)
                         : runFastTrack(module, workload.testingSet[i],
                                        optPlan, &checker);
@@ -627,7 +644,7 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
         // step-identical to the full-plan run's underlying execution,
         // so pricing from ref.full.result keeps both modes equal.
         if (config.useTraceReplay) {
-            result.interpretedSteps += traces[i].result.steps;
+            result.interpretedSteps += traces[i]->result.steps;
         } else {
             result.interpretedSteps += ref.full.result.steps +
                                        ref.hybrid.result.steps +

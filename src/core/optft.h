@@ -61,6 +61,21 @@ struct OptFtConfig
      *  the direct path; only interpretedSteps/replayedEvents (and
      *  wall-clock time) differ. */
     bool useTraceReplay = true;
+    /** With useTraceReplay: serve captures from the shared
+     *  cross-request cache (exec/trace_cache.h) instead of recording
+     *  privately.  Captures are value-keyed on (module, exec config),
+     *  so repeated pipeline invocations over a hot corpus — service
+     *  mode's steady state — skip the interpreter entirely.  Results
+     *  are identical either way (a capture is a pure function of its
+     *  key). */
+    bool cacheTraceCaptures = true;
+    /** Serve per-input profiling observations from the shared
+     *  cross-request cache (profile/observation_cache.h).  Like trace
+     *  captures, an observation is a pure function of (module, input),
+     *  so the merged invariant set — and everything downstream — is
+     *  identical either way; a warm service request skips the live
+     *  profiling interpreter entirely. */
+    bool cacheProfileObservations = true;
     /** Adaptive misspeculation recovery (Section 2.3's rollback, made
      *  a loop): after a rollback, demote the violated invariant,
      *  re-run the predicated static phase through the andersen_cache

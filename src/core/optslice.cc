@@ -9,6 +9,8 @@
 #include "dyn/invariant_checker.h"
 #include "dyn/plans.h"
 #include "exec/trace.h"
+#include "exec/trace_cache.h"
+#include "profile/observation_cache.h"
 #include "profile/profiler.h"
 #include "support/thread_pool.h"
 
@@ -233,9 +235,15 @@ runOptSlice(const workloads::Workload &workload,
     profOptions.callContexts = true;
     profOptions.threads = config.threads;
     prof::ProfilingCampaign campaign(module, profOptions);
+    prof::Observer observer;
+    if (config.cacheProfileObservations)
+        observer = [&](const exec::ExecConfig &input) {
+            return prof::observeRunMemo(workload.module, profOptions,
+                                        input);
+        };
     campaign.addRunsUntilConverged(workload.profilingSet,
                                    config.maxProfileRuns,
-                                   config.convergenceWindow);
+                                   config.convergenceWindow, observer);
     inv::InvariantSet invariants =
         config.aggressiveLucMinVisits > 1
             ? campaign.invariantsWithAggressiveLuc(
@@ -364,13 +372,20 @@ runOptSlice(const workloads::Workload &workload,
     // Record-once mode: capture every testing input's trace exactly
     // once, up front.  The traces are immutable afterwards, so the
     // per-(input, endpoint) tasks below replay them concurrently
-    // without synchronization.
-    std::vector<exec::RecordedTrace> traces;
+    // without synchronization.  With cacheTraceCaptures the captures
+    // come from (and feed) the shared cross-request cache, so a warm
+    // service request skips even the one recording execution.
+    std::vector<std::shared_ptr<const exec::RecordedTrace>> traces;
     if (config.useTraceReplay) {
         traces = support::runBatch(
             workload.testingSet.size(),
             [&](std::size_t i) {
-                return exec::recordRun(module, workload.testingSet[i]);
+                return config.cacheTraceCaptures
+                           ? exec::recordRunMemo(moduleSp,
+                                                 workload.testingSet[i])
+                           : std::make_shared<const exec::RecordedTrace>(
+                                 exec::recordRun(module,
+                                                 workload.testingSet[i]));
             },
             config.threads);
     }
@@ -389,7 +404,8 @@ runOptSlice(const workloads::Workload &workload,
             const std::size_t e = task % endpoints.size();
             const std::vector<InstrId> target = {endpoints[e]};
             if (config.useTraceReplay) {
-                return replayGiri(module, traces[task / endpoints.size()],
+                return replayGiri(module,
+                                  *traces[task / endpoints.size()],
                                   hybridPlans[e], target);
             }
             return runGiri(module,
@@ -444,7 +460,7 @@ runOptSlice(const workloads::Workload &workload,
                 eval.optimistic =
                     config.useTraceReplay
                         ? replayGiri(module,
-                                     traces[task / endpoints.size()],
+                                     *traces[task / endpoints.size()],
                                      optPlans[e], target, &checker)
                         : runGiri(module,
                                   workload
@@ -510,8 +526,8 @@ runOptSlice(const workloads::Workload &workload,
     // In record-once mode each input's interpreter work happened once,
     // at capture time, regardless of how many endpoint tasks share it.
     if (config.useTraceReplay) {
-        for (const exec::RecordedTrace &trace : traces)
-            result.interpretedSteps += trace.result.steps;
+        for (const auto &trace : traces)
+            result.interpretedSteps += trace->result.steps;
     }
 
     // Fold serially in task order, so cost accumulation — including

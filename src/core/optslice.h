@@ -57,6 +57,13 @@ struct OptSliceConfig
      *  to the direct path; only interpretedSteps/replayedEvents (and
      *  wall-clock time) differ. */
     bool useTraceReplay = true;
+    /** With useTraceReplay: serve captures from the shared
+     *  cross-request cache (exec/trace_cache.h) instead of recording
+     *  privately — see OptFtConfig::cacheTraceCaptures. */
+    bool cacheTraceCaptures = true;
+    /** Serve profiling observations from the shared cache — see
+     *  OptFtConfig::cacheProfileObservations. */
+    bool cacheProfileObservations = true;
     /** Adaptive misspeculation recovery: after a rollback, demote the
      *  violated invariant, re-run the predicated points-to + slicing
      *  phase through the memo caches, rebuild the optimistic plans,

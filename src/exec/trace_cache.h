@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Memoized trace capture, backed by the shared cross-request cache
+ * (service/shared_cache.h).
+ *
+ * A recorded trace is a pure function of (module, ExecConfig): the
+ * interpreter is deterministic and the recorder captures every event
+ * unconditionally, before plan filtering.  So a capture — easily the
+ * most expensive per-input step of record-once/analyze-many — is as
+ * memoizable as a points-to solve.  Within one pipeline invocation
+ * that only deduplicates identical (input, seed) pairs, but in
+ * service mode (service/analysis_service.h) it is the difference
+ * between a cold and a warm request: repeated analyses of a hot
+ * (module, corpus) pair skip the interpreter entirely and replay the
+ * cached streams.
+ *
+ * Entries share the LRU spine and byte budget of the static-result
+ * caches (andersen_cache.h) and inherit the same correctness
+ * machinery: dual-fingerprint verification on hit, generation-stamped
+ * inserts, first-insert-wins.  Traces are immutable after recording
+ * and replays only read, so one cached trace may serve any number of
+ * concurrent replays.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "exec/trace.h"
+#include "ir/module.h"
+
+namespace oha::exec {
+
+/** Approximate heap footprint of a recorded trace (event stream +
+ *  recorded run outcome), for cache byte budgeting. */
+std::size_t byteSizeEstimate(const RecordedTrace &trace);
+
+/**
+ * Memoized recordRun.  Keyed by (module fingerprint, exec-config
+ * fingerprint) — every ExecConfig field participates, including the
+ * replay schedule — in the shared cross-request cache.  On a miss the
+ * recording run executes outside the cache lock; first insert wins.
+ * The returned trace (and the cache entry behind it, until evicted)
+ * keeps @p module alive.
+ */
+std::shared_ptr<const RecordedTrace>
+recordRunMemo(const std::shared_ptr<const ir::Module> &module,
+              const ExecConfig &config);
+
+} // namespace oha::exec

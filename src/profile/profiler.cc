@@ -146,7 +146,7 @@ ProfilingCampaign::addRun(const exec::ExecConfig &config)
 std::size_t
 ProfilingCampaign::addRunsUntilConverged(
     const std::vector<exec::ExecConfig> &inputs, std::size_t maxRuns,
-    std::size_t convergenceWindow)
+    std::size_t convergenceWindow, const Observer &observe)
 {
     const std::size_t threads = support::configuredThreads(options_.threads);
     std::size_t unchanged = 0;
@@ -163,12 +163,18 @@ ProfilingCampaign::addRunsUntilConverged(
         const std::size_t base = consumed;
         const auto observations = support::runBatch(
             batch,
-            [&, base](std::size_t i) { return observeRun(inputs[base + i]); },
+            [&, base](std::size_t i)
+                -> std::shared_ptr<const RunObservations> {
+                const exec::ExecConfig &input = inputs[base + i];
+                return observe ? observe(input)
+                               : std::make_shared<const RunObservations>(
+                                     observeRun(input));
+            },
             threads);
-        for (const RunObservations &run : observations) {
+        for (const auto &run : observations) {
             if (numRuns_ >= maxRuns || unchanged >= convergenceWindow)
                 break;
-            unchanged = mergeRun(run) ? 0 : unchanged + 1;
+            unchanged = mergeRun(*run) ? 0 : unchanged + 1;
             ++consumed;
         }
     }

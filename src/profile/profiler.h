@@ -17,7 +17,9 @@
 
 #pragma once
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <utility>
 #include <vector>
@@ -57,6 +59,16 @@ struct RunObservations
     exec::RunResult::Status status = exec::RunResult::Status::Finished;
 };
 
+/**
+ * Pluggable source of per-run observations for
+ * addRunsUntilConverged.  Observations are a pure function of
+ * (module, input), so a campaign can be driven from a memo cache
+ * (profile/observation_cache.h) instead of live profiled execution —
+ * the merged result is identical either way.
+ */
+using Observer = std::function<std::shared_ptr<const RunObservations>(
+    const exec::ExecConfig &)>;
+
 /** Accumulates likely invariants over a sequence of profiled runs. */
 class ProfilingCampaign
 {
@@ -78,11 +90,15 @@ class ProfilingCampaign
      * speculative surplus runs past the convergence point are
      * discarded, so the merged invariants, profiled-step total and
      * run count are byte-identical to the serial loop.
+     *
+     * When @p observe is set it replaces observeRun as the source of
+     * each input's observations (e.g. the shared observation cache);
+     * it must return exactly what observeRun would.
      * @return the number of runs merged.
      */
     std::size_t addRunsUntilConverged(
         const std::vector<exec::ExecConfig> &inputs, std::size_t maxRuns,
-        std::size_t convergenceWindow);
+        std::size_t convergenceWindow, const Observer &observe = {});
 
     /** Execute one profiled run without merging it (thread-safe). */
     RunObservations observeRun(const exec::ExecConfig &config) const;

@@ -1,0 +1,225 @@
+#include "service/analysis_service.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/request_queue.h"
+#include "support/thread_pool.h"
+
+namespace oha::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start, Clock::time_point now)
+{
+    return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+} // namespace
+
+struct AnalysisService::Impl
+{
+    struct Job
+    {
+        AnalysisRequest request;
+        std::promise<ServiceRunResult> promise;
+        Clock::time_point enqueuedAt;
+        /** Expiry instant; time_point::max() = no deadline. */
+        Clock::time_point expiresAt;
+    };
+
+    explicit Impl(ServiceConfig config)
+        : config_(config),
+          shardCount_(support::configuredThreads(config.shards)),
+          queue_(config.maxQueueDepth)
+    {
+        shards_.reserve(shardCount_);
+        for (std::size_t i = 0; i < shardCount_; ++i)
+            shards_.emplace_back([this] { shardLoop(); });
+    }
+
+    void
+    shardLoop()
+    {
+        while (std::optional<Job> job = queue_.pop()) {
+            const Clock::time_point popped = Clock::now();
+            ServiceRunResult out;
+            out.queueMs = millisSince(job->enqueuedAt, popped);
+            if (popped >= job->expiresAt) {
+                out.outcome = RequestOutcome::Expired;
+                out.error = "deadline expired while queued";
+                finish(std::move(*job), std::move(out),
+                       &ServiceCounters::expired);
+                continue;
+            }
+            try {
+                if (job->request.workload.race) {
+                    out.ft = core::runOptFt(job->request.workload,
+                                            job->request.ftConfig);
+                } else {
+                    out.slice = core::runOptSlice(
+                        job->request.workload, job->request.sliceConfig);
+                }
+                out.outcome = RequestOutcome::Done;
+                out.runMs = millisSince(popped, Clock::now());
+                finish(std::move(*job), std::move(out),
+                       &ServiceCounters::completed);
+            } catch (const std::exception &e) {
+                out.outcome = RequestOutcome::Failed;
+                out.error = e.what();
+                out.runMs = millisSince(popped, Clock::now());
+                finish(std::move(*job), std::move(out),
+                       &ServiceCounters::failed);
+            }
+        }
+    }
+
+    void
+    finish(Job job, ServiceRunResult out,
+           std::uint64_t ServiceCounters::*counter)
+    {
+        // Bump the counter BEFORE fulfilling the promise (anyone who
+        // observed the future must see the count), and retire the
+        // in-flight slot AFTER (drain() returning implies every
+        // promise is set).
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++(counters_.*counter);
+        }
+        job.promise.set_value(std::move(out));
+        std::lock_guard<std::mutex> lock(mutex_);
+        OHA_ASSERT(inFlight_ > 0);
+        if (--inFlight_ == 0)
+            idle_.notify_all();
+    }
+
+    std::future<ServiceRunResult>
+    submit(AnalysisRequest request)
+    {
+        Job job;
+        job.request = std::move(request);
+        job.enqueuedAt = Clock::now();
+        job.expiresAt = job.request.deadline.count() > 0
+                            ? job.enqueuedAt + job.request.deadline
+                            : Clock::time_point::max();
+        std::future<ServiceRunResult> future = job.promise.get_future();
+
+        // Count the job in flight BEFORE enqueueing: a shard may pop
+        // and finish it before push() even returns.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++inFlight_;
+            ++counters_.accepted;
+        }
+        const PushResult pushed =
+            config_.admission == AdmissionPolicy::Block
+                ? queue_.push(std::move(job))
+                : queue_.tryPush(std::move(job));
+        if (pushed == PushResult::Ok)
+            return future;
+
+        // Refused: the job never reached a shard — roll the
+        // accounting back and complete it as Shed here.  The moved-
+        // from job retains nothing; recreate the result directly.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --counters_.accepted;
+            ++counters_.shed;
+            OHA_ASSERT(inFlight_ > 0);
+            if (--inFlight_ == 0)
+                idle_.notify_all();
+        }
+        ServiceRunResult out;
+        out.outcome = RequestOutcome::Shed;
+        out.error = pushed == PushResult::Closed
+                        ? "service is shut down"
+                        : "queue full";
+        std::promise<ServiceRunResult> shed;
+        std::future<ServiceRunResult> shedFuture = shed.get_future();
+        shed.set_value(std::move(out));
+        return shedFuture;
+    }
+
+    void
+    drain()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return inFlight_ == 0; });
+    }
+
+    void
+    shutdown()
+    {
+        queue_.close();
+        for (std::thread &shard : shards_)
+            if (shard.joinable())
+                shard.join();
+    }
+
+    const ServiceConfig config_;
+    const std::size_t shardCount_;
+    RequestQueue<Job> queue_;
+    std::vector<std::thread> shards_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable idle_;
+    /** Accepted but not yet completed (queued + running). */
+    std::size_t inFlight_ = 0;
+    ServiceCounters counters_;
+};
+
+AnalysisService::AnalysisService(ServiceConfig config)
+    : impl_(std::make_unique<Impl>(config))
+{
+}
+
+AnalysisService::~AnalysisService()
+{
+    impl_->shutdown();
+}
+
+std::future<ServiceRunResult>
+AnalysisService::submit(AnalysisRequest request)
+{
+    return impl_->submit(std::move(request));
+}
+
+void
+AnalysisService::drain()
+{
+    impl_->drain();
+}
+
+void
+AnalysisService::shutdown()
+{
+    impl_->shutdown();
+}
+
+std::size_t
+AnalysisService::queueDepth() const
+{
+    return impl_->queue_.depth();
+}
+
+std::size_t
+AnalysisService::shards() const
+{
+    return impl_->shardCount_;
+}
+
+ServiceCounters
+AnalysisService::counters() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex_);
+    return impl_->counters_;
+}
+
+} // namespace oha::service

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer request queue for the
+ * analysis daemon (analysis_service.h).
+ *
+ * The queue is the daemon's admission-control point: its depth is
+ * capped, and a producer hitting the cap either blocks until a shard
+ * drains an item (AdmissionPolicy::Block) or is refused immediately
+ * (tryPush -> Shed), so a burst of requests degrades into back
+ * pressure or explicit load shedding instead of unbounded memory
+ * growth.  close() wakes every waiter: blocked producers give up with
+ * Closed, and consumers drain the remaining items before pop()
+ * returns nullopt — shutdown never drops accepted work.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "support/common.h"
+
+namespace oha::service {
+
+/** Outcome of a push attempt. */
+enum class PushResult
+{
+    Ok,     ///< enqueued
+    Shed,   ///< refused: queue full (tryPush only)
+    Closed, ///< refused: queue closed
+};
+
+template <typename T>
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t maxDepth) : maxDepth_(maxDepth)
+    {
+        OHA_ASSERT(maxDepth > 0);
+    }
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /** Enqueue, blocking while the queue is full.  Returns Closed if
+     *  the queue closed before space freed up. */
+    PushResult
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [this] {
+            return closed_ || items_.size() < maxDepth_;
+        });
+        if (closed_)
+            return PushResult::Closed;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return PushResult::Ok;
+    }
+
+    /** Enqueue without blocking: a full queue sheds the item. */
+    PushResult
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return PushResult::Closed;
+            if (items_.size() >= maxDepth_)
+                return PushResult::Shed;
+            items_.push_back(std::move(item));
+        }
+        notEmpty_.notify_one();
+        return PushResult::Ok;
+    }
+
+    /** Dequeue, blocking while the queue is empty.  Returns nullopt
+     *  once the queue is closed AND drained (consumers see every
+     *  accepted item). */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock,
+                       [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt; // closed and drained
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return item;
+    }
+
+    /** Refuse new items and wake every waiter.  Items already queued
+     *  remain poppable. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    std::size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t maxDepth() const { return maxDepth_; }
+
+  private:
+    const std::size_t maxDepth_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace oha::service

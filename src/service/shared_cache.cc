@@ -1,0 +1,194 @@
+#include "service/shared_cache.h"
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "ir/module.h"
+#include "ir/printer.h"
+
+namespace oha::service {
+
+namespace {
+
+std::atomic<bool> forceCollisions{false};
+
+/** Default byte budget: OHA_CACHE_BUDGET_MB, else 256 MB. */
+std::size_t
+defaultByteBudget()
+{
+    if (const char *env = std::getenv("OHA_CACHE_BUDGET_MB")) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return std::size_t{parsed} * 1024 * 1024;
+        OHA_WARN("ignoring malformed OHA_CACHE_BUDGET_MB value '%s'",
+                 env);
+    }
+    return std::size_t{256} * 1024 * 1024;
+}
+
+/**
+ * Module-fingerprint memo, keyed by object identity.  Weak entries:
+ * an expired slot means the module died (and its address may have
+ * been reused), so it is recomputed.  Bounded by opportunistic
+ * pruning — the memo must never be the thing that makes a daemon's
+ * memory grow with its uptime.
+ */
+struct ModuleFpMemo
+{
+    std::mutex mutex;
+    std::map<const ir::Module *,
+             std::pair<std::weak_ptr<const ir::Module>, Fingerprint>>
+        entries;
+
+    void
+    pruneExpiredLocked()
+    {
+        for (auto it = entries.begin(); it != entries.end();) {
+            if (it->second.first.expired())
+                it = entries.erase(it);
+            else
+                ++it;
+        }
+    }
+};
+
+ModuleFpMemo &
+moduleFpMemo()
+{
+    static ModuleFpMemo memo;
+    return memo;
+}
+
+} // namespace
+
+Fingerprint
+fingerprintText(const std::string &text)
+{
+    // Two structurally different hashes over one pass: FNV-1a and a
+    // multiply-add polynomial with a splitmix64 finalizer.  A text
+    // pair colliding on both is vanishingly unlikely, and the entry
+    // verification turns a primary collision into a fresh solve
+    // rather than a wrong result.
+    std::uint64_t fnv = 0xcbf29ce484222325ULL;
+    std::uint64_t poly = 0x9e3779b97f4a7c15ULL;
+    for (unsigned char c : text) {
+        fnv = (fnv ^ c) * 0x100000001b3ULL;
+        poly = poly * 0x9e3779b97f4a7c15ULL + c + 1;
+    }
+    // splitmix64 finalization decorrelates the polynomial state.
+    poly ^= poly >> 30;
+    poly *= 0xbf58476d1ce4e5b9ULL;
+    poly ^= poly >> 27;
+    poly *= 0x94d049bb133111ebULL;
+    poly ^= poly >> 31;
+
+    Fingerprint fp;
+    fp.primary = forceCollisions.load(std::memory_order_relaxed)
+                     ? 0xC011151055ULL
+                     : fnv;
+    fp.secondary = poly;
+    return fp;
+}
+
+Fingerprint
+fingerprintModule(const std::shared_ptr<const ir::Module> &module)
+{
+    OHA_ASSERT(module);
+    ModuleFpMemo &memo = moduleFpMemo();
+    {
+        std::lock_guard<std::mutex> lock(memo.mutex);
+        auto it = memo.entries.find(module.get());
+        if (it != memo.entries.end()) {
+            if (!it->second.first.expired())
+                return it->second.second;
+            // The previous occupant of this address died; recompute.
+            memo.entries.erase(it);
+        }
+    }
+    // Print outside the lock (it dominates the cost).
+    const Fingerprint fp = fingerprintText(ir::printModule(*module));
+    std::lock_guard<std::mutex> lock(memo.mutex);
+    if (memo.entries.size() >= 256)
+        memo.pruneExpiredLocked();
+    memo.entries[module.get()] = {module, fp};
+    return fp;
+}
+
+SharedCache::SharedCache() : byteBudget_(defaultByteBudget())
+{
+    stats_.byteBudget = byteBudget_;
+}
+
+SharedCache &
+SharedCache::instance()
+{
+    static SharedCache cache;
+    return cache;
+}
+
+void
+SharedCache::registerSection(std::function<void()> clear)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sections_.push_back(std::move(clear));
+}
+
+void
+SharedCache::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    for (const std::function<void()> &clear : sections_)
+        clear();
+    lru_.clear();
+    stats_ = {};
+    stats_.byteBudget = byteBudget_;
+    // The module-fingerprint memo holds no results, but clearing it
+    // keeps reset() a full return-to-cold (and lets tests toggle the
+    // collision seam between generations).
+    ModuleFpMemo &memo = moduleFpMemo();
+    std::lock_guard<std::mutex> memoLock(memo.mutex);
+    memo.entries.clear();
+}
+
+void
+SharedCache::setByteBudget(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    byteBudget_ = bytes;
+    stats_.byteBudget = bytes;
+    enforceBudget();
+}
+
+std::size_t
+SharedCache::byteBudget() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return byteBudget_;
+}
+
+SharedCacheStats
+SharedCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SharedCacheStats out = stats_;
+    out.entries = lru_.size();
+    out.bytesCached = lru_.bytes();
+    out.byteBudget = byteBudget_;
+    out.generation = generation_.load(std::memory_order_acquire);
+    return out;
+}
+
+namespace testing {
+
+void
+forcePrimaryFingerprintCollisions(bool enabled)
+{
+    forceCollisions.store(enabled, std::memory_order_relaxed);
+}
+
+} // namespace testing
+
+} // namespace oha::service

@@ -240,6 +240,15 @@ class SparseBitSet
         return out;
     }
 
+    /** Approximate heap footprint, for cache byte budgeting. */
+    std::size_t
+    byteSizeEstimate() const
+    {
+        return sizeof(*this) +
+               chunks_.capacity() *
+                   sizeof(std::pair<std::uint32_t, std::uint64_t>);
+    }
+
     /** FNV-style hash of the set contents (used by HVN). */
     std::uint64_t
     hash() const

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -112,24 +113,87 @@ class ThreadPool
     std::vector<std::thread> workers_;
 };
 
+/** Upper bound on a sane worker count: oversubscribing beyond a few
+ *  threads per core only adds context-switch overhead, and absurd
+ *  requests (OHA_THREADS=4000000000) would try to spawn that many
+ *  std::threads and take the process down. */
+inline std::size_t
+maxSaneThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::size_t{4} * std::max(1u, hw);
+}
+
+namespace detail {
+
+/** Cached OHA_THREADS value; 0 = not parsed yet. */
+inline std::atomic<std::size_t> &
+cachedEnvThreads()
+{
+    static std::atomic<std::size_t> cached{0};
+    return cached;
+}
+
+inline std::size_t
+clampThreads(std::size_t count, const char *origin)
+{
+    const std::size_t max = maxSaneThreads();
+    if (count > max) {
+        OHA_WARN("clamping %s thread count %zu to %zu "
+                 "(4x hardware_concurrency)",
+                 origin, count, max);
+        return max;
+    }
+    return count;
+}
+
+} // namespace detail
+
+/**
+ * Re-read OHA_THREADS into the process-wide cached value and return
+ * it.  Called implicitly by the first configuredThreads(); tests that
+ * setenv() the variable mid-process must call this explicitly —
+ * steady-state callers never touch getenv again, so concurrent
+ * setenv/getenv UB is confined to deliberate refresh points.
+ */
+inline std::size_t
+refreshConfiguredThreads()
+{
+    std::size_t value = 1;
+    if (const char *env = std::getenv("OHA_THREADS")) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0) {
+            value = detail::clampThreads(
+                static_cast<std::size_t>(parsed), "OHA_THREADS");
+        } else {
+            OHA_WARN("ignoring malformed OHA_THREADS value '%s'", env);
+        }
+    }
+    detail::cachedEnvThreads().store(value, std::memory_order_release);
+    return value;
+}
+
 /**
  * Worker-thread count for a run batch: @p requested when nonzero,
  * else the OHA_THREADS environment variable, else 1.  The default of
  * 1 keeps every pipeline serial unless parallelism is asked for.
+ * Values beyond 4x hardware_concurrency() are clamped with a warning.
+ * The environment is parsed once and cached in an atomic; see
+ * refreshConfiguredThreads().
  */
 inline std::size_t
 configuredThreads(std::size_t requested = 0)
 {
     if (requested > 0)
-        return requested;
-    if (const char *env = std::getenv("OHA_THREADS")) {
-        char *end = nullptr;
-        const unsigned long parsed = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && parsed > 0)
-            return static_cast<std::size_t>(parsed);
-        OHA_WARN("ignoring malformed OHA_THREADS value '%s'", env);
-    }
-    return 1;
+        return detail::clampThreads(requested, "requested");
+    const std::size_t cached =
+        detail::cachedEnvThreads().load(std::memory_order_acquire);
+    if (cached != 0)
+        return cached;
+    // First call: parse the environment.  A concurrent first call
+    // computes the same value, so the race is benign.
+    return refreshConfiguredThreads();
 }
 
 /**

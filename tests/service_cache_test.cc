@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Shared cross-request cache: LRU eviction order, byte-budget
+ * accounting, collision verification (the memo-cache correctness
+ * fix), generation-stamped inserts across resets, and a concurrent
+ * torture test (run under TSan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/andersen_cache.h"
+#include "exec/trace_cache.h"
+#include "ir/builder.h"
+#include "service/lru.h"
+#include "service/shared_cache.h"
+
+namespace oha {
+namespace {
+
+/** A tiny finalized module; @p variant changes the printed form (and
+ *  so the fingerprint) without changing the shape. */
+std::shared_ptr<const ir::Module>
+tinyModule(int variant)
+{
+    auto module = std::make_shared<ir::Module>();
+    ir::IRBuilder b(*module);
+    b.createFunction("main", 0);
+    for (int i = 0; i <= variant; ++i) {
+        const auto ptr = b.alloc(1);
+        b.store(ptr, b.constInt(100 + i));
+        b.output(b.load(ptr));
+    }
+    b.ret();
+    module->finalize();
+    return module;
+}
+
+/** Restores a clean cache on scope exit (tests share the process-wide
+ *  cache with every other test in the binary). */
+struct CacheGuard
+{
+    std::size_t savedBudget = analysis::staticCacheByteBudget();
+    CacheGuard() { analysis::resetAndersenCache(); }
+    ~CacheGuard()
+    {
+        service::testing::forcePrimaryFingerprintCollisions(false);
+        analysis::setStaticCacheByteBudget(savedBudget);
+        analysis::resetAndersenCache();
+    }
+};
+
+// ---------------------------------------------------------------------
+// LruList unit tests
+// ---------------------------------------------------------------------
+
+TEST(LruList, EvictsLeastRecentlyUsedFirst)
+{
+    service::LruList lru;
+    std::vector<int> evicted;
+    std::vector<service::LruList::Handle> handles;
+    for (int i = 0; i < 4; ++i)
+        handles.push_back(lru.insert(100, [&evicted, i] {
+            evicted.push_back(i);
+        }));
+    EXPECT_EQ(lru.size(), 4u);
+    EXPECT_EQ(lru.bytes(), 400u);
+
+    // Capacity for two entries: the two oldest (0 then 1) go first.
+    EXPECT_EQ(lru.evictToFit(200), 2u);
+    EXPECT_EQ(evicted, (std::vector<int>{0, 1}));
+    EXPECT_EQ(lru.bytes(), 200u);
+    EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(LruList, TouchMovesAnEntryToTheFront)
+{
+    service::LruList lru;
+    std::vector<int> evicted;
+    std::vector<service::LruList::Handle> handles;
+    for (int i = 0; i < 3; ++i)
+        handles.push_back(lru.insert(100, [&evicted, i] {
+            evicted.push_back(i);
+        }));
+    // 0 becomes most-recent; the eviction order is then 1, 2.
+    lru.touch(handles[0]);
+    EXPECT_EQ(lru.evictToFit(100), 2u);
+    EXPECT_EQ(evicted, (std::vector<int>{1, 2}));
+}
+
+TEST(LruList, RemoveDetachesWithoutRunningTheEraseCallback)
+{
+    service::LruList lru;
+    std::vector<int> evicted;
+    const auto h0 = lru.insert(64, [&evicted] { evicted.push_back(0); });
+    lru.insert(64, [&evicted] { evicted.push_back(1); });
+    lru.remove(h0);
+    EXPECT_EQ(lru.bytes(), 64u);
+    EXPECT_EQ(lru.evictToFit(0), 1u);
+    EXPECT_EQ(evicted, (std::vector<int>{1}));
+}
+
+TEST(LruList, OversizedEntriesAreEvictedToo)
+{
+    service::LruList lru;
+    bool evicted = false;
+    lru.insert(1000, [&evicted] { evicted = true; });
+    EXPECT_EQ(lru.evictToFit(500), 1u);
+    EXPECT_TRUE(evicted);
+    EXPECT_EQ(lru.bytes(), 0u);
+    EXPECT_EQ(lru.size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Shared-cache behavior through the memo layers
+// ---------------------------------------------------------------------
+
+/** Fabricate a slice-set result whose byte estimate is predictable;
+ *  @p tag makes results distinguishable per key. */
+analysis::SliceSetResult
+fabricatedSlices(std::uint64_t tag)
+{
+    analysis::SliceSetResult out;
+    std::set<InstrId> slice;
+    for (InstrId i = 0; i < 32; ++i)
+        slice.insert(i);
+    out.slices.assign(4, slice);
+    out.complete = true;
+    out.workUnits = tag;
+    return out;
+}
+
+TEST(SharedCache, MemoHitsServeTheStoredResult)
+{
+    CacheGuard guard;
+    const auto module = tinyModule(0);
+    int calls = 0;
+    auto compute = [&calls] {
+        ++calls;
+        return fabricatedSlices(7);
+    };
+    const std::vector<InstrId> endpoints = {1, 2};
+    const auto first =
+        analysis::sliceSetMemo(module, nullptr, 1, endpoints, compute);
+    const auto second =
+        analysis::sliceSetMemo(module, nullptr, 1, endpoints, compute);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(first.get(), second.get());
+    const auto stats = analysis::andersenCacheStats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_GT(stats.bytesCached, 0u);
+}
+
+TEST(SharedCache, ByteBudgetEvictsLeastRecentlyUsedEntries)
+{
+    CacheGuard guard;
+    const auto module = tinyModule(0);
+    const std::vector<InstrId> endpoints = {1};
+    int calls = 0;
+    auto memo = [&](std::uint64_t key) {
+        return analysis::sliceSetMemo(module, nullptr, key, endpoints,
+                                      [&calls, key] {
+                                          ++calls;
+                                          return fabricatedSlices(key);
+                                      });
+    };
+
+    // Calibrate: one entry's charge, as the cache accounts it.
+    memo(0);
+    const std::size_t perEntry =
+        analysis::andersenCacheStats().bytesCached;
+    ASSERT_GT(perEntry, 0u);
+    analysis::resetAndersenCache();
+
+    // Room for three entries.
+    analysis::setStaticCacheByteBudget(3 * perEntry + perEntry / 2);
+    calls = 0;
+    memo(1);
+    memo(2);
+    memo(3);
+    EXPECT_EQ(analysis::andersenCacheStats().entries, 3u);
+    EXPECT_EQ(analysis::andersenCacheStats().evictions, 0u);
+
+    // Touch 1 so 2 is now the coldest, then overflow with 4.
+    memo(1);
+    memo(4);
+    const auto stats = analysis::andersenCacheStats();
+    EXPECT_EQ(stats.entries, 3u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_LE(stats.bytesCached, analysis::staticCacheByteBudget());
+    EXPECT_EQ(calls, 4);
+
+    // 2 was evicted (recomputes); 1 survived its touch (hit).
+    EXPECT_EQ(memo(2)->workUnits, 2u);
+    EXPECT_EQ(calls, 5);
+    const std::uint64_t hitsBefore = analysis::andersenCacheStats().hits;
+    memo(1);
+    EXPECT_EQ(analysis::andersenCacheStats().hits, hitsBefore + 1);
+    EXPECT_EQ(calls, 5);
+}
+
+TEST(SharedCache, ShrinkingTheBudgetEvictsImmediately)
+{
+    CacheGuard guard;
+    const auto module = tinyModule(0);
+    const std::vector<InstrId> endpoints = {1};
+    for (std::uint64_t key = 0; key < 4; ++key)
+        analysis::sliceSetMemo(module, nullptr, key, endpoints, [key] {
+            return fabricatedSlices(key);
+        });
+    ASSERT_EQ(analysis::andersenCacheStats().entries, 4u);
+    analysis::setStaticCacheByteBudget(1);
+    const auto stats = analysis::andersenCacheStats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.bytesCached, 0u);
+    EXPECT_EQ(stats.evictions, 4u);
+}
+
+// ---------------------------------------------------------------------
+// Satellite bugfix: collision verification
+// ---------------------------------------------------------------------
+
+TEST(SharedCache, PrimaryFingerprintCollisionIsVerifiedNotServed)
+{
+    CacheGuard guard;
+    // Every primary fingerprint now collides; only the independent
+    // secondary fingerprints can tell entries apart.
+    service::testing::forcePrimaryFingerprintCollisions(true);
+
+    const auto moduleA = tinyModule(1); // 2 outputs
+    const auto moduleB = tinyModule(5); // 6 outputs
+
+    const auto a = analysis::runAndersenMemo(moduleA, {});
+    // Same primary key as A's entry: without verification this would
+    // silently return A's result for B.
+    const auto b = analysis::runAndersenMemo(moduleB, {});
+    EXPECT_EQ(analysis::andersenCacheStats().verifiedMisses, 1u);
+    EXPECT_NE(a.get(), b.get());
+    // The results genuinely belong to their modules (different
+    // module sizes => different solve footprints).
+    EXPECT_NE(a->workUnits, b->workUnits);
+
+    // B's insert replaced the colliding entry, so A collides again —
+    // verified again, never silently wrong.
+    const auto a2 = analysis::runAndersenMemo(moduleA, {});
+    EXPECT_EQ(analysis::andersenCacheStats().verifiedMisses, 2u);
+    EXPECT_EQ(a2->workUnits, a->workUnits);
+
+    // Trace captures verify through the same machinery.
+    exec::ExecConfig input;
+    const auto traceA = exec::recordRunMemo(moduleA, input);
+    const auto traceB = exec::recordRunMemo(moduleB, input);
+    EXPECT_NE(traceA->result.steps, traceB->result.steps);
+    EXPECT_GE(analysis::andersenCacheStats().verifiedMisses, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Satellite bugfix: generation-stamped inserts across resets
+// ---------------------------------------------------------------------
+
+TEST(SharedCache, InsertFromBeforeAResetIsDropped)
+{
+    CacheGuard guard;
+    const auto module = tinyModule(0);
+    const std::vector<InstrId> endpoints = {1};
+    int calls = 0;
+
+    // The solve starts, then a reset lands before it finishes (here:
+    // from inside compute, which runs outside the cache lock — the
+    // same window a concurrent resetter would hit).
+    const auto first = analysis::sliceSetMemo(
+        module, nullptr, 9, endpoints, [&calls] {
+            ++calls;
+            analysis::resetAndersenCache();
+            return fabricatedSlices(9);
+        });
+    EXPECT_EQ(first->workUnits, 9u); // caller still gets the result
+    const auto afterDrop = analysis::andersenCacheStats();
+    EXPECT_EQ(afterDrop.staleDrops, 1u);
+    EXPECT_EQ(afterDrop.entries, 0u) << "stale insert must not cache";
+
+    // The next probe misses (nothing was cached) and inserts cleanly.
+    const auto second = analysis::sliceSetMemo(
+        module, nullptr, 9, endpoints, [&calls] {
+            ++calls;
+            return fabricatedSlices(9);
+        });
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(analysis::andersenCacheStats().entries, 1u);
+
+    // And from here on it hits.
+    analysis::sliceSetMemo(module, nullptr, 9, endpoints, [&calls] {
+        ++calls;
+        return fabricatedSlices(9);
+    });
+    EXPECT_EQ(calls, 2);
+    (void)second;
+}
+
+// ---------------------------------------------------------------------
+// Concurrent torture (meaningful under TSan)
+// ---------------------------------------------------------------------
+
+TEST(SharedCacheTorture, ConcurrentMemoResetAndBudgetChanges)
+{
+    CacheGuard guard;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 60;
+
+    std::vector<std::shared_ptr<const ir::Module>> modules;
+    for (int v = 0; v < 3; ++v)
+        modules.push_back(tinyModule(v));
+    // Reference solves, for checking that concurrent cache traffic
+    // never serves a wrong result.
+    std::vector<std::uint64_t> expectedWork;
+    for (const auto &module : modules)
+        expectedWork.push_back(analysis::runAndersen(*module, {}).workUnits);
+    std::vector<std::uint64_t> expectedSteps;
+    for (const auto &module : modules)
+        expectedSteps.push_back(
+            exec::recordRun(*module, exec::ExecConfig{}).result.steps);
+
+    std::atomic<int> wrongResults{0};
+    auto worker = [&](int tid) {
+        for (int it = 0; it < kIters; ++it) {
+            const int m = (tid + it) % int(modules.size());
+            switch ((tid * 7 + it) % 5) {
+              case 0: {
+                const auto result =
+                    analysis::runAndersenMemo(modules[m], {});
+                if (result->workUnits != expectedWork[m])
+                    ++wrongResults;
+                break;
+              }
+              case 1: {
+                const std::uint64_t key = std::uint64_t((tid + it) % 4);
+                const auto result = analysis::sliceSetMemo(
+                    modules[m], nullptr, key, {InstrId(1)},
+                    [key] { return fabricatedSlices(key); });
+                if (result->workUnits != key)
+                    ++wrongResults;
+                break;
+              }
+              case 2: {
+                const auto trace =
+                    exec::recordRunMemo(modules[m], exec::ExecConfig{});
+                if (trace->result.steps != expectedSteps[m])
+                    ++wrongResults;
+                break;
+              }
+              case 3:
+                if (it % 16 == 3)
+                    analysis::resetAndersenCache();
+                break;
+              default:
+                analysis::setStaticCacheByteBudget(
+                    it % 2 ? std::size_t{1} << 30 : std::size_t{64} << 10);
+                break;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back(worker, t);
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(wrongResults.load(), 0);
+    const auto stats = analysis::andersenCacheStats();
+    EXPECT_LE(stats.bytesCached,
+              std::max(analysis::staticCacheByteBudget(),
+                       std::size_t{1} << 30));
+}
+
+} // namespace
+} // namespace oha

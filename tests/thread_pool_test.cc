@@ -18,7 +18,10 @@
 namespace oha {
 namespace {
 
-/** RAII guard that restores OHA_THREADS on scope exit. */
+/** RAII guard that restores OHA_THREADS (and the cached parse) on
+ *  scope exit.  configuredThreads() reads the environment only at
+ *  refresh points, so every setenv below is followed by an explicit
+ *  refreshConfiguredThreads(). */
 class EnvGuard
 {
   public:
@@ -33,11 +36,20 @@ class EnvGuard
             unsetenv("OHA_THREADS");
         else
             setenv("OHA_THREADS", saved_.c_str(), 1);
+        support::refreshConfiguredThreads();
     }
 
   private:
     std::string saved_;
 };
+
+/** setenv + re-parse in one step. */
+std::size_t
+setThreadsEnv(const char *value)
+{
+    setenv("OHA_THREADS", value, 1);
+    return support::refreshConfiguredThreads();
+}
 
 TEST(ThreadPool, RunsSubmittedTasks)
 {
@@ -137,36 +149,71 @@ TEST(RunBatch, ZeroJobsIsANoOp)
 TEST(ConfiguredThreads, ExplicitRequestWins)
 {
     EnvGuard guard;
-    setenv("OHA_THREADS", "7", 1);
+    setThreadsEnv("4");
     EXPECT_EQ(support::configuredThreads(3), 3u);
 }
 
 TEST(ConfiguredThreads, ReadsEnvironment)
 {
+    // 3 and 4 are within maxSaneThreads() on any machine (it is at
+    // least 4 * max(1, hardware_concurrency)), so no clamping here.
     EnvGuard guard;
-    setenv("OHA_THREADS", "5", 1);
-    EXPECT_EQ(support::configuredThreads(), 5u);
-    EXPECT_EQ(support::configuredThreads(0), 5u);
+    setThreadsEnv("3");
+    EXPECT_EQ(support::configuredThreads(), 3u);
+    EXPECT_EQ(support::configuredThreads(0), 3u);
 }
 
 TEST(ConfiguredThreads, DefaultsToSerial)
 {
     EnvGuard guard;
     unsetenv("OHA_THREADS");
+    support::refreshConfiguredThreads();
     EXPECT_EQ(support::configuredThreads(), 1u);
+}
+
+TEST(ConfiguredThreads, ParsesOnceIntoCache)
+{
+    EnvGuard guard;
+    setThreadsEnv("3");
+    EXPECT_EQ(support::configuredThreads(), 3u);
+    // A bare setenv without a refresh must NOT change the cached
+    // value: steady-state callers never re-read the environment.
+    setenv("OHA_THREADS", "4", 1);
+    EXPECT_EQ(support::configuredThreads(), 3u);
+    support::refreshConfiguredThreads();
+    EXPECT_EQ(support::configuredThreads(), 4u);
 }
 
 TEST(ConfiguredThreads, IgnoresMalformedValues)
 {
     EnvGuard guard;
-    setenv("OHA_THREADS", "banana", 1);
+    EXPECT_EQ(setThreadsEnv("banana"), 1u);
     EXPECT_EQ(support::configuredThreads(), 1u);
-    setenv("OHA_THREADS", "4x", 1);
+    EXPECT_EQ(setThreadsEnv("4x"), 1u);
     EXPECT_EQ(support::configuredThreads(), 1u);
-    setenv("OHA_THREADS", "0", 1);
+    EXPECT_EQ(setThreadsEnv("0"), 1u);
     EXPECT_EQ(support::configuredThreads(), 1u);
-    setenv("OHA_THREADS", "", 1);
+    EXPECT_EQ(setThreadsEnv(""), 1u);
     EXPECT_EQ(support::configuredThreads(), 1u);
+}
+
+TEST(ConfiguredThreads, ClampsAbsurdEnvironmentValues)
+{
+    EnvGuard guard;
+    const std::size_t max = support::maxSaneThreads();
+    EXPECT_GE(max, 4u);
+    EXPECT_EQ(setThreadsEnv("4000000000"), max);
+    EXPECT_EQ(support::configuredThreads(), max);
+}
+
+TEST(ConfiguredThreads, ClampsAbsurdExplicitRequests)
+{
+    EnvGuard guard;
+    const std::size_t max = support::maxSaneThreads();
+    EXPECT_EQ(support::configuredThreads(max + 1), max);
+    EXPECT_EQ(support::configuredThreads(std::size_t{1} << 40), max);
+    // In-range requests pass through unclamped.
+    EXPECT_EQ(support::configuredThreads(2), 2u);
 }
 
 } // namespace
