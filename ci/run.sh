@@ -64,7 +64,12 @@ bench-release)
     build_dir=build-ci-release
     cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build "$build_dir" -j "$jobs" --target microbench_trace
-    OHA_BENCH_SMOKE=1 "$build_dir"/bench/microbench_trace
+    # Force a low segment threshold so the smoke run exercises the
+    # segmented spill-to-disk capture path and the sharded-replay
+    # series end to end (BENCH_microbench_trace.json is uploaded as
+    # an artifact by the workflow).
+    OHA_BENCH_SMOKE=1 OHA_TRACE_SEGMENT_BYTES=8192 \
+        "$build_dir"/bench/microbench_trace
     ;;
 faults)
     build_dir=build-ci
@@ -86,10 +91,12 @@ service)
         -DOHA_SANITIZE=thread
     cmake --build "$build_dir" -j "$jobs"
     # The concurrent pieces of the daemon under TSan: the request
-    # queue, the service itself, and the shared cross-request cache
-    # (including the torture test).
+    # queue, the service itself, the shared cross-request cache
+    # (including the torture test), and the segmented-trace /
+    # sharded-replay paths whose captures and spill files are shared
+    # across concurrent replays.
     OHA_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
-        -R 'RequestQueue|AnalysisService|LruList|SharedCache|ConfiguredThreads'
+        -R 'RequestQueue|AnalysisService|LruList|SharedCache|ConfiguredThreads|TraceCodec|SegmentedCapture|SegmentedPipeline|ShardedReplayParity|ShardedPipeline|EnvSizeBytes'
     # Smoke throughput run; the binary exits non-zero if the parity,
     # warm-hit-rate, or warm-latency acceptance bars fail.
     OHA_BENCH_SMOKE=1 OHA_THREADS=4 "$build_dir"/bench/service_throughput

@@ -1,21 +1,359 @@
 #include "exec/trace.h"
 
+#include <atomic>
 #include <bit>
+#include <cerrno>
+#include <cstring>
+#include <string>
 #include <utility>
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "support/env.h"
+
 namespace oha::exec {
+
+namespace {
+
+// Global mmap accounting: tests assert that replaying a spilled
+// capture keeps peak resident trace bytes O(segment size × shards)
+// rather than O(trace size).
+std::atomic<std::size_t> g_mappedNow{0};
+std::atomic<std::size_t> g_mappedPeak{0};
+
+void
+accountMap(std::size_t bytes)
+{
+    const std::size_t now =
+        g_mappedNow.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::size_t peak = g_mappedPeak.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !g_mappedPeak.compare_exchange_weak(peak, now,
+                                               std::memory_order_relaxed)) {
+    }
+}
+
+void
+accountUnmap(std::size_t bytes)
+{
+    g_mappedNow.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+} // namespace
+
+namespace testing {
+
+std::size_t
+mappedTraceBytesNow()
+{
+    return g_mappedNow.load(std::memory_order_relaxed);
+}
+
+std::size_t
+mappedTraceBytesPeak()
+{
+    return g_mappedPeak.load(std::memory_order_relaxed);
+}
+
+void
+resetMappedTraceBytesPeak()
+{
+    g_mappedPeak.store(g_mappedNow.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+} // namespace testing
+
+std::size_t
+configuredSegmentBytes()
+{
+    // 64 MiB default: the whole existing corpus records well under
+    // one segment, so spilling is opt-in via the environment (or
+    // TraceStoreOptions) until traces actually outgrow RAM.  The
+    // floor keeps a segment big enough for at least one maximal
+    // record; the ceiling guards against fat-finger terabyte values.
+    return support::envSizeBytes("OHA_TRACE_SEGMENT_BYTES",
+                                 std::size_t{64} << 20, std::size_t{4} << 10,
+                                 std::size_t{64} << 30);
+}
+
+// ---------------------------------------------------------------- SpillFile
+
+SpillFile::Mapping::Mapping(void *base, std::size_t mapLen,
+                            std::size_t headSlack)
+    : base_(base), mapLen_(mapLen), headSlack_(headSlack)
+{
+    accountMap(mapLen_);
+}
+
+SpillFile::Mapping::~Mapping()
+{
+    ::munmap(base_, mapLen_);
+    accountUnmap(mapLen_);
+}
+
+std::shared_ptr<SpillFile>
+SpillFile::create()
+{
+    const char *tmpdir = std::getenv("TMPDIR");
+    std::string path = (tmpdir && *tmpdir) ? tmpdir : "/tmp";
+    path += "/oha-trace-XXXXXX";
+    std::vector<char> templ(path.begin(), path.end());
+    templ.push_back('\0');
+    const int fd = ::mkstemp(templ.data());
+    if (fd < 0) {
+        OHA_WARN("trace spill disabled: mkstemp(%s) failed: %s",
+                 templ.data(), std::strerror(errno));
+        return nullptr;
+    }
+    // Unlink immediately: the file lives as long as the fd and can
+    // never be leaked, even on crash.
+    ::unlink(templ.data());
+    return std::shared_ptr<SpillFile>(new SpillFile(fd));
+}
+
+SpillFile::~SpillFile()
+{
+    ::close(fd_);
+}
+
+bool
+SpillFile::writeAll(const std::uint8_t *data, std::size_t len)
+{
+    while (len > 0) {
+        const ::ssize_t n = ::pwrite(fd_, data, len,
+                                     static_cast<::off_t>(size_));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            OHA_WARN("trace spill write failed: %s; keeping segment "
+                     "in RAM",
+                     std::strerror(errno));
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+        size_ += static_cast<std::uint64_t>(n);
+    }
+    return true;
+}
+
+bool
+SpillFile::append(const TraceBuffer &buffer, std::uint64_t &offsetOut)
+{
+    const std::uint64_t start = size_;
+    bool ok = true;
+    buffer.forEachSpan([&](const std::uint8_t *data, std::size_t len) {
+        ok = ok && writeAll(data, len);
+    });
+    if (!ok) {
+        // Truncate the partial tail so the next append starts clean.
+        if (::ftruncate(fd_, static_cast<::off_t>(start)) == 0)
+            size_ = start;
+        return false;
+    }
+    offsetOut = start;
+    return true;
+}
+
+bool
+SpillFile::append(const void *data, std::size_t len,
+                  std::uint64_t &offsetOut)
+{
+    const std::uint64_t rollback = size_;
+    static constexpr std::uint8_t zeros[8] = {};
+    const auto pad = static_cast<std::size_t>((8 - size_ % 8) % 8);
+    bool ok = pad == 0 || writeAll(zeros, pad);
+    const std::uint64_t start = size_;
+    ok = ok && writeAll(static_cast<const std::uint8_t *>(data), len);
+    if (!ok) {
+        if (::ftruncate(fd_, static_cast<::off_t>(rollback)) == 0)
+            size_ = rollback;
+        return false;
+    }
+    offsetOut = start;
+    return true;
+}
+
+std::shared_ptr<const SpillFile::Mapping>
+SpillFile::map(std::uint64_t offset, std::size_t length) const
+{
+    static const std::size_t page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    const std::uint64_t alignedOff = offset & ~(std::uint64_t{page} - 1);
+    const std::size_t headSlack = static_cast<std::size_t>(offset - alignedOff);
+    const std::size_t mapLen = length + headSlack;
+    void *base = ::mmap(nullptr, mapLen, PROT_READ, MAP_PRIVATE, fd_,
+                        static_cast<::off_t>(alignedOff));
+    if (base == MAP_FAILED) {
+        OHA_WARN("mmap of spilled trace segment failed: %s",
+                 std::strerror(errno));
+        return nullptr;
+    }
+    return std::make_shared<const Mapping>(base, mapLen, headSlack);
+}
+
+// ---------------------------------------------------------------- TraceStore
+
+TraceStore::TraceStore(const TraceStoreOptions &options)
+    : segmentBytes_(options.segmentBytes != 0 ? options.segmentBytes
+                                              : configuredSegmentBytes()),
+      captureValues_(options.captureValues)
+{
+}
+
+void
+TraceStore::closeOpenSegment()
+{
+    OHA_ASSERT(!finished_, "closeOpenSegment() after finish()");
+    const std::size_t bytes = open_.sizeBytes();
+    if (bytes == 0)
+        return;
+
+    Segment segment;
+    segment.header = openHeader_;
+    segment.header.bytes = bytes;
+    segment.header.leanEntries = openLean_.size();
+    if (captureValues_)
+        segment.header.flags |= SegmentHeader::kFlagHasValues;
+
+    if (!file_ && !spillFailed_) {
+        file_ = SpillFile::create();
+        spillFailed_ = file_ == nullptr;
+    }
+    bool onDisk = false;
+    if (file_)
+        onDisk = file_->append(open_, segment.fileOffset);
+    if (onDisk) {
+        segment.header.flags |= SegmentHeader::kFlagSpilled;
+    } else {
+        segment.buffer = std::make_unique<TraceBuffer>(std::move(open_));
+        residentClosed_ += bytes;
+    }
+    // The sidecar index spills with its segment; on failure it stays
+    // in RAM like the stream bytes would.
+    bool leanOnDisk = false;
+    if (onDisk && !openLean_.empty())
+        leanOnDisk = file_->append(openLean_.data(),
+                                   openLean_.size() * sizeof(LeanEvent),
+                                   segment.leanFileOffset);
+    if (!leanOnDisk && !openLean_.empty()) {
+        leanResident_ += openLean_.size() * sizeof(LeanEvent);
+        segment.lean = std::move(openLean_);
+    }
+    totalBytes_ += bytes;
+    segments_.push_back(std::move(segment));
+
+    open_ = TraceBuffer();
+    openHeader_ = SegmentHeader{};
+    openLean_.clear();
+}
+
+void
+TraceStore::finish()
+{
+    if (finished_)
+        return;
+    // The trailing segment stays in RAM: it is below the spill
+    // threshold by construction, and for unspilled captures this
+    // preserves the original all-in-memory behavior exactly.  An
+    // empty trailing segment (the last record landed precisely on
+    // the threshold) is dropped.
+    const std::size_t bytes = open_.sizeBytes();
+    if (bytes > 0) {
+        Segment segment;
+        segment.header = openHeader_;
+        segment.header.bytes = bytes;
+        segment.header.leanEntries = openLean_.size();
+        if (captureValues_)
+            segment.header.flags |= SegmentHeader::kFlagHasValues;
+        segment.buffer = std::make_unique<TraceBuffer>(std::move(open_));
+        residentClosed_ += bytes;
+        if (!openLean_.empty()) {
+            leanResident_ += openLean_.size() * sizeof(LeanEvent);
+            segment.lean = std::move(openLean_);
+        }
+        totalBytes_ += bytes;
+        segments_.push_back(std::move(segment));
+        open_ = TraceBuffer();
+        openHeader_ = SegmentHeader{};
+        openLean_.clear();
+    }
+    finished_ = true;
+}
+
+SegmentCursor
+TraceStore::cursor(std::size_t i) const
+{
+    OHA_ASSERT(i < segments_.size());
+    const Segment &segment = segments_[i];
+    SegmentCursor cursor;
+    if (segment.buffer) {
+        segment.buffer->forEachSpan(
+            [&](const std::uint8_t *data, std::size_t len) {
+                cursor.spans_.push_back({data, len});
+            });
+    } else {
+        auto mapping = file_->map(segment.fileOffset,
+                                  static_cast<std::size_t>(
+                                      segment.header.bytes));
+        OHA_ASSERT(mapping, "cannot map spilled trace segment");
+        cursor.spans_.push_back(
+            {mapping->data(),
+             static_cast<std::size_t>(segment.header.bytes)});
+        cursor.keepAlive_ = std::move(mapping);
+    }
+    return cursor;
+}
+
+TraceStore::LeanIndexView
+TraceStore::leanIndex(std::size_t i) const
+{
+    OHA_ASSERT(i < segments_.size());
+    const Segment &segment = segments_[i];
+    LeanIndexView view;
+    view.count = static_cast<std::size_t>(segment.header.leanEntries);
+    if (view.count == 0)
+        return view;
+    if (!segment.lean.empty()) {
+        view.data = segment.lean.data();
+        return view;
+    }
+    auto mapping = file_->map(segment.leanFileOffset,
+                              view.count * sizeof(LeanEvent));
+    OHA_ASSERT(mapping, "cannot map spilled trace sidecar index");
+    // append() aligned leanFileOffset to 8 bytes and the mapping base
+    // is page-aligned, so the head-slack-adjusted pointer satisfies
+    // alignof(LeanEvent).
+    view.data = reinterpret_cast<const LeanEvent *>(mapping->data());
+    view.keepAlive = std::move(mapping);
+    return view;
+}
+
+// ----------------------------------------------------------------- capture
 
 RecordedTrace
 recordRun(const ir::Module &module, const ExecConfig &config)
 {
+    return recordRun(module, config, TraceStoreOptions{});
+}
+
+RecordedTrace
+recordRun(const ir::Module &module, const ExecConfig &config,
+          const TraceStoreOptions &options)
+{
     RecordedTrace trace;
-    TraceRecorder recorder;
+    TraceRecorder recorder(options);
     Interpreter interp(module, config);
     interp.setRecorder(&recorder);
     trace.result = interp.run();
     trace.events = recorder.take();
     return trace;
 }
+
+// ------------------------------------------------------------------ replay
 
 void
 TraceReplayer::requestAbort(std::string reason)
@@ -38,6 +376,9 @@ TraceReplayer::requestAbort(std::string reason, const AbortMetadata &meta)
 RunResult
 TraceReplayer::run()
 {
+    if (numShards_ > 1 && shard_ != 0)
+        return runLeanShard();
+
     RunResult result;
     result.delivered.assign(attachments_.size(), EventCounts{});
 
@@ -77,156 +418,183 @@ TraceReplayer::run()
     std::vector<std::vector<SimFrame>> stacks;
     std::uint64_t nextFrameId = 1;
 
-    TraceBuffer::Reader reader = trace_.events.reader();
-    std::int64_t prevInstr = 0;
-    std::int64_t prevObj = 0;
-    std::int64_t prevBlock = 0;
+    const TraceStore &store = trace_.events;
     std::uint64_t stepsStarted = 0;
     std::uint32_t numThreads = 0;
     bool truncated = false;
 
-    while (!reader.atEnd()) {
-        const std::uint8_t header = reader.byte();
-        const std::uint8_t kind = header & 3;
-        // Step flag: this record begins a new guest instruction.  A
-        // live run honours an abort at the next instruction boundary
-        // (the aborting instruction completes all its deliveries);
-        // stopping here reproduces that exactly.
-        if (header & 4) {
-            if (abortRequested_) {
-                truncated = true;
-                break;
-            }
-            ++stepsStarted;
-        }
-        ThreadId tid = header >> 3;
-        if (tid == TraceRecorder::kTidEscape)
-            tid = static_cast<ThreadId>(reader.varint());
+    // Segments decode standalone (delta chains restart per segment);
+    // a spilled segment is mapped only while its cursor lives, so
+    // peak resident trace bytes track the segment size, not the
+    // trace size.
+    for (std::size_t seg = 0; seg < store.numSegments() && !truncated;
+         ++seg) {
+        const bool hasValues =
+            store.header(seg).flags & SegmentHeader::kFlagHasValues;
+        SegmentCursor reader = store.cursor(seg);
+        std::int64_t prevInstr = 0;
+        std::int64_t prevObj = 0;
+        std::int64_t prevBlock = 0;
 
-        switch (kind) {
-          case TraceRecorder::kInstrEvent: {
-            prevInstr += reader.zigzag();
-            const auto id = static_cast<InstrId>(prevInstr);
-            const ir::Instruction &ins = module_.instr(id);
-            const std::uint16_t disp = dispatch[id];
-            const auto evMask = static_cast<std::uint8_t>(disp & 0xff);
-            const auto cls = static_cast<EventClass>(disp >> 8);
-            ++result.totalEvents[cls];
-
-            // Decode the payload into locals first: most records are
-            // not covered by any attached plan, and for those the only
-            // obligatory work is advancing the delta chains, the
-            // shadow stacks and the output log.  Building the full
-            // EventCtx happens only on delivery.
-            ObjectId obj = 0;
-            std::uint32_t off = 0;
-            FuncId callee = kNoFunc;
-            ThreadId otherTid = 0;
-            switch (ins.op) {
-              case ir::Opcode::Load:
-              case ir::Opcode::Store:
-              case ir::Opcode::Lock:
-              case ir::Opcode::Unlock:
-                prevObj += reader.zigzag();
-                obj = static_cast<ObjectId>(prevObj);
-                off = static_cast<std::uint32_t>(reader.varint());
-                break;
-              case ir::Opcode::Call:
-                callee = ins.callee;
-                break;
-              case ir::Opcode::ICall:
-                callee = static_cast<FuncId>(reader.varint());
-                break;
-              case ir::Opcode::Spawn:
-              case ir::Opcode::Join:
-                otherTid = static_cast<ThreadId>(reader.varint());
-                break;
-              case ir::Opcode::Output:
-                result.outputs.push_back({ins.id, reader.zigzag()});
-                break;
-              default:
-                break;
-            }
-
-            if (evMask) {
-                std::vector<SimFrame> &stack = stacks[tid];
-                EventCtx ctx;
-                ctx.tid = tid;
-                ctx.instr = &ins;
-                ctx.frameId = stack.back().frameId;
-                ctx.obj = obj;
-                ctx.off = off;
-                ctx.calleeResolved = callee;
-                ctx.otherTid = otherTid;
-                switch (ins.op) {
-                  case ir::Opcode::Call:
-                  case ir::Opcode::ICall:
-                    ctx.frame2 = nextFrameId;
+        while (!reader.atEnd()) {
+            const std::uint8_t header = reader.byte();
+            const std::uint8_t kind = header & 3;
+            // Step flag: this record begins a new guest instruction.
+            // A live run honours an abort at the next instruction
+            // boundary (the aborting instruction completes all its
+            // deliveries); stopping here reproduces that exactly.
+            if (header & 4) {
+                if (abortRequested_) {
+                    truncated = true;
                     break;
-                  case ir::Opcode::Ret:
-                    if (stack.size() > 1) {
-                        ctx.frame2 = stack[stack.size() - 2].frameId;
-                        ctx.callInstr = stack.back().callSite;
-                    }
+                }
+                ++stepsStarted;
+            }
+            ThreadId tid = header >> 3;
+            if (tid == TraceRecorder::kTidEscape)
+                tid = static_cast<ThreadId>(reader.varint());
+
+            switch (kind) {
+              case TraceRecorder::kInstrEvent: {
+                prevInstr += reader.zigzag();
+                const auto id = static_cast<InstrId>(prevInstr);
+                const ir::Instruction &ins = module_.instr(id);
+                const std::uint16_t disp = dispatch[id];
+                auto evMask = static_cast<std::uint8_t>(disp & 0xff);
+                const auto cls = static_cast<EventClass>(disp >> 8);
+                ++result.totalEvents[cls];
+
+                // Decode the payload into locals first: most records
+                // are not covered by any attached plan, and for those
+                // the only obligatory work is advancing the delta
+                // chains, the shadow stacks and the output log.
+                // Building the full EventCtx happens only on
+                // delivery.
+                ObjectId obj = 0;
+                std::uint32_t off = 0;
+                FuncId callee = kNoFunc;
+                ThreadId otherTid = 0;
+                Value value;
+                switch (ins.op) {
+                  case ir::Opcode::Load:
+                  case ir::Opcode::Store:
+                    prevObj += reader.zigzag();
+                    obj = static_cast<ObjectId>(prevObj);
+                    off = static_cast<std::uint32_t>(reader.varint());
+                    if (hasValues)
+                        value = decodeTraceValue(reader);
+                    // Shard filter: a non-owned access still advances
+                    // the stream/delta state and the totals above,
+                    // but skips context construction and delivery —
+                    // the owning shard is the one that analyzes it.
+                    if (numShards_ > 1 && !ownsObject(obj))
+                        evMask = 0;
+                    break;
+                  case ir::Opcode::Lock:
+                  case ir::Opcode::Unlock:
+                    prevObj += reader.zigzag();
+                    obj = static_cast<ObjectId>(prevObj);
+                    off = static_cast<std::uint32_t>(reader.varint());
+                    break;
+                  case ir::Opcode::Call:
+                    callee = ins.callee;
+                    break;
+                  case ir::Opcode::ICall:
+                    callee = static_cast<FuncId>(reader.varint());
                     break;
                   case ir::Opcode::Spawn:
-                    ctx.frame2 = stacks[otherTid].back().frameId;
+                  case ir::Opcode::Join:
+                    otherTid = static_cast<ThreadId>(reader.varint());
+                    break;
+                  case ir::Opcode::Output:
+                    result.outputs.push_back({ins.id, reader.zigzag()});
                     break;
                   default:
                     break;
                 }
-                for (std::uint8_t mask = evMask; mask;
+
+                if (evMask) {
+                    std::vector<SimFrame> &stack = stacks[tid];
+                    EventCtx ctx;
+                    ctx.tid = tid;
+                    ctx.instr = &ins;
+                    ctx.frameId = stack.back().frameId;
+                    ctx.obj = obj;
+                    ctx.off = off;
+                    ctx.calleeResolved = callee;
+                    ctx.otherTid = otherTid;
+                    ctx.value = value;
+                    switch (ins.op) {
+                      case ir::Opcode::Call:
+                      case ir::Opcode::ICall:
+                        ctx.frame2 = nextFrameId;
+                        break;
+                      case ir::Opcode::Ret:
+                        if (stack.size() > 1) {
+                            ctx.frame2 = stack[stack.size() - 2].frameId;
+                            ctx.callInstr = stack.back().callSite;
+                        }
+                        break;
+                      case ir::Opcode::Spawn:
+                        ctx.frame2 = stacks[otherTid].back().frameId;
+                        break;
+                      default:
+                        break;
+                    }
+                    for (std::uint8_t mask = evMask; mask;
+                         mask &= static_cast<std::uint8_t>(mask - 1)) {
+                        const unsigned i =
+                            static_cast<unsigned>(std::countr_zero(mask));
+                        ++result.delivered[i][cls];
+                        attachments_[i].tool->onEvent(ctx);
+                    }
+                }
+
+                // Stack mutations happen after delivery, mirroring
+                // the interpreter (the Call event sees the caller's
+                // frame as frameId; Ret sees the returning frame).
+                if (ins.op == ir::Opcode::Call ||
+                    ins.op == ir::Opcode::ICall) {
+                    stacks[tid].push_back({nextFrameId++, &ins});
+                } else if (ins.op == ir::Opcode::Ret) {
+                    stacks[tid].pop_back();
+                }
+                break;
+              }
+              case TraceRecorder::kBlockEnter: {
+                prevBlock += reader.zigzag();
+                const auto block = static_cast<BlockId>(prevBlock);
+                ++result.totalEvents[EventClass::BlockEnter];
+                for (std::uint8_t mask = blockMask[block]; mask;
                      mask &= static_cast<std::uint8_t>(mask - 1)) {
                     const unsigned i =
                         static_cast<unsigned>(std::countr_zero(mask));
-                    ++result.delivered[i][cls];
-                    attachments_[i].tool->onEvent(ctx);
+                    ++result.delivered[i][EventClass::BlockEnter];
+                    attachments_[i].tool->onBlockEnter(tid, block);
                 }
+                break;
+              }
+              case TraceRecorder::kThreadStart: {
+                const auto parent =
+                    static_cast<ThreadId>(reader.varint());
+                const std::uint64_t siteRaw = reader.varint();
+                const InstrId spawnSite =
+                    siteRaw == 0 ? kNoInstr
+                                 : static_cast<InstrId>(siteRaw - 1);
+                if (tid >= stacks.size())
+                    stacks.resize(tid + 1);
+                stacks[tid].push_back({nextFrameId++, nullptr});
+                ++numThreads;
+                for (const Attachment &attachment : attachments_)
+                    attachment.tool->onThreadStart(tid, parent, spawnSite);
+                break;
+              }
+              case TraceRecorder::kThreadFinish: {
+                for (const Attachment &attachment : attachments_)
+                    attachment.tool->onThreadFinish(tid);
+                break;
+              }
             }
-
-            // Stack mutations happen after delivery, mirroring the
-            // interpreter (the Call event sees the caller's frame as
-            // frameId; Ret sees the returning frame).
-            if (ins.op == ir::Opcode::Call ||
-                ins.op == ir::Opcode::ICall) {
-                stacks[tid].push_back({nextFrameId++, &ins});
-            } else if (ins.op == ir::Opcode::Ret) {
-                stacks[tid].pop_back();
-            }
-            break;
-          }
-          case TraceRecorder::kBlockEnter: {
-            prevBlock += reader.zigzag();
-            const auto block = static_cast<BlockId>(prevBlock);
-            ++result.totalEvents[EventClass::BlockEnter];
-            for (std::uint8_t mask = blockMask[block]; mask;
-                 mask &= static_cast<std::uint8_t>(mask - 1)) {
-                const unsigned i =
-                    static_cast<unsigned>(std::countr_zero(mask));
-                ++result.delivered[i][EventClass::BlockEnter];
-                attachments_[i].tool->onBlockEnter(tid, block);
-            }
-            break;
-          }
-          case TraceRecorder::kThreadStart: {
-            const auto parent = static_cast<ThreadId>(reader.varint());
-            const std::uint64_t siteRaw = reader.varint();
-            const InstrId spawnSite =
-                siteRaw == 0 ? kNoInstr
-                             : static_cast<InstrId>(siteRaw - 1);
-            if (tid >= stacks.size())
-                stacks.resize(tid + 1);
-            stacks[tid].push_back({nextFrameId++, nullptr});
-            ++numThreads;
-            for (const Attachment &attachment : attachments_)
-                attachment.tool->onThreadStart(tid, parent, spawnSite);
-            break;
-          }
-          case TraceRecorder::kThreadFinish: {
-            for (const Attachment &attachment : attachments_)
-                attachment.tool->onThreadFinish(tid);
-            break;
-          }
         }
     }
 
@@ -251,5 +619,180 @@ TraceReplayer::run()
     }
     return result;
 }
+
+RunResult
+TraceReplayer::runLeanShard()
+{
+    // Worker decode for shards > 0 (shard 0 runs the full loop): the
+    // aggregate throughput of an N-shard replay is bounded by how
+    // cheaply the N-1 extra workers can reach their partition's
+    // events.  Workers therefore never touch the encoded stream at
+    // all — they walk the pre-decoded LeanEvent sidecar the recorder
+    // captured per segment, so a worker costs O(access + sync
+    // events) instead of O(stream bytes).  See the class comment for
+    // the reduced-RunResult contract.
+    RunResult result;
+    result.delivered.assign(attachments_.size(), EventCounts{});
+
+    // Lean shards replay only sidecar classes; a plan covering
+    // anything else (calls, rets, blocks, outputs) belongs on the
+    // primary.
+    for (const Attachment &attachment : attachments_) {
+        for (InstrId id = 0; id < module_.numInstrs(); ++id) {
+            if (!attachment.plan->coversInstr(id))
+                continue;
+            switch (module_.instr(id).op) {
+              case ir::Opcode::Load:
+              case ir::Opcode::Store:
+              case ir::Opcode::Lock:
+              case ir::Opcode::Unlock:
+              case ir::Opcode::Spawn:
+              case ir::Opcode::Join:
+                break;
+              default:
+                OHA_ASSERT(false, "plan covering a non-sidecar "
+                                  "instruction on a lean worker shard");
+            }
+        }
+        for (BlockId id = 0; id < module_.numBlocks(); ++id)
+            OHA_ASSERT(!attachment.plan->coversBlock(id),
+                       "block-covering plan on a lean worker shard");
+    }
+
+    const TraceStore &store = trace_.events;
+    std::uint32_t numThreads = 0;
+    for (std::size_t seg = 0; seg < store.numSegments(); ++seg) {
+        const TraceStore::LeanIndexView index = store.leanIndex(seg);
+        for (std::size_t i = 0; i < index.count; ++i) {
+            const LeanEvent &event = index.data[i];
+            switch (event.cls) {
+              case LeanEvent::kThreadStartCls: {
+                ++numThreads;
+                const InstrId site =
+                    event.off == 0
+                        ? kNoInstr
+                        : static_cast<InstrId>(event.off - 1);
+                for (const Attachment &attachment : attachments_)
+                    attachment.tool->onThreadStart(
+                        event.tid, static_cast<ThreadId>(event.aux),
+                        site);
+                break;
+              }
+              case LeanEvent::kThreadFinishCls:
+                for (const Attachment &attachment : attachments_)
+                    attachment.tool->onThreadFinish(event.tid);
+                break;
+              default: {
+                const auto cls = static_cast<EventClass>(event.cls);
+                if ((cls == EventClass::Load ||
+                     cls == EventClass::Store) &&
+                    !ownsObject(event.obj))
+                    break;
+                const ir::Instruction &ins = module_.instr(event.instr);
+                EventCtx ctx;
+                ctx.tid = event.tid;
+                ctx.instr = &ins;
+                ctx.obj = event.obj;
+                ctx.off = event.off;
+                ctx.otherTid = static_cast<ThreadId>(event.aux);
+                ctx.calleeResolved = ins.callee;
+                for (std::size_t a = 0; a < attachments_.size(); ++a) {
+                    if (!attachments_[a].plan->coversInstr(event.instr))
+                        continue;
+                    ++result.delivered[a][cls];
+                    attachments_[a].tool->onEvent(ctx);
+                }
+                break;
+              }
+            }
+        }
+    }
+
+    // The sidecar carries no step flags, so a mid-replay abort has no
+    // step boundary to stop at; aborting tools (invariant checkers)
+    // belong on the primary shard.
+    OHA_ASSERT(!abortRequested_,
+               "aborting tool attached to a lean worker shard");
+    result.numThreads = numThreads;
+    result.status = trace_.result.status;
+    result.abortReason = trace_.result.abortReason;
+    result.abortMeta = trace_.result.abortMeta;
+    result.steps = trace_.result.steps;
+    return result;
+}
+
+// ----------------------------------------------------------------- testing
+
+namespace testing {
+
+std::size_t
+byteOffsetAfterStep(const ir::Module &module, const TraceStore &store,
+                    std::uint64_t step)
+{
+    // Record-skipping decode: same framing as TraceReplayer::run()
+    // minus dispatch.  Offsets are relative to the concatenated
+    // stream so the result is usable as a spill threshold.
+    std::size_t base = 0;
+    std::uint64_t steps = 0;
+    for (std::size_t seg = 0; seg < store.numSegments(); ++seg) {
+        const bool hasValues =
+            store.header(seg).flags & SegmentHeader::kFlagHasValues;
+        SegmentCursor reader = store.cursor(seg);
+        std::int64_t prevInstr = 0;
+        while (!reader.atEnd()) {
+            const std::size_t recordStart = base + reader.consumed();
+            const std::uint8_t header = reader.byte();
+            if ((header & 4) && ++steps == step + 1)
+                return recordStart;
+            if ((header >> 3) == TraceRecorder::kTidEscape)
+                reader.varint();
+            switch (header & 3) {
+              case TraceRecorder::kInstrEvent: {
+                prevInstr += reader.zigzag();
+                const ir::Instruction &ins =
+                    module.instr(static_cast<InstrId>(prevInstr));
+                switch (ins.op) {
+                  case ir::Opcode::Load:
+                  case ir::Opcode::Store:
+                    reader.zigzag();
+                    reader.varint();
+                    if (hasValues)
+                        decodeTraceValue(reader);
+                    break;
+                  case ir::Opcode::Lock:
+                  case ir::Opcode::Unlock:
+                    reader.zigzag();
+                    reader.varint();
+                    break;
+                  case ir::Opcode::ICall:
+                  case ir::Opcode::Spawn:
+                  case ir::Opcode::Join:
+                    reader.varint();
+                    break;
+                  case ir::Opcode::Output:
+                    reader.zigzag();
+                    break;
+                  default:
+                    break;
+                }
+                break;
+              }
+              case TraceRecorder::kBlockEnter:
+                reader.zigzag();
+                break;
+              case TraceRecorder::kThreadStart:
+                reader.varint();
+                reader.varint();
+                break;
+              default: // kThreadFinish: header byte only
+                break;
+            }
+        }
+        base += static_cast<std::size_t>(store.header(seg).bytes);
+    }
+    return base;
+}
+
+} // namespace testing
 
 } // namespace oha::exec

@@ -1,25 +1,33 @@
 /**
  * @file
  * Deterministic event-trace capture and replay (record once, analyze
- * many).
+ * many), at billion-event scale.
  *
  * The paper assumes a deterministic record/replay environment:
  * rollback after an invariant violation is "deterministic
  * re-execution under the sound hybrid analysis" (Section 2.3).  Our
  * interpreter already *is* that environment — an execution is a pure
  * function of (module, input, schedule seed) and tools never perturb
- * it — but the evaluation pipeline used to pay for the determinism
- * without exploiting it, running every testing input through the full
- * fetch/decode/eval loop once per analysis configuration.
+ * it — so the pipeline executes an input once with a TraceRecorder
+ * sink that captures the complete analysis-relevant event stream,
+ * then drives any number of analysis configurations from a
+ * TraceReplayer that performs only decode + plan filtering + tool
+ * dispatch.
  *
- * This subsystem executes an input once with a TraceRecorder sink
- * that captures the complete analysis-relevant event stream — memory
- * accesses, sync operations, spawns/joins, calls/returns, block
- * entries — into a compact arena-backed byte buffer, then drives any
- * number of analysis configurations from a TraceReplayer that decodes
- * the stream and performs only plan filtering + tool dispatch.
- * Rollback becomes a replay under the hybrid plan instead of a second
- * full execution.
+ * Storage model: the stream is a sequence of immutable *segments*.
+ * Capture appends into an open arena-backed TraceBuffer; when the
+ * open segment crosses `OHA_TRACE_SEGMENT_BYTES` (default 64 MiB —
+ * small traces never spill and stay all-in-RAM exactly as before) it
+ * is closed at a record boundary and its bytes are written to an
+ * unlinked temp file.  Each closed segment carries a SegmentHeader
+ * (record/step counts, per-tid presence bitmap, first/last
+ * instruction ids, byte length, flags) so replayers can skip or seek
+ * without decoding.  Replay reads spilled segments through per-cursor
+ * read-only mmap windows — one segment mapped at a time per replay —
+ * so peak resident trace bytes are O(segment size × concurrent
+ * replays), not O(trace size).  Segments are immutable after close:
+ * any number of replays (different tools, different shards) may read
+ * one capture concurrently.
  *
  * Encoding (varint/zigzag-delta, one record per fired event):
  *
@@ -45,6 +53,20 @@
  *   thread start: varint parent tid + varint spawn site (+1; 0 means
  *                 kNoInstr, i.e. the main thread).
  *
+ * Optional value payload: when a capture is recorded with
+ * `TraceStoreOptions::captureValues`, every Load/Store record is
+ * followed by the loaded/stored Value (kind byte + kind-dependent
+ * varints), and the segment header carries
+ * SegmentHeader::kFlagHasValues so replayers know to decode it.  The
+ * record header byte has no spare bits (2 kind + 1 step + 5 tid), so
+ * the flag is stream-level, carried per segment.  Value-consuming
+ * tools can then replay instead of forcing a live run; payload-free
+ * captures remain byte-identical to the original encoding.
+ *
+ * Delta chains (instr/obj/block) reset at every segment boundary, so
+ * each segment decodes standalone — a seek never needs the previous
+ * segment's tail state.
+ *
  * Frame identifiers are *not* encoded: the interpreter assigns them
  * globally sequentially from 1, so the replayer reconstructs
  * identical frame ids (and Ret's caller frame / call-site context)
@@ -52,10 +74,7 @@
  *
  * Replay fidelity: delivered events, ordering, per-tool counts, step
  * counts, outputs and abort semantics are byte-identical to a live
- * run of the same tools under the same plans.  The only EventCtx
- * field not reconstructed is `value` (loaded/stored/returned Values),
- * which no current tool consumes; a tool that needs values must run
- * live or the codec must grow a value payload.
+ * run of the same tools under the same plans.
  */
 
 #pragma once
@@ -69,7 +88,8 @@
 
 namespace oha::exec {
 
-/** Arena-backed append-only byte stream with varint/zigzag codec. */
+/** Arena-backed append-only byte stream with varint/zigzag codec.
+ *  One TraceBuffer holds one (open or closed-in-RAM) segment. */
 class TraceBuffer
 {
   public:
@@ -109,71 +129,22 @@ class TraceBuffer
     /** Payload bytes written so far. */
     std::size_t sizeBytes() const { return bytes_; }
 
-    /** Sequential decoder over the buffer.  The buffer must stay
-     *  alive and unmodified while readers exist; concurrent readers
-     *  over one buffer are safe (reads only). */
-    class Reader
+    /** Visit the written bytes as contiguous (pointer, length) spans
+     *  in stream order.  The buffer must not be appended to while the
+     *  spans are in use. */
+    template <typename Fn>
+    void
+    forEachSpan(Fn &&fn) const
     {
-      public:
-        bool
-        atEnd() const
-        {
-            return ptr_ == end_ && nextChunk_ >= buffer_->chunks_.size();
+        for (std::size_t i = 0; i < chunks_.size(); ++i) {
+            const Chunk &chunk = chunks_[i];
+            const std::uint8_t *end = i + 1 == chunks_.size()
+                                          ? wptr_
+                                          : chunk.data + chunk.size;
+            if (end != chunk.data)
+                fn(chunk.data, static_cast<std::size_t>(end - chunk.data));
         }
-
-        std::uint8_t
-        byte()
-        {
-            // Hot path: one pointer compare + deref.  Chunk hops only
-            // every kChunkBytes bytes.
-            if (ptr_ == end_)
-                loadNextChunk();
-            return *ptr_++;
-        }
-
-        std::uint64_t
-        varint()
-        {
-            std::uint64_t value = 0;
-            unsigned shift = 0;
-            while (true) {
-                const std::uint8_t b = byte();
-                value |= (std::uint64_t{b} & 0x7f) << shift;
-                if (!(b & 0x80))
-                    return value;
-                shift += 7;
-            }
-        }
-
-        std::int64_t
-        zigzag()
-        {
-            const std::uint64_t raw = varint();
-            return static_cast<std::int64_t>(raw >> 1) ^
-                   -static_cast<std::int64_t>(raw & 1);
-        }
-
-      private:
-        friend class TraceBuffer;
-        explicit Reader(const TraceBuffer *buffer) : buffer_(buffer) {}
-
-        void
-        loadNextChunk()
-        {
-            const Chunk &chunk = buffer_->chunks_[nextChunk_++];
-            ptr_ = chunk.data;
-            end_ = nextChunk_ == buffer_->chunks_.size()
-                       ? buffer_->wptr_
-                       : ptr_ + chunk.size;
-        }
-
-        const TraceBuffer *buffer_;
-        const std::uint8_t *ptr_ = nullptr;
-        const std::uint8_t *end_ = nullptr;
-        std::size_t nextChunk_ = 0;
-    };
-
-    Reader reader() const { return Reader(this); }
+    }
 
   private:
     static constexpr std::size_t kChunkBytes = 64 * 1024;
@@ -200,6 +171,405 @@ class TraceBuffer
     std::size_t bytes_ = 0;
 };
 
+/** Per-segment index entry, filled during capture so replay can skip
+ *  or seek without decoding the payload. */
+struct SegmentHeader
+{
+    std::uint64_t records = 0;   ///< records of any kind
+    std::uint64_t steps = 0;     ///< records carrying the step flag
+    std::uint64_t tidBitmap = 0; ///< bit min(tid, 63) per present tid
+    InstrId firstInstr = kNoInstr; ///< first instr-event site (or kNoInstr)
+    InstrId lastInstr = kNoInstr;  ///< last instr-event site (or kNoInstr)
+    std::uint64_t bytes = 0;     ///< encoded payload length
+    std::uint64_t leanEntries = 0; ///< sidecar LeanEvent count
+    std::uint8_t flags = 0;
+
+    /** Load/Store records carry a trailing value payload. */
+    static constexpr std::uint8_t kFlagHasValues = 1;
+    /** Segment lives in the spill file, not in RAM. */
+    static constexpr std::uint8_t kFlagSpilled = 2;
+};
+
+/**
+ * One pre-decoded sidecar entry for the lean worker decode of a
+ * sharded replay.  The recorder appends these alongside the encoded
+ * stream for exactly the event classes a race-detection worker
+ * consumes — Load/Store accesses, Lock/Unlock, Spawn/Join, and
+ * thread lifecycle — at the moment it already holds the decoded
+ * fields, so capture cost is one 24-byte store per relevant event.
+ * Worker shards then replay from this index in O(relevant events)
+ * instead of decoding the full stream; value payloads are
+ * deliberately omitted (no sync/race tool reads them — tools that do
+ * attach to the full-fidelity primary shard).
+ */
+struct LeanEvent
+{
+    InstrId instr = kNoInstr; ///< event site; kNoInstr for lifecycle
+    ObjectId obj = 0;         ///< access/lock object (else 0)
+    /** Access/lock offset; for ThreadStart, spawnSite + 1 (0 = none). */
+    std::uint32_t off = 0;
+    ThreadId tid = 0;
+    /** Spawn/Join: other tid; ThreadStart: parent tid. */
+    std::uint32_t aux = 0;
+    /** EventClass, or one of the lifecycle markers below. */
+    std::uint8_t cls = 0;
+    std::uint8_t pad_[3] = {0, 0, 0};
+
+    static constexpr std::uint8_t kThreadStartCls = 0xfe;
+    static constexpr std::uint8_t kThreadFinishCls = 0xff;
+};
+static_assert(sizeof(LeanEvent) == 24 && alignof(LeanEvent) == 4,
+              "LeanEvent layout is an on-disk format");
+
+/**
+ * Unlinked on-disk overflow file shared by all spilled segments of
+ * one capture.  Append-only during recording; immutable and
+ * mmap-readable afterwards.  The file is unlinked at creation, so it
+ * vanishes with the last handle even on crash.
+ */
+class SpillFile
+{
+  public:
+    /** Read-only mmap window over one segment.  Mapped bytes are
+     *  accounted in the global counters exposed under
+     *  exec::testing so tests can assert the resident-bytes bound. */
+    class Mapping
+    {
+      public:
+        Mapping(void *base, std::size_t mapLen, std::size_t headSlack);
+        ~Mapping();
+        Mapping(const Mapping &) = delete;
+        Mapping &operator=(const Mapping &) = delete;
+
+        const std::uint8_t *
+        data() const
+        {
+            return static_cast<const std::uint8_t *>(base_) + headSlack_;
+        }
+
+      private:
+        void *base_;
+        std::size_t mapLen_;
+        std::size_t headSlack_; ///< offset round-down to page boundary
+    };
+
+    /** Create an unlinked temp file under $TMPDIR (default /tmp).
+     *  Returns null (with a warning) when the directory is not
+     *  writable — callers then keep segments in RAM. */
+    static std::shared_ptr<SpillFile> create();
+
+    ~SpillFile();
+    SpillFile(const SpillFile &) = delete;
+    SpillFile &operator=(const SpillFile &) = delete;
+
+    /** Append the buffer's bytes; on success stores the segment's
+     *  starting offset in @p offsetOut.  A short write (disk full)
+     *  warns and returns false with the file truncated back, so the
+     *  caller can fall back to RAM. */
+    bool append(const TraceBuffer &buffer, std::uint64_t &offsetOut);
+
+    /** Append @p len raw bytes, first padding the file to an 8-byte
+     *  offset so mmap'd LeanEvent arrays land naturally aligned
+     *  (page-aligned mapping base + 8-aligned head slack).  Same
+     *  failure contract as the buffer overload. */
+    bool append(const void *data, std::size_t len,
+                std::uint64_t &offsetOut);
+
+    /** Map @p length bytes at @p offset read-only.  Null on mmap
+     *  failure. */
+    std::shared_ptr<const Mapping> map(std::uint64_t offset,
+                                       std::size_t length) const;
+
+  private:
+    explicit SpillFile(int fd) : fd_(fd) {}
+
+    /** pwrite loop at the current tail; advances size_.  False (with
+     *  a warning) on unrecoverable write failure. */
+    bool writeAll(const std::uint8_t *data, std::size_t len);
+
+    int fd_;
+    std::uint64_t size_ = 0;
+};
+
+/** Sequential decoder over one segment's byte spans (arena chunks
+ *  for in-RAM segments, a single mmap window for spilled ones).  The
+ *  owning TraceStore must outlive the cursor; the cursor itself keeps
+ *  the mmap window alive.  Concurrent cursors over one segment are
+ *  safe (reads only). */
+class SegmentCursor
+{
+  public:
+    bool
+    atEnd() const
+    {
+        return ptr_ == end_ && next_ >= spans_.size();
+    }
+
+    std::uint8_t
+    byte()
+    {
+        // Hot path: one pointer compare + deref.  Span hops only
+        // every chunk (64 KiB) or never (mmap).
+        if (ptr_ == end_)
+            loadNextSpan();
+        return *ptr_++;
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t value = 0;
+        unsigned shift = 0;
+        while (true) {
+            const std::uint8_t b = byte();
+            value |= (std::uint64_t{b} & 0x7f) << shift;
+            if (!(b & 0x80))
+                return value;
+            shift += 7;
+        }
+    }
+
+    std::int64_t
+    zigzag()
+    {
+        const std::uint64_t raw = varint();
+        return static_cast<std::int64_t>(raw >> 1) ^
+               -static_cast<std::int64_t>(raw & 1);
+    }
+
+    /** Bytes consumed so far within this segment. */
+    std::size_t
+    consumed() const
+    {
+        return before_ + static_cast<std::size_t>(ptr_ - begin_);
+    }
+
+  private:
+    friend class TraceStore;
+
+    struct Span
+    {
+        const std::uint8_t *data;
+        std::size_t size;
+    };
+
+    void
+    loadNextSpan()
+    {
+        before_ += static_cast<std::size_t>(end_ - begin_);
+        const Span &span = spans_[next_++];
+        begin_ = ptr_ = span.data;
+        end_ = span.data + span.size;
+    }
+
+    std::vector<Span> spans_;
+    std::shared_ptr<const void> keepAlive_; ///< mmap window, if any
+    const std::uint8_t *begin_ = nullptr;
+    const std::uint8_t *ptr_ = nullptr;
+    const std::uint8_t *end_ = nullptr;
+    std::size_t next_ = 0;
+    std::size_t before_ = 0;
+};
+
+/** Encode @p value as a trace value payload (kind byte +
+ *  kind-dependent varints). */
+inline void
+encodeTraceValue(TraceBuffer &out, const Value &value)
+{
+    out.putByte(static_cast<std::uint8_t>(value.kind));
+    switch (value.kind) {
+      case ValueKind::Scalar:
+        out.putZigzag(value.num);
+        break;
+      case ValueKind::Pointer:
+        out.putVarint(value.obj);
+        out.putVarint(value.off);
+        break;
+      case ValueKind::FuncPtr:
+      case ValueKind::Thread:
+        out.putVarint(value.idx);
+        break;
+    }
+}
+
+/** Inverse of encodeTraceValue. */
+inline Value
+decodeTraceValue(SegmentCursor &in)
+{
+    switch (static_cast<ValueKind>(in.byte())) {
+      case ValueKind::Scalar:
+        return Value::scalar(in.zigzag());
+      case ValueKind::Pointer: {
+        const auto obj = static_cast<ObjectId>(in.varint());
+        const auto off = static_cast<std::uint32_t>(in.varint());
+        return Value::pointer(obj, off);
+      }
+      case ValueKind::FuncPtr:
+        return Value::funcPtr(static_cast<FuncId>(in.varint()));
+      case ValueKind::Thread:
+        return Value::thread(static_cast<ThreadId>(in.varint()));
+    }
+    OHA_ASSERT(false, "corrupt trace value payload");
+    return {};
+}
+
+/** Capture knobs for one TraceStore. */
+struct TraceStoreOptions
+{
+    /** Close + spill the open segment once it reaches this many
+     *  bytes.  0 means "read OHA_TRACE_SEGMENT_BYTES" (default
+     *  64 MiB).  Small traces never cross the threshold and stay
+     *  entirely in RAM, single-segment. */
+    std::size_t segmentBytes = 0;
+    /** Append a value payload to every Load/Store record. */
+    bool captureValues = false;
+};
+
+/** OHA_TRACE_SEGMENT_BYTES with validation/clamping (see
+ *  support::envSizeBytes); re-read on every call. */
+std::size_t configuredSegmentBytes();
+
+/**
+ * The segmented trace store: one open TraceBuffer receiving records
+ * plus a list of closed, immutable segments (spilled to the overflow
+ * file, or kept in RAM when spilling is unavailable).  The recording
+ * side is driven by TraceRecorder; after finish() the store is
+ * read-only and safe to share across concurrent replays.
+ */
+class TraceStore
+{
+  public:
+    TraceStore() : TraceStore(TraceStoreOptions{}) {}
+    explicit TraceStore(const TraceStoreOptions &options);
+
+    TraceStore(TraceStore &&) = default;
+    TraceStore &operator=(TraceStore &&) = default;
+
+    // ---- recording side (TraceRecorder only) ----
+
+    /** The open segment's byte stream. */
+    TraceBuffer &open() { return open_; }
+
+    /** Account one appended record in the open segment's header. */
+    void
+    noteRecord(ThreadId tid, bool step)
+    {
+        ++openHeader_.records;
+        openHeader_.steps += step;
+        openHeader_.tidBitmap |= std::uint64_t{1} << (tid < 63 ? tid : 63);
+    }
+
+    /** Account one instr-event site in the open segment's header. */
+    void
+    noteInstr(InstrId id)
+    {
+        if (openHeader_.firstInstr == kNoInstr)
+            openHeader_.firstInstr = id;
+        openHeader_.lastInstr = id;
+    }
+
+    /** Append one pre-decoded sidecar entry for the record just
+     *  encoded into the open segment (see LeanEvent). */
+    void noteLean(const LeanEvent &event) { openLean_.push_back(event); }
+
+    /** Should the open segment close?  Checked at record boundaries
+     *  only, so segments close between records, never inside one. */
+    bool openOverThreshold() const
+    {
+        return open_.sizeBytes() >= segmentBytes_;
+    }
+
+    /** Close the open segment: spill it to the overflow file (kept
+     *  in RAM with a warning when spilling fails) and start a fresh
+     *  open segment.  The caller must reset its delta chains. */
+    void closeOpenSegment();
+
+    /** End recording: the open segment (below the spill threshold by
+     *  construction) becomes a final in-RAM segment, or is dropped
+     *  when empty.  The store is read-only afterwards. */
+    void finish();
+
+    // ---- read side ----
+
+    std::size_t numSegments() const { return segments_.size(); }
+
+    const SegmentHeader &
+    header(std::size_t i) const
+    {
+        return segments_[i].header;
+    }
+
+    /** Decoder positioned at the start of segment @p i.  Spilled
+     *  segments are mapped for the cursor's lifetime; in-RAM
+     *  segments borrow the store's arena. */
+    SegmentCursor cursor(std::size_t i) const;
+
+    /** Borrowed view over one segment's sidecar index (possibly
+     *  empty).  Spilled sidecars are mapped for the view's
+     *  lifetime. */
+    struct LeanIndexView
+    {
+        const LeanEvent *data = nullptr;
+        std::size_t count = 0;
+        std::shared_ptr<const SpillFile::Mapping> keepAlive;
+    };
+
+    LeanIndexView leanIndex(std::size_t i) const;
+
+    /** Did any segment reach the overflow file? */
+    bool spilled() const { return file_ != nullptr; }
+
+    /** Total encoded payload bytes across all segments. */
+    std::size_t sizeBytes() const { return totalBytes_; }
+
+    /** Bytes held in RAM (open segment + unspilled closed segments);
+     *  excludes spilled bytes, which cost only an mmap window during
+     *  replay. */
+    std::size_t
+    residentBytes() const
+    {
+        return open_.sizeBytes() + residentClosed_;
+    }
+
+    std::size_t segmentBytesThreshold() const { return segmentBytes_; }
+    bool capturesValues() const { return captureValues_; }
+
+    /** Sidecar-index bytes held in RAM (open segment + unspilled
+     *  closed segments); the stream-byte twin of residentBytes(). */
+    std::size_t
+    leanResidentBytes() const
+    {
+        return openLean_.size() * sizeof(LeanEvent) + leanResident_;
+    }
+
+  private:
+    struct Segment
+    {
+        SegmentHeader header;
+        /** In-RAM payload; null when spilled (then fileOffset is
+         *  valid). */
+        std::unique_ptr<TraceBuffer> buffer;
+        std::uint64_t fileOffset = 0;
+        /** In-RAM sidecar; empty when spilled (then leanFileOffset
+         *  is valid) or when the segment has no relevant events. */
+        std::vector<LeanEvent> lean;
+        std::uint64_t leanFileOffset = 0;
+    };
+
+    std::size_t segmentBytes_;
+    bool captureValues_;
+    bool finished_ = false;
+    bool spillFailed_ = false; ///< warn once, then keep RAM fallback
+    TraceBuffer open_;
+    SegmentHeader openHeader_;
+    std::vector<LeanEvent> openLean_;
+    std::vector<Segment> segments_;
+    std::shared_ptr<SpillFile> file_;
+    std::size_t totalBytes_ = 0;
+    std::size_t residentClosed_ = 0;
+    std::size_t leanResident_ = 0;
+};
+
 /**
  * Interpreter-native recording sink (not a Tool: it sees every event
  * unconditionally, before plan filtering, with the full context).
@@ -208,6 +578,12 @@ class TraceBuffer
 class TraceRecorder
 {
   public:
+    TraceRecorder() = default;
+    explicit TraceRecorder(const TraceStoreOptions &options)
+        : store_(options)
+    {
+    }
+
     /** Mark the start of one guest instruction; the next record
      *  carries the step flag.  Idempotent, so an instruction that
      *  blocks without executing (Lock/Join) leaves the flag pending
@@ -242,60 +618,93 @@ class TraceRecorder
     recordEvent(EventClass cls, ThreadId tid, const ir::Instruction &ins,
                 const EventCtx &ctx)
     {
-        putHeader(kInstrEvent, tid);
+        TraceBuffer &out = store_.open();
+        const bool step = putHeader(out, kInstrEvent, tid);
         const InstrId id = ins.id;
-        buffer_.putZigzag(std::int64_t{id} - prevInstr_);
+        out.putZigzag(std::int64_t{id} - prevInstr_);
         prevInstr_ = id;
         switch (ins.op) {
           case ir::Opcode::Load:
           case ir::Opcode::Store:
+            out.putZigzag(std::int64_t{ctx.obj} - prevObj_);
+            prevObj_ = ctx.obj;
+            out.putVarint(ctx.off);
+            if (store_.capturesValues())
+                encodeTraceValue(out, ctx.value);
+            store_.noteLean({id, ctx.obj, ctx.off, tid, 0,
+                             static_cast<std::uint8_t>(cls)});
+            break;
           case ir::Opcode::Lock:
           case ir::Opcode::Unlock:
-            buffer_.putZigzag(std::int64_t{ctx.obj} - prevObj_);
+            out.putZigzag(std::int64_t{ctx.obj} - prevObj_);
             prevObj_ = ctx.obj;
-            buffer_.putVarint(ctx.off);
+            out.putVarint(ctx.off);
+            store_.noteLean({id, ctx.obj, ctx.off, tid, 0,
+                             static_cast<std::uint8_t>(cls)});
             break;
           case ir::Opcode::ICall:
-            buffer_.putVarint(ctx.calleeResolved);
+            out.putVarint(ctx.calleeResolved);
             break;
           case ir::Opcode::Spawn:
           case ir::Opcode::Join:
-            buffer_.putVarint(ctx.otherTid);
+            out.putVarint(ctx.otherTid);
+            store_.noteLean({id, 0, 0, tid, ctx.otherTid,
+                             static_cast<std::uint8_t>(cls)});
             break;
           case ir::Opcode::Output:
-            buffer_.putZigzag(Interpreter::encodeValue(ctx.value));
+            out.putZigzag(Interpreter::encodeValue(ctx.value));
             break;
           default:
             break;
         }
-        (void)cls;
+        store_.noteInstr(id);
+        endRecord(tid, step);
     }
 
     void
     recordBlockEnter(ThreadId tid, BlockId block)
     {
-        putHeader(kBlockEnter, tid);
-        buffer_.putZigzag(std::int64_t{block} - prevBlock_);
+        TraceBuffer &out = store_.open();
+        const bool step = putHeader(out, kBlockEnter, tid);
+        out.putZigzag(std::int64_t{block} - prevBlock_);
         prevBlock_ = block;
+        endRecord(tid, step);
     }
 
     void
     recordThreadStart(ThreadId tid, ThreadId parent, InstrId spawnSite)
     {
-        putHeader(kThreadStart, tid);
-        buffer_.putVarint(parent);
-        buffer_.putVarint(spawnSite == kNoInstr ? 0
-                                                : std::uint64_t{spawnSite} + 1);
+        TraceBuffer &out = store_.open();
+        const bool step = putHeader(out, kThreadStart, tid);
+        out.putVarint(parent);
+        out.putVarint(spawnSite == kNoInstr ? 0
+                                            : std::uint64_t{spawnSite} + 1);
+        store_.noteLean(
+            {kNoInstr, 0,
+             spawnSite == kNoInstr
+                 ? 0
+                 : static_cast<std::uint32_t>(spawnSite) + 1,
+             tid, parent, LeanEvent::kThreadStartCls});
+        endRecord(tid, step);
     }
 
     void
     recordThreadFinish(ThreadId tid)
     {
-        putHeader(kThreadFinish, tid);
+        const bool step = putHeader(store_.open(), kThreadFinish, tid);
+        store_.noteLean(
+            {kNoInstr, 0, 0, tid, 0, LeanEvent::kThreadFinishCls});
+        endRecord(tid, step);
     }
 
-    /** Move the encoded stream out (recorder is spent afterwards). */
-    TraceBuffer take() { return std::move(buffer_); }
+    /** Finish and move the segmented store out (recorder is spent
+     *  afterwards). */
+    TraceStore
+    take()
+    {
+        store_.finish();
+        return std::move(store_);
+    }
 
     // Record kinds (header bits 0-1).
     static constexpr std::uint8_t kInstrEvent = 0;
@@ -306,37 +715,54 @@ class TraceRecorder
     static constexpr std::uint8_t kTidEscape = 31;
 
   private:
-    void
-    putHeader(std::uint8_t kind, ThreadId tid)
+    bool
+    putHeader(TraceBuffer &out, std::uint8_t kind, ThreadId tid)
     {
         std::uint8_t header = kind;
-        if (pendingStep_) {
+        const bool step = pendingStep_;
+        if (step) {
             header |= 4;
             pendingStep_ = false;
         }
         if (tid < kTidEscape) {
-            buffer_.putByte(header |
-                            static_cast<std::uint8_t>(tid << 3));
+            out.putByte(header | static_cast<std::uint8_t>(tid << 3));
         } else {
-            buffer_.putByte(header |
-                            static_cast<std::uint8_t>(kTidEscape << 3));
-            buffer_.putVarint(tid);
+            out.putByte(header |
+                        static_cast<std::uint8_t>(kTidEscape << 3));
+            out.putVarint(tid);
+        }
+        return step;
+    }
+
+    /** Per-record bookkeeping + spill check.  Runs after the record
+     *  is fully encoded, so segments close only at record
+     *  boundaries; the delta chains restart with the new segment so
+     *  it decodes standalone. */
+    void
+    endRecord(ThreadId tid, bool step)
+    {
+        store_.noteRecord(tid, step);
+        if (store_.openOverThreshold()) {
+            store_.closeOpenSegment();
+            prevInstr_ = 0;
+            prevObj_ = 0;
+            prevBlock_ = 0;
         }
     }
 
-    TraceBuffer buffer_;
+    TraceStore store_;
     bool pendingStep_ = false;
     std::int64_t prevInstr_ = 0;
     std::int64_t prevObj_ = 0;
     std::int64_t prevBlock_ = 0;
 };
 
-/** One recorded execution: the event stream plus the plain run's
- *  outcome.  Immutable after recording; safe to share read-only
- *  across concurrent replays. */
+/** One recorded execution: the segmented event stream plus the plain
+ *  run's outcome.  Immutable after recording; safe to share
+ *  read-only across concurrent replays. */
 struct RecordedTrace
 {
-    TraceBuffer events;
+    TraceStore events;
     /** Result of the recording run (no tools attached, so
      *  `delivered` is empty and the status/steps are those of the
      *  uninstrumented execution). */
@@ -345,6 +771,10 @@ struct RecordedTrace
 
 /** Execute @p config once, uninstrumented, capturing its trace. */
 RecordedTrace recordRun(const ir::Module &module, const ExecConfig &config);
+
+/** Same, with explicit capture knobs (spill threshold, values). */
+RecordedTrace recordRun(const ir::Module &module, const ExecConfig &config,
+                        const TraceStoreOptions &options);
 
 /**
  * Drives attached tools from a recorded trace without re-running
@@ -360,6 +790,34 @@ RecordedTrace recordRun(const ir::Module &module, const ExecConfig &config);
  * aborted run.  A full (un-aborted) replay reports the recorded run's
  * status — including Aborted/StepLimit when the *recording* itself
  * was truncated.
+ *
+ * Sharded replay: setShardFilter(s, n) makes this replayer deliver
+ * Load/Store events only for objects owned by shard s of n
+ * (ownership = object id mod n); all other event classes — sync,
+ * spawn/join, thread lifecycle, call/ret, block enters — are
+ * delivered to every shard, so per-shard tools observe identical
+ * thread/lock state and each memory location is analyzed by exactly
+ * one shard.
+ *
+ * Shard 0 is the primary: its run() is a full replay (complete
+ * RunResult — totalEvents, outputs, frame ids in every EventCtx)
+ * with only the Load/Store filter applied.  Shards > 0 replay from
+ * the per-segment LeanEvent sidecar index the recorder captured
+ * alongside the stream: a worker never touches the encoded bytes at
+ * all, it walks an array of pre-decoded access/sync events and
+ * filters to its partition, so its cost is O(relevant events) rather
+ * than O(stream bytes) and the marginal cost of an extra shard is
+ * far below a full replay.  Lean results carry steps, numThreads,
+ * status and `delivered` (owned deliveries only — per-shard
+ * delivered Load/Store counts still sum to the serial run's); their
+ * totalEvents/outputs are empty, delivered EventCtx frame fields are
+ * zero, and Load/Store values are empty even for value-capturing
+ * traces — none of which FastTrack-style tools read.  Worker-shard
+ * plans must cover only sidecar classes (Load/Store, Lock/Unlock,
+ * Spawn/Join); tools needing calls, rets, blocks, outputs or values
+ * attach to the primary.  Consumers wanting the stream-level result
+ * read it from shard 0 (core::replayFastTrackSharded does exactly
+ * that).
  */
 class TraceReplayer : public ExecutionControl
 {
@@ -378,7 +836,20 @@ class TraceReplayer : public ExecutionControl
         attachments_.push_back({tool, plan});
     }
 
-    /** Replay the recorded stream through the attached tools. */
+    /** Deliver Load/Store only for objects with
+     *  obj % numShards == shard (no-op when numShards <= 1). */
+    void
+    setShardFilter(std::uint32_t shard, std::uint32_t numShards)
+    {
+        OHA_ASSERT(numShards >= 1 && shard < numShards);
+        shard_ = shard;
+        numShards_ = numShards;
+        // Power-of-two shard counts take the mask fast path.
+        shardMask_ = (numShards & (numShards - 1)) == 0 ? numShards - 1 : 0;
+    }
+
+    /** Replay the recorded stream through the attached tools.
+     *  Dispatches to the lean worker decode for shards > 0. */
     RunResult run();
 
     void requestAbort(std::string reason) override;
@@ -392,13 +863,45 @@ class TraceReplayer : public ExecutionControl
         const InstrumentationPlan *plan;
     };
 
+    bool
+    ownsObject(ObjectId obj) const
+    {
+        return shardMask_ ? (obj & shardMask_) == shard_
+                          : obj % numShards_ == shard_;
+    }
+
+    /** Lean decode for non-primary shards (see class comment). */
+    RunResult runLeanShard();
+
     const ir::Module &module_;
     const RecordedTrace &trace_;
     std::vector<Attachment> attachments_;
+
+    std::uint32_t shard_ = 0;
+    std::uint32_t numShards_ = 1;
+    std::uint32_t shardMask_ = 0;
 
     bool abortRequested_ = false;
     std::string abortReason_;
     AbortMetadata abortMeta_;
 };
+
+namespace testing {
+
+/** Trace bytes currently mmap'd across all replays (this process). */
+std::size_t mappedTraceBytesNow();
+/** High-water mark of mappedTraceBytesNow() since the last reset. */
+std::size_t mappedTraceBytesPeak();
+void resetMappedTraceBytesPeak();
+
+/** Byte offset within the concatenated encoded stream immediately
+ *  after the last record of 1-based step @p step — i.e. a spill
+ *  threshold of exactly this value makes the first segment end on
+ *  that step's boundary.  Decodes the stream (test-only pace). */
+std::size_t byteOffsetAfterStep(const ir::Module &module,
+                                const TraceStore &store,
+                                std::uint64_t step);
+
+} // namespace testing
 
 } // namespace oha::exec

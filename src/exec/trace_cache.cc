@@ -91,9 +91,15 @@ std::size_t
 byteSizeEstimate(const RecordedTrace &trace)
 {
     const RunResult &result = trace.result;
-    // Event payload plus one chunk of arena slack (the buffer
-    // allocates in 64 KiB chunks).
-    return sizeof(trace) + trace.events.sizeBytes() + 64 * 1024 +
+    // Charge what the entry actually keeps resident: in-RAM segment
+    // payload plus one chunk of arena slack (buffers allocate in
+    // 64 KiB chunks).  Spilled segments live in the unlinked
+    // overflow file and cost only their index entry here — replays
+    // page them in through transient mmap windows, so a cached
+    // billion-event capture does not evict the whole budget.
+    return sizeof(trace) + trace.events.residentBytes() +
+           trace.events.leanResidentBytes() + 64 * 1024 +
+           trace.events.numSegments() * (sizeof(SegmentHeader) + 64) +
            result.abortReason.capacity() +
            result.outputs.capacity() *
                sizeof(std::pair<InstrId, std::int64_t>) +

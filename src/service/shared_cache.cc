@@ -6,6 +6,7 @@
 
 #include "ir/module.h"
 #include "ir/printer.h"
+#include "support/env.h"
 
 namespace oha::service {
 
@@ -13,19 +14,15 @@ namespace {
 
 std::atomic<bool> forceCollisions{false};
 
-/** Default byte budget: OHA_CACHE_BUDGET_MB, else 256 MB. */
+/** Default byte budget: OHA_CACHE_BUDGET_MB (validated + clamped to
+ *  [1 MiB, 1 TiB] by the shared env helper), else 256 MiB. */
 std::size_t
 defaultByteBudget()
 {
-    if (const char *env = std::getenv("OHA_CACHE_BUDGET_MB")) {
-        char *end = nullptr;
-        const unsigned long parsed = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && parsed > 0)
-            return std::size_t{parsed} * 1024 * 1024;
-        OHA_WARN("ignoring malformed OHA_CACHE_BUDGET_MB value '%s'",
-                 env);
-    }
-    return std::size_t{256} * 1024 * 1024;
+    return support::envSizeBytes("OHA_CACHE_BUDGET_MB",
+                                 std::size_t{256} << 20, std::size_t{1} << 20,
+                                 std::size_t{1} << 40,
+                                 /*unit=*/std::size_t{1} << 20);
 }
 
 /**

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Validated environment-variable parsing for size/count knobs.
+ *
+ * Every tunable the pipeline reads from the environment —
+ * OHA_CACHE_BUDGET_MB, OHA_TRACE_SEGMENT_BYTES, OHA_REPLAY_SHARDS —
+ * goes through one helper with the same contract configuredThreads()
+ * established for OHA_THREADS: garbage never crashes or silently
+ * misconfigures (warn + default), out-of-range values are clamped
+ * with a warning, and a well-formed value is honored exactly.
+ * (OHA_THREADS itself keeps its bespoke cached parser in
+ * thread_pool.h because its default is dynamic — see
+ * refreshConfiguredThreads(); the validation semantics match.)
+ */
+
+#pragma once
+
+#include <cstdlib>
+
+#include "support/common.h"
+
+namespace oha::support {
+
+/**
+ * Parse environment variable @p name as a non-negative integer scaled
+ * by @p unit (bytes per unit; 1 for plain counts), clamped to
+ * [@p minValue, @p maxValue].
+ *
+ *  - unset            -> @p defaultValue, silently;
+ *  - malformed (empty, trailing junk, not a number) -> @p defaultValue
+ *    with a warning;
+ *  - below/above the clamp range -> the nearest bound with a warning.
+ *
+ * The environment is re-read on every call (callers are cold paths:
+ * once per capture / replay / cache construction), so tests may
+ * setenv() between pipeline invocations without a refresh hook.
+ * @p defaultValue, @p minValue and @p maxValue are post-scaling
+ * byte/count values; the clamp is applied after the unit multiply so
+ * an overflowing product also lands on @p maxValue.
+ */
+inline std::size_t
+envSizeBytes(const char *name, std::size_t defaultValue,
+             std::size_t minValue, std::size_t maxValue,
+             std::size_t unit = 1)
+{
+    OHA_ASSERT(minValue <= maxValue && unit > 0);
+    const char *env = std::getenv(name);
+    if (!env)
+        return defaultValue;
+    // strtoull tolerates leading whitespace and wraps negatives;
+    // require a plain digit string so "-3" and " 5" count as
+    // malformed rather than silently becoming huge/valid.
+    char *end = nullptr;
+    const unsigned long long parsed =
+        (env[0] >= '0' && env[0] <= '9') ? std::strtoull(env, &end, 10)
+                                         : 0;
+    if (end == env || !end || *end != '\0') {
+        OHA_WARN("ignoring malformed %s value '%s' (using default %zu)",
+                 name, env, defaultValue);
+        return defaultValue;
+    }
+    // Overflow-safe scale: saturate instead of wrapping.
+    if (parsed > static_cast<unsigned long long>(maxValue) / unit) {
+        OHA_WARN("clamping %s value %llu to maximum %zu", name, parsed,
+                 maxValue);
+        return maxValue;
+    }
+    const std::size_t value = static_cast<std::size_t>(parsed) * unit;
+    if (value < minValue) {
+        OHA_WARN("clamping %s value %llu to minimum %zu", name, parsed,
+                 minValue);
+        return minValue;
+    }
+    return value;
+}
+
+} // namespace oha::support

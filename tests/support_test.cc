@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
 #include "support/bdd.h"
 #include "support/bloom_filter.h"
+#include "support/env.h"
 #include "support/rng.h"
 #include "support/sparse_bit_set.h"
 #include "support/table.h"
@@ -272,6 +274,46 @@ TEST(Format, TimeAndSpeedup)
     EXPECT_EQ(fmtTime(9), "9s");
     EXPECT_EQ(fmtSpeedup(3.54), "3.5x");
     EXPECT_EQ(fmtDouble(1.266, 2), "1.27");
+}
+
+TEST(EnvSizeBytes, ValidationContract)
+{
+    const char *name = "OHA_TEST_ENV_SIZE_BYTES";
+    unsetenv(name);
+    // Unset: default, no clamping of the default itself.
+    EXPECT_EQ(support::envSizeBytes(name, 42, 1, 100), 42u);
+
+    // Well-formed values are honored exactly.
+    ASSERT_EQ(setenv(name, "7", 1), 0);
+    EXPECT_EQ(support::envSizeBytes(name, 42, 1, 100), 7u);
+
+    // Malformed: trailing junk, pure garbage, empty -> default + warn.
+    for (const char *bad : {"12abc", "abc", "", "-3", " 5"}) {
+        ASSERT_EQ(setenv(name, bad, 1), 0);
+        EXPECT_EQ(support::envSizeBytes(name, 42, 1, 100), 42u) << bad;
+    }
+
+    // Out-of-range values clamp to the nearest bound.
+    ASSERT_EQ(setenv(name, "0", 1), 0);
+    EXPECT_EQ(support::envSizeBytes(name, 42, 5, 100), 5u);
+    ASSERT_EQ(setenv(name, "1000", 1), 0);
+    EXPECT_EQ(support::envSizeBytes(name, 42, 5, 100), 100u);
+
+    // Unit scaling (e.g. OHA_CACHE_BUDGET_MB): clamp is post-scale.
+    ASSERT_EQ(setenv(name, "3", 1), 0);
+    EXPECT_EQ(support::envSizeBytes(name, 1u << 20, 1u << 20, 1u << 30,
+                                    1u << 20),
+              3u << 20);
+
+    // Products that would overflow saturate at the maximum.
+    ASSERT_EQ(setenv(name, "18446744073709551615", 1), 0);
+    EXPECT_EQ(support::envSizeBytes(name, 42, 1, 100), 100u);
+    ASSERT_EQ(setenv(name, "1099511627776", 1), 0); // 1 TiB in MiB units
+    EXPECT_EQ(support::envSizeBytes(name, 1u << 20, 1u << 20, 1u << 30,
+                                    1u << 20),
+              1u << 30);
+
+    unsetenv(name);
 }
 
 } // namespace
