@@ -63,13 +63,19 @@ bench)
 bench-release)
     build_dir=build-ci-release
     cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
-    cmake --build "$build_dir" -j "$jobs" --target microbench_trace
+    cmake --build "$build_dir" -j "$jobs" --target microbench_trace \
+        microbench_incremental
     # Force a low segment threshold so the smoke run exercises the
     # segmented spill-to-disk capture path and the sharded-replay
     # series end to end (BENCH_microbench_trace.json is uploaded as
     # an artifact by the workflow).
     OHA_BENCH_SMOKE=1 OHA_TRACE_SEGMENT_BYTES=8192 \
         "$build_dir"/bench/microbench_trace
+    # Incremental re-analysis smoke: parity between the patched and
+    # from-scratch solves is asserted even in smoke mode; the 5x
+    # speedup bar is a warning here (shared-runner timing).  The
+    # workflow uploads BENCH_microbench_incremental.json.
+    OHA_BENCH_SMOKE=1 "$build_dir"/bench/microbench_incremental
     ;;
 faults)
     build_dir=build-ci
@@ -96,7 +102,7 @@ service)
     # sharded-replay paths whose captures and spill files are shared
     # across concurrent replays.
     OHA_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
-        -R 'RequestQueue|AnalysisService|LruList|SharedCache|ConfiguredThreads|TraceCodec|SegmentedCapture|SegmentedPipeline|ShardedReplayParity|ShardedPipeline|EnvSizeBytes'
+        -R 'RequestQueue|AnalysisService|LruList|SharedCache|ConfiguredThreads|TraceCodec|SegmentedCapture|SegmentedPipeline|ShardedReplayParity|ShardedPipeline|EnvSizeBytes|IncrementalAndersen|ModuleDiff|SharedCacheLineage'
     # Smoke throughput run; the binary exits non-zero if the parity,
     # warm-hit-rate, or warm-latency acceptance bars fail.
     OHA_BENCH_SMOKE=1 OHA_THREADS=4 "$build_dir"/bench/service_throughput

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Constraint-level lowering of an ir::ModuleDiff, plus the
+ * cross-version mapping utilities shared by the incremental Andersen
+ * solve (AndersenSolver::resolveIncremental) and the downstream
+ * per-function invalidation in the detector / slicer memo layer.
+ *
+ * The central object is the *taint closure*: starting from the
+ * functions whose constraints differ between two module versions
+ * (changed bodies, removed/added functions, functions whose invariant
+ * slice differs), close over the flow edges of a completed base solve —
+ * call/spawn edges in both directions, and store -> load edges through
+ * abstract cells — to find every function whose points-to values could
+ * differ in the new fixpoint.  Everything outside the closure keeps its
+ * base values verbatim; everything inside is recomputed from the sound
+ * base (the "dirtied SCC region" is recomputed, never patched by
+ * deleting bits, which would be unsound).
+ */
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/andersen.h"
+#include "ir/module_diff.h"
+
+namespace oha::analysis {
+
+/** An ir::ModuleDiff lowered to constraint granularity. */
+struct ConstraintDiff
+{
+    /** The structural diff this was lowered from. */
+    ir::ModuleDiff structural;
+
+    /**
+     * Functions present in both versions whose constraint set differs:
+     * changed bodies plus functions whose per-function invariant slice
+     * (visited blocks, callee sets, singleton/elidable/must-alias
+     * facts) differs between the two invariant sets.
+     */
+    std::set<std::string> seeds;
+
+    bool globalsChanged = false;
+
+    /** Either invariant set records call-context invariants (CS
+     *  predicated cloning is pruned by them; contexts then have no
+     *  stable cross-version identity, so CS patching falls back). */
+    bool hasCallContextsEither = false;
+
+    /** Any function with differing constraints contains a live Spawn
+     *  or Join in either version — join edges connect *all* spawned
+     *  functions to *every* joiner, so joiners must be recomputed. */
+    bool spawnStructureTouched = false;
+
+    /** Constraint-generating instructions on the next/base side of the
+     *  differing functions (reporting only). */
+    std::size_t constraintsAdded = 0;
+    std::size_t constraintsRemoved = 0;
+
+    /** False when incremental patching cannot be attempted at all
+     *  (globals changed, or exactly one side is predicated). */
+    bool usable = false;
+
+    /** Seed names for the taint closure on either side: differing
+     *  constraints plus functions that exist in only one version. */
+    std::set<std::string>
+    seedNames() const
+    {
+        std::set<std::string> names = seeds;
+        names.insert(structural.added.begin(), structural.added.end());
+        names.insert(structural.removed.begin(), structural.removed.end());
+        return names;
+    }
+};
+
+/**
+ * Lower @p diff to constraint granularity under the two invariant sets
+ * (null = sound).  @p baseInv must be the set the cached base result
+ * was solved with; @p nextInv the set the new solve will assume.
+ */
+ConstraintDiff lowerToConstraints(const ir::Module &base,
+                                  const ir::Module &next,
+                                  const ir::ModuleDiff &diff,
+                                  const inv::InvariantSet *baseInv,
+                                  const inv::InvariantSet *nextInv);
+
+/**
+ * Per-node taint of a completed solve, in public coordinates: which
+ * register/return slots of which context instances, and which cells,
+ * may hold a DIFFERENT value once the diff is applied.
+ *
+ * Taint is directed forward reachability in the value-flow graph of
+ * the base solve (copy edges, pts-derived load/store edges, gep
+ * edges, call/ret/join plumbing, indirect-call resolution) from every
+ * node of the seed functions.  Downstream-only: a caller's unrelated
+ * registers, and sibling callees whose inputs don't derive from a
+ * seed, stay clean — this is what keeps the recomputed region small
+ * (a per-function undirected closure would flood the entire connected
+ * call component).
+ *
+ * Everything clean keeps its base value verbatim in the new fixpoint
+ * provided additions are re-propagated monotonically (the incremental
+ * solver does exactly that); everything tainted must be recomputed
+ * from the sound base.
+ */
+struct NodeTaint
+{
+    /** Cells whose contents may shrink (targets of possibly-removed
+     *  or re-pointed stores, transitively). */
+    SparseBitSet cells;
+    /** Per context instance: numRegs+1 flags, last one the return
+     *  node. */
+    std::vector<std::vector<char>> regs;
+};
+
+NodeTaint nodeTaintClosure(const ir::Module &module,
+                           const AndersenResult &pts,
+                           const ConstraintDiff &diff,
+                           const inv::InvariantSet *inv);
+
+/**
+ * Per-FuncId projection of nodeTaintClosure: a function is tainted
+ * when any of its nodes (any context) is, or it is a seed.  @p pts
+ * must be a completed result for @p module; @p inv the invariant set
+ * it was solved under.  Runs on the base side to bound what the
+ * incremental solver may reuse, and on the next side (unioned) to
+ * bound what the detector / slicer patchers may reuse.
+ */
+std::vector<bool> constraintTaintClosure(const ir::Module &module,
+                                         const AndersenResult &pts,
+                                         const ConstraintDiff &diff,
+                                         const inv::InvariantSet *inv);
+
+/** Cross-version id maps for body-unchanged functions. */
+struct VersionMap
+{
+    /** base FuncId -> next FuncId for name-matched functions (any
+     *  body), else kNoFunc. */
+    std::vector<FuncId> funcMap;
+    /** Per base FuncId: name-matched and fingerprint-identical. */
+    std::vector<char> bodyUnchanged;
+    /** base -> next instruction ids, body-unchanged functions only
+     *  (positional: identical canonical text implies identical
+     *  shape); kNoInstr elsewhere. */
+    std::vector<InstrId> instrMap;
+    /** base -> next block ids, likewise; kNoBlock elsewhere. */
+    std::vector<BlockId> blockMap;
+};
+
+VersionMap buildVersionMap(const ir::Module &base, const ir::Module &next);
+
+/**
+ * Map base context-instance ids onto next ones by signature (function
+ * name + call-site chain mapped through @p map + fallback flag).
+ * Unmappable contexts (chains through changed functions, or shapes the
+ * next solve did not build) get ~0u.
+ */
+std::vector<std::uint32_t>
+mapContexts(const ir::Module &base, const ir::Module &next,
+            const VersionMap &map,
+            const std::vector<ContextInstance> &baseCtxs,
+            const std::vector<ContextInstance> &nextCtxs);
+
+/**
+ * Map base abstract-memory cells onto next cells: globals by index
+ * (caller must have rejected globalsChanged), functions by name,
+ * allocation sites by (mapped instruction, mapped context).
+ * Unmappable cells get kNoCell.
+ */
+std::vector<CellId> mapCells(const MemoryModel &baseMem,
+                             const MemoryModel &nextMem,
+                             const VersionMap &map,
+                             const std::vector<std::uint32_t> &ctxMap);
+
+/**
+ * Translate a base-side cell set through @p cellMap into @p out.
+ * Returns false (leaving @p out unspecified) if any element is
+ * unmappable.
+ */
+bool translateCellSet(const SparseBitSet &in,
+                      const std::vector<CellId> &cellMap,
+                      SparseBitSet &out);
+
+/**
+ * Per-next-FuncId dirty flags for downstream (lockset/MHP/slice)
+ * per-function invalidation: the union of the base-side taint closure
+ * (mapped across versions) and the next-side closure, so removals
+ * travelling base flow and additions travelling new flow are both
+ * covered.  Functions without a body-unchanged base counterpart are
+ * always dirty.
+ */
+std::vector<bool> unionDirtyClosure(const ir::Module &base,
+                                    const AndersenResult &basePts,
+                                    const ir::Module &next,
+                                    const AndersenResult &nextPts,
+                                    const ConstraintDiff &diff,
+                                    const inv::InvariantSet *baseInv,
+                                    const inv::InvariantSet *nextInv);
+
+} // namespace oha::analysis

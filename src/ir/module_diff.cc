@@ -1,0 +1,56 @@
+#include "ir/module_diff.h"
+
+#include <algorithm>
+
+namespace oha::ir {
+
+ModuleDiff
+computeModuleDiff(const Module &base, const Module &next)
+{
+    OHA_ASSERT(base.finalized() && next.finalized(),
+               "diff requires finalized modules");
+
+    ModuleDiff diff;
+
+    const auto &baseGlobals = base.globals();
+    const auto &nextGlobals = next.globals();
+    if (baseGlobals.size() != nextGlobals.size()) {
+        diff.globalsChanged = true;
+    } else {
+        for (std::size_t i = 0; i < baseGlobals.size(); ++i) {
+            if (baseGlobals[i].name != nextGlobals[i].name ||
+                baseGlobals[i].size != nextGlobals[i].size) {
+                diff.globalsChanged = true;
+                break;
+            }
+        }
+    }
+
+    for (const auto &func : base.functions()) {
+        const Function *other = next.functionByName(func->name());
+        if (!other) {
+            diff.removed.push_back(func->name());
+            continue;
+        }
+        const FunctionFingerprint &baseFp =
+            base.functionFingerprint(func->id());
+        const FunctionFingerprint &nextFp =
+            next.functionFingerprint(other->id());
+        if (baseFp == nextFp)
+            diff.unchanged.push_back(func->name());
+        else
+            diff.changed.push_back(func->name());
+    }
+    for (const auto &func : next.functions()) {
+        if (!base.functionByName(func->name()))
+            diff.added.push_back(func->name());
+    }
+
+    std::sort(diff.added.begin(), diff.added.end());
+    std::sort(diff.removed.begin(), diff.removed.end());
+    std::sort(diff.changed.begin(), diff.changed.end());
+    std::sort(diff.unchanged.begin(), diff.unchanged.end());
+    return diff;
+}
+
+} // namespace oha::ir

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Structural diff between two finalized module versions.
+ *
+ * Functions are matched by name and compared by their canonical-text
+ * fingerprints (Module::functionFingerprint): a rename therefore shows
+ * up as remove + add, and a whitespace-only reprint (print -> parse ->
+ * finalize) produces an empty diff.  The diff is the input to
+ * analysis::ConstraintDiff, which lowers it to constraint add/remove
+ * sets for the incremental Andersen solve.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace oha::ir {
+
+/** Names of functions that differ between a base and a next version. */
+struct ModuleDiff
+{
+    std::vector<std::string> added;    ///< present only in next
+    std::vector<std::string> removed;  ///< present only in base
+    std::vector<std::string> changed;  ///< both, different fingerprint
+    std::vector<std::string> unchanged; ///< both, identical fingerprint
+    /// Globals differ (count, order, name or size).  Global cells are
+    /// identity-mapped across versions, so any change here disables
+    /// incremental patching.
+    bool globalsChanged = false;
+
+    bool
+    empty() const
+    {
+        return added.empty() && removed.empty() && changed.empty() &&
+               !globalsChanged;
+    }
+};
+
+/** Diff @p base -> @p next; both must be finalized. */
+ModuleDiff computeModuleDiff(const Module &base, const Module &next);
+
+} // namespace oha::ir

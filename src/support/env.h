@@ -3,14 +3,14 @@
  * Validated environment-variable parsing for size/count knobs.
  *
  * Every tunable the pipeline reads from the environment —
- * OHA_CACHE_BUDGET_MB, OHA_TRACE_SEGMENT_BYTES, OHA_REPLAY_SHARDS —
- * goes through one helper with the same contract configuredThreads()
- * established for OHA_THREADS: garbage never crashes or silently
+ * OHA_THREADS, OHA_CACHE_BUDGET_MB, OHA_TRACE_SEGMENT_BYTES,
+ * OHA_REPLAY_SHARDS, OHA_LINEAGE_DEPTH — goes through this one helper
+ * with a single contract: garbage never crashes or silently
  * misconfigures (warn + default), out-of-range values are clamped
  * with a warning, and a well-formed value is honored exactly.
- * (OHA_THREADS itself keeps its bespoke cached parser in
- * thread_pool.h because its default is dynamic — see
- * refreshConfiguredThreads(); the validation semantics match.)
+ * OHA_THREADS layers a process-wide cache on top (its steady-state
+ * callers must never touch getenv; see refreshConfiguredThreads() in
+ * thread_pool.h) but the parse itself is this helper's.
  */
 
 #pragma once

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "support/common.h"
+#include "support/env.h"
 
 namespace oha::support {
 
@@ -159,17 +160,8 @@ clampThreads(std::size_t count, const char *origin)
 inline std::size_t
 refreshConfiguredThreads()
 {
-    std::size_t value = 1;
-    if (const char *env = std::getenv("OHA_THREADS")) {
-        char *end = nullptr;
-        const unsigned long parsed = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && parsed > 0) {
-            value = detail::clampThreads(
-                static_cast<std::size_t>(parsed), "OHA_THREADS");
-        } else {
-            OHA_WARN("ignoring malformed OHA_THREADS value '%s'", env);
-        }
-    }
+    const std::size_t value =
+        envSizeBytes("OHA_THREADS", 1, 1, maxSaneThreads());
     detail::cachedEnvThreads().store(value, std::memory_order_release);
     return value;
 }

@@ -81,4 +81,17 @@ Workload makeSliceWorkload(const std::string &name,
                            std::size_t profileRuns = 48,
                            std::size_t testRuns = 24);
 
+/**
+ * A pointer-dense dispatch surface at analysis-service scale: a wide
+ * shared dispatch table populated by a handful of registrar functions
+ * and read through variable geps by @p readers reader functions.
+ * Every table slot aliases every registered object, so Andersen
+ * propagation (cells x readers x objects element flow) dominates
+ * constraint construction — the regime where re-analysis cost hurts a
+ * service and where incremental patching pays.  Static module only
+ * (no input corpora): built for the incremental-analysis benchmark.
+ */
+std::shared_ptr<ir::Module>
+makeDispatchSurfaceModule(std::size_t readers);
+
 } // namespace oha::workloads

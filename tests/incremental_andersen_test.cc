@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Parity and effort checks for the incremental Andersen re-solve
+ * (runAndersenIncremental): patching a cached base result with a
+ * constraint diff must produce results byte-identical to a
+ * from-scratch solve of the edited module — points-to sets, indirect
+ * call targets and static slices — across CI/CS, sound/predicated,
+ * and at 1 and 4 batch threads.  Only workUnits may differ (it
+ * reflects the actual, smaller, incremental effort).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/andersen_cache.h"
+#include "analysis/constraint_diff.h"
+#include "analysis/race_detector.h"
+#include "analysis/slicer.h"
+#include "ir/module_diff.h"
+#include "profile/profiler.h"
+#include "support/thread_pool.h"
+#include "workloads/edits.h"
+#include "workloads/workloads.h"
+
+namespace oha {
+namespace {
+
+using analysis::AndersenOptions;
+using analysis::AndersenResult;
+using analysis::CellId;
+
+std::vector<CellId>
+toVector(const SparseBitSet &set)
+{
+    std::vector<CellId> cells;
+    set.forEach([&](CellId cell) { cells.push_back(cell); });
+    return cells;
+}
+
+/** Observable fixpoint of one run, in comparable form (workUnits
+ *  deliberately absent — see andersen_parity_test.cc). */
+struct PtsView
+{
+    bool completed = false;
+    std::size_t numContexts = 0;
+    std::vector<std::vector<CellId>> regPts;
+    std::vector<std::vector<CellId>> flatPts;
+    std::vector<std::vector<CellId>> cellPts;
+    std::vector<std::vector<FuncId>> icalls;
+    std::vector<std::pair<bool, std::set<InstrId>>> slices;
+
+    bool
+    operator==(const PtsView &other) const
+    {
+        return completed == other.completed &&
+               numContexts == other.numContexts &&
+               regPts == other.regPts && flatPts == other.flatPts &&
+               cellPts == other.cellPts && icalls == other.icalls &&
+               slices == other.slices;
+    }
+};
+
+PtsView
+viewOf(const ir::Module &module, const AndersenResult &result,
+       const inv::InvariantSet *invariants)
+{
+    PtsView view;
+    view.completed = result.completed;
+    view.numContexts = result.contexts.size();
+    if (!result.completed)
+        return view;
+    for (const analysis::ContextInstance &inst : result.contexts) {
+        const unsigned numRegs = module.function(inst.func)->numRegs();
+        for (ir::Reg reg = 0; reg < numRegs; ++reg)
+            view.regPts.push_back(toVector(result.pts(inst.id, reg)));
+    }
+    for (const auto &func : module.functions())
+        for (ir::Reg reg = 0; reg < func->numRegs(); ++reg)
+            view.flatPts.push_back(
+                toVector(result.ptsAllContexts(func->id(), reg)));
+    for (CellId cell = 0; cell < result.memory.numCells(); ++cell)
+        view.cellPts.push_back(toVector(result.cellPts(cell)));
+    for (InstrId id = 0; id < module.numInstrs(); ++id)
+        if (module.instr(id).op == ir::Opcode::ICall)
+            view.icalls.push_back(result.icallTargets(id));
+
+    analysis::SlicerOptions sliceOptions;
+    sliceOptions.invariants = invariants;
+    const analysis::StaticSlicer slicer(module, result, sliceOptions);
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        if (module.instr(id).op != ir::Opcode::Output)
+            continue;
+        const analysis::StaticSliceResult slice = slicer.slice(id);
+        view.slices.push_back({slice.completed, slice.instructions});
+    }
+    return view;
+}
+
+inv::InvariantSet
+profiledInvariants(const ir::Module &module,
+                   const std::vector<exec::ExecConfig> &inputs)
+{
+    prof::ProfilingCampaign campaign(module, {});
+    campaign.addRunsUntilConverged(inputs, 4, 2);
+    return campaign.invariants();
+}
+
+/** One mode's comparison: incremental vs from-scratch vs reference. */
+struct ModeOutcome
+{
+    PtsView incremental, scratch, reference;
+    bool usedIncremental = false;
+    std::uint64_t incrementalWork = 0, scratchWork = 0;
+};
+
+ModeOutcome
+runMode(const ir::Module &base, const ir::Module &next,
+        const inv::InvariantSet *baseInv,
+        const inv::InvariantSet *nextInv, bool contextSensitive)
+{
+    const ir::ModuleDiff structural = ir::computeModuleDiff(base, next);
+    const analysis::ConstraintDiff diff = analysis::lowerToConstraints(
+        base, next, structural, baseInv, nextInv);
+
+    AndersenOptions baseOptions;
+    baseOptions.contextSensitive = contextSensitive;
+    baseOptions.invariants = baseInv;
+    const AndersenResult baseResult =
+        analysis::runAndersen(base, baseOptions);
+
+    AndersenOptions options;
+    options.contextSensitive = contextSensitive;
+    options.invariants = nextInv;
+
+    analysis::IncrementalInput input;
+    input.baseModule = &base;
+    input.base = &baseResult;
+    input.diff = &diff;
+    input.baseInvariants = baseInv;
+
+    ModeOutcome out;
+    const AndersenResult inc = analysis::runAndersenIncremental(
+        next, options, input, nullptr, &out.usedIncremental);
+    const AndersenResult scratch = analysis::runAndersen(next, options);
+    AndersenOptions refOptions = options;
+    refOptions.referenceSolver = true;
+    const AndersenResult ref = analysis::runAndersen(next, refOptions);
+
+    out.incremental = viewOf(next, inc, nextInv);
+    out.scratch = viewOf(next, scratch, nextInv);
+    out.reference = viewOf(next, ref, nextInv);
+    out.incrementalWork = inc.workUnits;
+    out.scratchWork = scratch.workUnits;
+    return out;
+}
+
+struct WorkloadOutcome
+{
+    std::vector<ModeOutcome> modes;
+};
+
+WorkloadOutcome
+runWorkload(const std::string &name, bool race)
+{
+    const workloads::Workload workload =
+        race ? workloads::makeRaceWorkload(name, 1, 3)
+             : workloads::makeSliceWorkload(name, 1, 3);
+    const ir::Module &base = *workload.module;
+    const std::unique_ptr<ir::Module> next = workloads::editFunctions(
+        base, workloads::firstFunctionNames(base, 2));
+    const inv::InvariantSet baseInv =
+        profiledInvariants(base, workload.profilingSet);
+    const inv::InvariantSet nextInv =
+        profiledInvariants(*next, workload.profilingSet);
+
+    WorkloadOutcome out;
+    for (const bool cs : {false, true}) {
+        out.modes.push_back(runMode(base, *next, nullptr, nullptr, cs));
+        out.modes.push_back(
+            runMode(base, *next, &baseInv, &nextInv, cs));
+    }
+    return out;
+}
+
+const std::vector<std::pair<std::string, bool>> kCases = {
+    {"zlib", false},
+    {"perl", false},
+    {"lusearch", true},
+    {"moldyn", true},
+};
+
+TEST(IncrementalAndersen, PatchedSolveMatchesFromScratch)
+{
+    const auto outcomes = support::runBatch(
+        kCases.size(),
+        [&](std::size_t i) {
+            return runWorkload(kCases[i].first, kCases[i].second);
+        },
+        1);
+
+    std::size_t incrementalRuns = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        for (std::size_t m = 0; m < outcomes[i].modes.size(); ++m) {
+            const ModeOutcome &mode = outcomes[i].modes[m];
+            EXPECT_EQ(mode.incremental, mode.scratch)
+                << kCases[i].first << " mode " << m;
+            EXPECT_EQ(mode.incremental, mode.reference)
+                << kCases[i].first << " mode " << m
+                << " (vs reference solver)";
+            incrementalRuns += mode.usedIncremental;
+            // CI modes have a stable cross-version node identity and
+            // must always take the incremental path.
+            if (m < 2)
+                EXPECT_TRUE(mode.usedIncremental)
+                    << kCases[i].first << " mode " << m;
+        }
+    }
+    EXPECT_GT(incrementalRuns, 0u);
+
+    // Thread-count invariance of the batch wrapper.
+    const auto parallel = support::runBatch(
+        kCases.size(),
+        [&](std::size_t i) {
+            return runWorkload(kCases[i].first, kCases[i].second);
+        },
+        4);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        ASSERT_EQ(outcomes[i].modes.size(), parallel[i].modes.size());
+        for (std::size_t m = 0; m < outcomes[i].modes.size(); ++m) {
+            EXPECT_TRUE(outcomes[i].modes[m].incremental ==
+                        parallel[i].modes[m].incremental)
+                << kCases[i].first << " mode " << m
+                << " differs between 1 and 4 threads";
+        }
+    }
+}
+
+/** The first @p count function names safe to edit for the detector
+ *  test: not the entry function and free of Spawn/Join, so the
+ *  incremental detector's global structure guards hold and the
+ *  patched path actually engages. */
+std::vector<std::string>
+editableFunctionNames(const ir::Module &module, std::size_t count)
+{
+    std::vector<char> hasThreadOp(module.numFunctions(), 0);
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        if (ins.op == ir::Opcode::Spawn || ins.op == ir::Opcode::Join)
+            hasThreadOp[ins.func] = 1;
+    }
+    std::vector<std::string> names;
+    for (const auto &func : module.functions()) {
+        if (func->name() == "main" || hasThreadOp[func->id()])
+            continue;
+        names.push_back(func->name());
+        if (names.size() == count)
+            break;
+    }
+    return names;
+}
+
+TEST(IncrementalAndersen, PatchedRaceDetectorMatchesFromScratch)
+{
+    analysis::resetAndersenCache();
+    std::size_t engaged = 0;
+    for (const char *name : {"lusearch", "moldyn", "sunflow", "xalan"}) {
+        const workloads::Workload workload =
+            workloads::makeRaceWorkload(name, 1, 3);
+        const std::shared_ptr<const ir::Module> base = workload.module;
+        const std::shared_ptr<const ir::Module> next =
+            workloads::editFunctions(*base,
+                                     editableFunctionNames(*base, 2));
+        const inv::InvariantSet baseInv =
+            profiledInvariants(*base, workload.profilingSet);
+        const inv::InvariantSet nextInv =
+            profiledInvariants(*next, workload.profilingSet);
+        const ir::ModuleDiff structural =
+            ir::computeModuleDiff(*base, *next);
+
+        for (const bool predicated : {false, true}) {
+            const inv::InvariantSet *bi = predicated ? &baseInv : nullptr;
+            const inv::InvariantSet *ni = predicated ? &nextInv : nullptr;
+            const std::string label =
+                std::string(name) + (predicated ? "/predicated" : "/sound");
+            const analysis::ConstraintDiff diff =
+                analysis::lowerToConstraints(*base, *next, structural,
+                                             bi, ni);
+
+            analysis::RaceIncrementalInput input;
+            input.baseModule = base;
+            input.baseRace =
+                std::make_shared<analysis::StaticRaceResult>(
+                    analysis::runStaticRaceDetector(*base, bi, base));
+            if (predicated)
+                input.baseInvariants =
+                    std::make_shared<inv::InvariantSet>(baseInv);
+            input.diff = &diff;
+
+            bool used = false;
+            const analysis::StaticRaceResult inc =
+                analysis::runStaticRaceDetectorIncremental(next, ni,
+                                                           input, &used);
+            const analysis::StaticRaceResult fresh =
+                analysis::runStaticRaceDetector(*next, ni, next);
+            // Sound mode has no invariant slices to drift, so the
+            // structure guards must hold and the patched path engage.
+            // Predicated mode may legitimately fall back on
+            // interleaving-sensitive workloads (lusearch's lock
+            // contention, moldyn's flag-based synchronization): the
+            // edit shifts the deterministic profiling interleaving,
+            // unedited functions' invariant slices drift, and they
+            // become diff seeds.  sunflow/xalan re-profile to stable
+            // slices and must engage in both modes.  Either way the
+            // reported races must equal a from-scratch run's.
+            const bool interleavingSensitive =
+                std::string(name) == "lusearch" ||
+                std::string(name) == "moldyn";
+            if (!predicated || !interleavingSensitive)
+                EXPECT_TRUE(used) << label;
+            engaged += used;
+            EXPECT_EQ(inc.racyPairs, fresh.racyPairs) << label;
+            EXPECT_EQ(inc.racyAccesses, fresh.racyAccesses) << label;
+            EXPECT_EQ(inc.candidatePairs, fresh.candidatePairs) << label;
+            EXPECT_EQ(inc.usedLockAliases, fresh.usedLockAliases)
+                << label;
+            EXPECT_EQ(inc.usedSingletonSites, fresh.usedSingletonSites)
+                << label;
+            EXPECT_EQ(inc.accessesConsidered, fresh.accessesConsidered)
+                << label;
+        }
+    }
+    EXPECT_GE(engaged, 6u);
+    analysis::resetAndersenCache();
+}
+
+TEST(IncrementalAndersen, NoOpReprintIsNearlyFree)
+{
+    const workloads::Workload workload =
+        workloads::makeSliceWorkload("perl", 1, 1);
+    const ir::Module &base = *workload.module;
+    const std::unique_ptr<ir::Module> next =
+        workloads::reprintModule(base);
+
+    const ir::ModuleDiff structural = ir::computeModuleDiff(base, *next);
+    EXPECT_TRUE(structural.empty());
+
+    const analysis::ConstraintDiff diff = analysis::lowerToConstraints(
+        base, *next, structural, nullptr, nullptr);
+    EXPECT_TRUE(diff.usable);
+    EXPECT_TRUE(diff.seedNames().empty());
+
+    AndersenOptions options;
+    const AndersenResult baseResult =
+        analysis::runAndersen(base, options);
+
+    analysis::IncrementalInput input;
+    input.baseModule = &base;
+    input.base = &baseResult;
+    input.diff = &diff;
+
+    bool usedIncremental = false;
+    const AndersenResult inc = analysis::runAndersenIncremental(
+        *next, options, input, nullptr, &usedIncremental);
+    EXPECT_TRUE(usedIncremental);
+
+    const AndersenResult scratch = analysis::runAndersen(*next, options);
+    EXPECT_TRUE(viewOf(*next, inc, nullptr) ==
+                viewOf(*next, scratch, nullptr));
+    // Nothing is dirty, so the patched solve does (almost) no
+    // propagation at all.
+    EXPECT_LT(inc.workUnits, scratch.workUnits / 4);
+}
+
+} // namespace
+} // namespace oha

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Edge cases for ir::computeModuleDiff and the per-function
+ * fingerprints behind it: a rename is a remove + add (identity is the
+ * name, not the body), a signature-only change fingerprints as
+ * changed, and reprinting (or reformatting) a module yields an empty
+ * diff — fingerprints hash canonical text, not ids or whitespace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module_diff.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "workloads/edits.h"
+#include "workloads/workloads.h"
+
+namespace oha {
+namespace {
+
+const char *const kProgram = R"(global g[1]
+
+func helper(r0) {
+  entry:
+    r1 = alloc 1
+    *r1 = r0
+    ret r1
+}
+
+func main() {
+  entry:
+    r0 = &g
+    r1 = call helper(r0)
+    output r1
+    ret
+}
+)";
+
+std::unique_ptr<ir::Module>
+parse(const std::string &text)
+{
+    return ir::parseModule(text);
+}
+
+std::string
+replaceAll(std::string text, const std::string &from,
+           const std::string &to)
+{
+    for (std::size_t pos = 0;
+         (pos = text.find(from, pos)) != std::string::npos;
+         pos += to.size())
+        text.replace(pos, from.size(), to);
+    return text;
+}
+
+TEST(ModuleDiff, RenameIsRemovePlusAdd)
+{
+    const auto base = parse(kProgram);
+    const auto next = parse(replaceAll(kProgram, "helper", "assist"));
+
+    const ir::ModuleDiff diff = ir::computeModuleDiff(*base, *next);
+    EXPECT_EQ(diff.removed, std::vector<std::string>{"helper"});
+    EXPECT_EQ(diff.added, std::vector<std::string>{"assist"});
+    // The call site in main names the callee, so main changed too.
+    EXPECT_EQ(diff.changed, std::vector<std::string>{"main"});
+    EXPECT_TRUE(diff.unchanged.empty());
+    EXPECT_FALSE(diff.globalsChanged);
+    EXPECT_FALSE(diff.empty());
+}
+
+TEST(ModuleDiff, SignatureOnlyChangeFingerprintsAsChanged)
+{
+    const auto base = parse(kProgram);
+    std::string edited =
+        replaceAll(kProgram, "func helper(r0)", "func helper(r0, r2)");
+    edited = replaceAll(edited, "call helper(r0)", "call helper(r0, r0)");
+    const auto next = parse(edited);
+
+    const ir::ModuleDiff diff = ir::computeModuleDiff(*base, *next);
+    EXPECT_TRUE(diff.added.empty());
+    EXPECT_TRUE(diff.removed.empty());
+    EXPECT_EQ(diff.changed,
+              (std::vector<std::string>{"helper", "main"}));
+    EXPECT_TRUE(diff.unchanged.empty());
+}
+
+TEST(ModuleDiff, GlobalChangesAreFlagged)
+{
+    const auto base = parse(kProgram);
+    const auto resized = parse(replaceAll(kProgram, "g[1]", "g[2]"));
+    const auto diff = ir::computeModuleDiff(*base, *resized);
+    EXPECT_TRUE(diff.globalsChanged);
+    EXPECT_FALSE(diff.empty());
+    // Function bodies were untouched.
+    EXPECT_TRUE(diff.changed.empty());
+}
+
+TEST(ModuleDiff, NoOpReprintYieldsEmptyDiff)
+{
+    const workloads::Workload workload =
+        workloads::makeRaceWorkload("lusearch", 1, 1);
+    const auto next = workloads::reprintModule(*workload.module);
+
+    const ir::ModuleDiff diff =
+        ir::computeModuleDiff(*workload.module, *next);
+    EXPECT_TRUE(diff.empty());
+    EXPECT_TRUE(diff.added.empty() && diff.removed.empty() &&
+                diff.changed.empty());
+    EXPECT_EQ(diff.unchanged.size(), workload.module->numFunctions());
+}
+
+TEST(ModuleDiff, FingerprintIgnoresCommentsAndBlankLines)
+{
+    const auto base = parse(kProgram);
+    // Reformat: extra blank lines and comments, same instructions.
+    std::string noisy = replaceAll(kProgram, "func main() {",
+                                   "\n; a comment\nfunc main() {");
+    noisy = replaceAll(noisy, "    r1 = alloc 1",
+                       "    r1 = alloc 1  ; boxed arg\n");
+    const auto next = parse(noisy);
+
+    const ir::ModuleDiff diff = ir::computeModuleDiff(*base, *next);
+    EXPECT_TRUE(diff.empty()) << "formatting must not change "
+                                 "fingerprints";
+}
+
+TEST(ModuleDiff, EditedFunctionIsolatedToItsOwnFingerprint)
+{
+    const workloads::Workload workload =
+        workloads::makeSliceWorkload("zlib", 1, 1);
+    const ir::Module &base = *workload.module;
+    const std::vector<std::string> target =
+        workloads::firstFunctionNames(base, 1);
+    const auto next = workloads::editFunctions(base, target);
+
+    const ir::ModuleDiff diff = ir::computeModuleDiff(base, *next);
+    EXPECT_EQ(diff.changed, target);
+    EXPECT_TRUE(diff.added.empty() && diff.removed.empty());
+    EXPECT_EQ(diff.unchanged.size(), base.numFunctions() - 1);
+}
+
+} // namespace
+} // namespace oha

@@ -17,6 +17,7 @@
 #include "support/rng.h"
 #include "support/sparse_bit_set.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 #include "support/union_find.h"
 #include "support/vector_clock.h"
 
@@ -314,6 +315,46 @@ TEST(EnvSizeBytes, ValidationContract)
               1u << 30);
 
     unsetenv(name);
+}
+
+TEST(ConfiguredThreads, SharesTheEnvValidationContract)
+{
+    // OHA_THREADS routes through envSizeBytes: malformed values fall
+    // back to the serial default with a warning, absurd counts clamp
+    // to the sane maximum, and well-formed values are honored.  The
+    // cached value only changes at explicit refresh points.
+    const auto with = [](const char *value) {
+        if (value)
+            ASSERT_EQ(setenv("OHA_THREADS", value, 1), 0);
+        else
+            unsetenv("OHA_THREADS");
+        support::refreshConfiguredThreads();
+    };
+
+    with(nullptr);
+    EXPECT_EQ(support::configuredThreads(), 1u);
+
+    with("3");
+    EXPECT_EQ(support::configuredThreads(), 3u);
+
+    for (const char *bad : {"four", "4x", "", "-2", " 4"}) {
+        with(bad);
+        EXPECT_EQ(support::configuredThreads(), 1u) << bad;
+    }
+
+    with("0");
+    EXPECT_EQ(support::configuredThreads(), 1u); // clamped to minimum
+
+    with("4000000000");
+    EXPECT_EQ(support::configuredThreads(), support::maxSaneThreads());
+
+    // An explicit request bypasses the environment but still clamps.
+    EXPECT_EQ(support::configuredThreads(2), 2u);
+    EXPECT_EQ(support::configuredThreads(4000000000u),
+              support::maxSaneThreads());
+
+    with(nullptr);
+    EXPECT_EQ(support::configuredThreads(), 1u);
 }
 
 } // namespace
