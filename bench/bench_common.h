@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/optft.h"
@@ -139,8 +140,14 @@ class JsonReport
                          path.c_str());
             return false;
         }
-        std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"records\": [\n",
-                     figure_.c_str());
+        // Thread-scaling series (solver-threads-N, replay shards...)
+        // are only interpretable against the host's core count, so
+        // stamp it into every report.
+        std::fprintf(f,
+                     "{\n  \"figure\": \"%s\",\n"
+                     "  \"hardware_concurrency\": %u,\n"
+                     "  \"records\": [\n",
+                     figure_.c_str(), std::thread::hardware_concurrency());
         for (std::size_t i = 0; i < records_.size(); ++i) {
             const Record &r = records_[i];
             const char *tail = i + 1 < records_.size() ? "," : "";

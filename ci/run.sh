@@ -64,7 +64,7 @@ bench-release)
     build_dir=build-ci-release
     cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build "$build_dir" -j "$jobs" --target microbench_trace \
-        microbench_incremental
+        microbench_incremental microbench_static
     # Force a low segment threshold so the smoke run exercises the
     # segmented spill-to-disk capture path and the sharded-replay
     # series end to end (BENCH_microbench_trace.json is uploaded as
@@ -76,6 +76,11 @@ bench-release)
     # speedup bar is a warning here (shared-runner timing).  The
     # workflow uploads BENCH_microbench_incremental.json.
     OHA_BENCH_SMOKE=1 "$build_dir"/bench/microbench_incremental
+    # Static-phase smoke, including the solver-threads-{1,2,4} wavefront
+    # scaling series: work-unit parity across thread counts is asserted
+    # even in smoke mode; the 2x scaling bar is a warning here.  The
+    # workflow uploads BENCH_microbench_static.json.
+    OHA_BENCH_SMOKE=1 "$build_dir"/bench/microbench_static
     ;;
 faults)
     build_dir=build-ci
@@ -101,8 +106,10 @@ service)
     # (including the torture test), and the segmented-trace /
     # sharded-replay paths whose captures and spill files are shared
     # across concurrent replays.
+    # WavefrontParallel and RunBatch cover the wavefront-parallel
+    # Andersen solver and the chunked batch primitive it fans out on.
     OHA_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
-        -R 'RequestQueue|AnalysisService|LruList|SharedCache|ConfiguredThreads|TraceCodec|SegmentedCapture|SegmentedPipeline|ShardedReplayParity|ShardedPipeline|EnvSizeBytes|IncrementalAndersen|ModuleDiff|SharedCacheLineage'
+        -R 'RequestQueue|AnalysisService|LruList|SharedCache|ConfiguredThreads|TraceCodec|SegmentedCapture|SegmentedPipeline|ShardedReplayParity|ShardedPipeline|EnvSizeBytes|IncrementalAndersen|ModuleDiff|SharedCacheLineage|WavefrontParallel|RunBatch'
     # Smoke throughput run; the binary exits non-zero if the parity,
     # warm-hit-rate, or warm-latency acceptance bars fail.
     OHA_BENCH_SMOKE=1 OHA_THREADS=4 "$build_dir"/bench/service_throughput

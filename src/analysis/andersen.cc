@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "analysis/constraint_diff.h"
+#include "support/thread_pool.h"
 #include "support/union_find.h"
 
 namespace oha::analysis {
@@ -226,7 +227,9 @@ class AndersenSolver
     void offlineReduce();
     void collapseSccs();
     void solve();
-    void solveDelta();
+    void solveWavefront();
+    void rebuildSchedule();
+    std::size_t effectiveSolverThreads() const;
     void resolveIcallTarget(const IcallCons &icall, CellId cell);
     AndersenResult assembleResult();
 
@@ -279,23 +282,65 @@ class AndersenSolver
     std::uint64_t workUnits_ = 0;
     bool budgetExceeded_ = false;
 
-    // -- delta-propagation state (unused when referenceSolver) -------
-    /** Whether to run the delta solver (production) or the FIFO
-     *  full-propagation reference path. */
+    // -- wavefront delta-propagation state (unused when
+    //    referenceSolver) ---------------------------------------------
+    /** Whether to run the wavefront delta solver (production) or the
+     *  FIFO full-propagation reference path. */
     bool useDelta_ = true;
     /** Bits added to pts_[u] since u last fired. */
     std::vector<SparseBitSet> delta_;
-    /** Firing clock per node, for least-recently-fired ordering. */
-    std::vector<std::uint64_t> lastFired_;
-    std::uint64_t fireClock_ = 0;
     bool seeded_ = false;
-    /** Min-heap on (lastFired, node): least-recently-fired first,
-     *  node id breaking ties deterministically. */
-    using PqEntry = std::pair<std::uint64_t, std::uint32_t>;
-    std::priority_queue<PqEntry, std::vector<PqEntry>,
-                        std::greater<PqEntry>>
-        pq_;
+    /** Nodes with (possibly) pending deltas, deduplicated through
+     *  inWorklist_; drained and re-filtered at every wave. */
+    std::vector<std::uint32_t> readyList_;
+    /** Longest-path topological level of each representative over the
+     *  condensed copy DAG; valid while !graphDirty_. */
+    std::vector<std::uint32_t> level_;
+    /** A merge or a level-order-violating new edge invalidated
+     *  level_; rebuildSchedule() clears it. */
+    bool graphDirty_ = true;
+    /** Lazily created wave pool — tiny solves never spawn threads. */
+    std::unique_ptr<support::ThreadPool> pool_;
+    // Wave-shape counters, surfaced via AndersenResult and the
+    // process-wide SolverStats accumulator.
+    std::uint64_t waves_ = 0;
+    std::uint64_t cycleMerges_ = 0;
+    double waveImbalance_ = 0.0;
 };
+
+namespace {
+
+/** Process-wide SolverStats accumulator (andersenSolverStats()). */
+struct GlobalSolverStats
+{
+    std::mutex mutex;
+    SolverStats value;
+};
+
+GlobalSolverStats &
+globalSolverStats()
+{
+    static GlobalSolverStats stats;
+    return stats;
+}
+
+} // namespace
+
+SolverStats
+andersenSolverStats()
+{
+    GlobalSolverStats &g = globalSolverStats();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    return g.value;
+}
+
+void
+resetAndersenSolverStats()
+{
+    GlobalSolverStats &g = globalSolverStats();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.value = SolverStats{};
+}
 
 bool
 AndersenSolver::blockLive(BlockId block) const
@@ -545,10 +590,8 @@ AndersenSolver::allocateNodes()
     icallCons_.resize(numNodes_);
     uf_.reset(numNodes_);
     inWorklist_.assign(numNodes_, false);
-    if (useDelta_) {
+    if (useDelta_)
         delta_.resize(numNodes_);
-        lastFired_.assign(numNodes_, 0);
-    }
 }
 
 void
@@ -683,7 +726,7 @@ AndersenSolver::push(std::uint32_t node)
         return;
     inWorklist_[node] = true;
     if (useDelta_)
-        pq_.push({lastFired_[node], node});
+        readyList_.push_back(node);
     else
         worklist_.push_back(node);
 }
@@ -698,6 +741,11 @@ AndersenSolver::addCopyEdge(std::uint32_t from, std::uint32_t to)
     if (!succs_[from].insert(to))
         return;
     ++workUnits_;
+    // The wave schedule stays valid as long as every edge climbs in
+    // level; a back- or same-level edge forces a re-level (and, if it
+    // closed a cycle, a collapse) before the next wave fires.
+    if (useDelta_ && !graphDirty_ && level_[to] <= level_[from])
+        graphDirty_ = true;
     if (useDelta_) {
         // A new edge must carry the source's full current set — the
         // destination has seen none of it.  The gained bits land in
@@ -717,15 +765,34 @@ AndersenSolver::mergeNodes(std::uint32_t a, std::uint32_t b)
     b = find(b);
     if (a == b)
         return;
-    const std::uint32_t keep = uf_.merge(a, b);
+    // Deterministic representative: the minimum member id survives.
+    // Cycle-collapse outcomes are then a pure function of the graph —
+    // independent of merge discovery order and union-find rank
+    // evolution — which is what lets parallel and serial wave solves
+    // agree on node naming byte for byte.
+    const std::uint32_t keep = std::min(a, b);
     const std::uint32_t drop = keep == a ? b : a;
+    uf_.mergeInto(keep, drop);
+    graphDirty_ = true;
+
+    // Quiescent merge: both members sit at the fixpoint with equal
+    // sets and nothing pending (the usual case for cycles among
+    // incremental-solve seeded nodes).  The merged node satisfies the
+    // union of their constraint lists with that same set already, so
+    // it need not re-fire — without this, online collapse during an
+    // incremental solve would re-propagate full seeded sets.
+    const bool quiescent = useDelta_ && delta_[keep].empty() &&
+                           delta_[drop].empty() &&
+                           pts_[keep] == pts_[drop];
 
     pts_[keep].unionWith(pts_[drop]);
     pts_[drop].clear();
     if (useDelta_) {
-        // Merges are rare; reprocess the merged node in full so its
-        // combined constraint lists all see the combined set.
-        delta_[keep] = pts_[keep];
+        if (!quiescent) {
+            // Merges are rare; reprocess the merged node in full so
+            // its combined constraint lists all see the combined set.
+            delta_[keep] = pts_[keep];
+        }
         delta_[drop].clear();
     }
     succs_[keep].unionWith(succs_[drop]);
@@ -739,7 +806,8 @@ AndersenSolver::mergeNodes(std::uint32_t a, std::uint32_t b)
     moveInto(storeCons_[keep], storeCons_[drop]);
     moveInto(gepCons_[keep], gepCons_[drop]);
     moveInto(icallCons_[keep], icallCons_[drop]);
-    push(keep);
+    if (!quiescent)
+        push(keep);
 }
 
 void
@@ -939,8 +1007,14 @@ AndersenSolver::collapseSccs()
                         if (w == u)
                             break;
                     }
-                    for (std::size_t i = 1; i < scc.size(); ++i)
-                        mergeNodes(scc[0], scc[i]);
+                    // Collapse to the minimum member id (mergeNodes
+                    // keeps the smaller representative, so any merge
+                    // order lands on the same survivor).
+                    if (scc.size() > 1) {
+                        cycleMerges_ += scc.size() - 1;
+                        for (std::size_t i = 1; i < scc.size(); ++i)
+                            mergeNodes(scc[0], scc[i]);
+                    }
                 }
                 dfs.pop_back();
                 if (!dfs.empty()) {
@@ -956,7 +1030,7 @@ void
 AndersenSolver::solve()
 {
     if (useDelta_) {
-        solveDelta();
+        solveWavefront();
         return;
     }
 
@@ -1040,15 +1114,78 @@ AndersenSolver::solve()
     }
 }
 
-void
-AndersenSolver::solveDelta()
+std::size_t
+AndersenSolver::effectiveSolverThreads() const
 {
-    // Difference propagation: each node carries the bits added since
-    // it last fired; a firing processes only that delta against the
-    // node's constraints and forwards only the bits its successors
-    // actually gain.  New edges and merges fall back to full-set
-    // propagation (see addCopyEdge / mergeNodes), which keeps the
-    // fixpoint identical to the reference solver's.
+    if (options_.solverThreads > 0) {
+        return support::clampCount("solverThreads",
+                                   options_.solverThreads, 1,
+                                   support::maxSaneThreads());
+    }
+    return support::configuredThreads();
+}
+
+void
+AndersenSolver::rebuildSchedule()
+{
+    // Canonicalize the copy graph to union-find representatives, then
+    // assign longest-path topological levels (Kahn).  Leveling needs
+    // acyclicity: when load/store edges materialized a cycle
+    // mid-solve, collapse it to its minimum-id member and re-level.
+    // From-scratch solves arrive pre-condensed by offlineReduce, so
+    // the collapse branch runs only for genuinely new cycles.
+    for (int attempt = 0;; ++attempt) {
+        OHA_ASSERT(attempt < 2, "copy graph still cyclic after collapse");
+        std::vector<std::uint32_t> indeg(numNodes_, 0);
+        std::size_t reps = 0;
+        for (std::uint32_t u = 0; u < numNodes_; ++u) {
+            if (find(u) != u)
+                continue;
+            ++reps;
+            SparseBitSet canon;
+            succs_[u].forEach([&](std::uint32_t v) {
+                v = find(v);
+                if (v != u)
+                    canon.insert(v);
+            });
+            succs_[u].swap(canon);
+            succs_[u].forEach([&](std::uint32_t v) { ++indeg[v]; });
+        }
+        level_.assign(numNodes_, 0);
+        std::vector<std::uint32_t> order;
+        order.reserve(reps);
+        for (std::uint32_t u = 0; u < numNodes_; ++u) {
+            if (find(u) == u && indeg[u] == 0)
+                order.push_back(u);
+        }
+        for (std::size_t head = 0; head < order.size(); ++head) {
+            const std::uint32_t u = order[head];
+            succs_[u].forEach([&](std::uint32_t v) {
+                level_[v] = std::max(level_[v], level_[u] + 1);
+                if (--indeg[v] == 0)
+                    order.push_back(v);
+            });
+        }
+        if (order.size() == reps)
+            break;
+        collapseSccs();
+    }
+    graphDirty_ = false;
+}
+
+void
+AndersenSolver::solveWavefront()
+{
+    // Wavefront-parallel difference propagation.  Ready nodes are
+    // grouped by topological level of the condensed copy DAG and the
+    // minimum level fires as one wave: because every copy edge climbs
+    // strictly in level, no firing node is another's copy target, so
+    // each target's unions and each firer's gep shifts run as
+    // exclusive-writer tasks on the pool.  All shared-state mutation
+    // (new edges, icall linkage, delta consumption, counters) happens
+    // serially between waves in node-id order — results are therefore
+    // byte-identical for any thread count, grain, or task shuffle,
+    // and match the reference solver's fixpoint.
     if (!seeded_) {
         seeded_ = true;
         for (std::uint32_t u = 0; u < numNodes_; ++u) {
@@ -1059,83 +1196,254 @@ AndersenSolver::solveDelta()
         }
     }
 
-    std::uint64_t pops = 0;
-    const std::uint64_t collapseEvery =
-        options_.cycleCollapse ? std::max<std::uint64_t>(numNodes_, 512)
-                               : ~0ULL;
+    const std::size_t threads = effectiveSolverThreads();
+    // Waves narrower than this run inline: spawning/waking workers
+    // costs more than the unions they would share.
+    constexpr std::size_t kParallelCutoff = 32;
 
-    while (!pq_.empty()) {
-        const std::uint32_t u = pq_.top().second;
-        pq_.pop();
-        inWorklist_[u] = false;
-        if (find(u) != u)
-            continue;
-        lastFired_[u] = ++fireClock_;
-        ++pops;
-        ++workUnits_;
+    std::uint64_t shuffleState = options_.waveShuffleSeed;
+    auto nextRand = [&shuffleState] {
+        shuffleState ^= shuffleState << 13;
+        shuffleState ^= shuffleState >> 7;
+        shuffleState ^= shuffleState << 17;
+        return shuffleState;
+    };
 
-        if (pops % collapseEvery == 0) {
-            collapseSccs();
-            if (find(u) != u)
-                continue; // merged away; representative was re-pushed
+    // Per-wave scratch, hoisted so capacity persists across waves.
+    std::vector<char> activeMark(numNodes_, 0);
+    std::vector<std::uint32_t> active, batch, targets, taskOrder;
+    std::vector<std::vector<std::uint32_t>> pulls(numNodes_);
+    std::vector<char> targetChanged;
+    std::vector<SparseBitSet> firedDelta;
+    std::vector<std::vector<std::pair<std::uint32_t, SparseBitSet>>>
+        gepOuts;
+    std::vector<std::uint32_t> gepFirers;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> newEdges;
+    std::vector<std::vector<std::uint32_t>> matPulls(numNodes_);
+    std::vector<std::uint32_t> matTargets;
+    std::vector<SparseBitSet> matOuts;
+
+    while (!readyList_.empty()) {
+        if (graphDirty_)
+            rebuildSchedule();
+
+        // Drain the ready list into the deduplicated active set of
+        // representatives with pending deltas.
+        active.clear();
+        for (std::uint32_t raw : readyList_) {
+            inWorklist_[raw] = false;
+            const std::uint32_t u = find(raw);
+            if (!delta_[u].empty() && !activeMark[u]) {
+                activeMark[u] = 1;
+                active.push_back(u);
+            }
         }
+        readyList_.clear();
+        if (active.empty())
+            break;
+        std::sort(active.begin(), active.end());
 
-        SparseBitSet d;
-        d.swap(delta_[u]);
-        if (d.empty())
-            continue;
+        std::uint32_t minLevel = ~0u;
+        for (std::uint32_t u : active)
+            minLevel = std::min(minLevel, level_[u]);
+        batch.clear();
+        for (std::uint32_t u : active) {
+            activeMark[u] = 0;
+            if (level_[u] == minLevel)
+                batch.push_back(u);
+            else
+                push(u); // deeper levels wait for a later wave
+        }
+        ++waves_;
+        waveImbalance_ =
+            std::max(waveImbalance_, static_cast<double>(active.size()) /
+                                         static_cast<double>(batch.size()));
 
-        // Gep constraints: dest ⊇ shift(delta).
-        for (const GepCons &gep : gepCons_[u]) {
-            SparseBitSet shifted;
-            d.forEach([&](CellId cell) {
-                if (memory_.isFunctionCell(cell)) {
-                    shifted.insert(cell);
+        // Pull lists: for every copy target of the batch, the ordered
+        // list of firing predecessors whose deltas it absorbs.  Built
+        // serially in batch id order, so each target's update sequence
+        // is fixed regardless of how tasks land on threads.
+        targets.clear();
+        for (std::uint32_t u : batch) {
+            succs_[u].forEach([&](std::uint32_t v) {
+                v = find(v);
+                if (v == u)
                     return;
-                }
-                if (gep.variable) {
-                    const AbsObjectId obj = memory_.objectOfCell(cell);
-                    const AbsObject &o = memory_.object(obj);
-                    for (std::uint32_t f = 0; f < o.size; ++f)
-                        shifted.insert(o.baseCell + f);
-                } else {
-                    const CellId target = memory_.shiftCell(cell, gep.delta);
-                    if (target != kNoCell)
-                        shifted.insert(target);
-                }
+                if (pulls[v].empty())
+                    targets.push_back(v);
+                pulls[v].push_back(u);
             });
-            const std::uint32_t dest = find(gep.dest);
+        }
+        gepFirers.clear();
+        for (std::uint32_t u : batch) {
+            if (!gepCons_[u].empty())
+                gepFirers.push_back(u);
+        }
+
+        // Parallel phase: one task per copy target (exclusive writer
+        // of its pts/delta) plus one per gep-bearing firer (writes
+        // only its private output).  Reads — the batch's frozen
+        // deltas and the memory model — are untouched until apply.
+        const std::size_t numTasks = targets.size() + gepFirers.size();
+        targetChanged.assign(targets.size(), 0);
+        gepOuts.assign(gepFirers.size(), {});
+        auto runTask = [&](std::size_t t) {
+            if (t < targets.size()) {
+                const std::uint32_t v = targets[t];
+                bool gained = false;
+                for (std::uint32_t p : pulls[v])
+                    gained |= pts_[v].unionWithDiff(delta_[p], delta_[v]);
+                targetChanged[t] = gained;
+                return 0;
+            }
+            const std::size_t g = t - targets.size();
+            const std::uint32_t u = gepFirers[g];
+            gepOuts[g].reserve(gepCons_[u].size());
+            for (const GepCons &gep : gepCons_[u]) {
+                SparseBitSet shifted;
+                delta_[u].forEach([&](CellId cell) {
+                    if (memory_.isFunctionCell(cell)) {
+                        shifted.insert(cell);
+                        return;
+                    }
+                    if (gep.variable) {
+                        const AbsObjectId obj = memory_.objectOfCell(cell);
+                        const AbsObject &o = memory_.object(obj);
+                        for (std::uint32_t f = 0; f < o.size; ++f)
+                            shifted.insert(o.baseCell + f);
+                    } else {
+                        const CellId target =
+                            memory_.shiftCell(cell, gep.delta);
+                        if (target != kNoCell)
+                            shifted.insert(target);
+                    }
+                });
+                gepOuts[g].emplace_back(gep.dest, std::move(shifted));
+            }
+            return 0;
+        };
+
+        taskOrder.resize(numTasks);
+        for (std::size_t i = 0; i < numTasks; ++i)
+            taskOrder[i] = static_cast<std::uint32_t>(i);
+        if (options_.waveShuffleSeed != 0) {
+            for (std::size_t i = numTasks; i > 1; --i) {
+                std::swap(taskOrder[i - 1],
+                          taskOrder[nextRand() % i]);
+            }
+        }
+        if (threads > 1 && numTasks >= kParallelCutoff) {
+            if (!pool_)
+                pool_ = std::make_unique<support::ThreadPool>(threads);
+            const std::size_t grain = std::max<std::size_t>(
+                1, numTasks / (pool_->numThreads() * 4));
+            support::runBatchOn(
+                *pool_, numTasks,
+                [&](std::size_t i) { return runTask(taskOrder[i]); },
+                grain);
+        } else {
+            for (std::size_t i = 0; i < numTasks; ++i)
+                runTask(taskOrder[i]);
+        }
+
+        // Serial apply, in deterministic order.  The batch's deltas
+        // are consumed first: anything the apply loops add back —
+        // gep results, full-set transfer along a new edge — is a
+        // fresh gain that re-queues its node.
+        firedDelta.resize(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            firedDelta[i].clear();
+            firedDelta[i].swap(delta_[batch[i]]);
+        }
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+            workUnits_ += pulls[targets[t]].size();
+            pulls[targets[t]].clear();
+            if (targetChanged[t])
+                push(targets[t]);
+        }
+        std::size_t gepIdx = 0;
+        newEdges.clear();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const std::uint32_t u = batch[i];
+            const SparseBitSet &d = firedDelta[i];
             ++workUnits_;
-            if (pts_[dest].unionWithDiff(shifted, delta_[dest]))
-                push(dest);
+            if (!gepCons_[u].empty()) {
+                for (auto &[destRaw, shifted] : gepOuts[gepIdx++]) {
+                    const std::uint32_t dest = find(destRaw);
+                    ++workUnits_;
+                    if (pts_[dest].unionWithDiff(shifted, delta_[dest]))
+                        push(dest);
+                }
+            }
+            // Load/store constraints materialize copy edges.  Record
+            // them here; the expensive part — carrying each new
+            // source's full set across its edge — is staged below so
+            // it can fan out.
+            for (std::uint32_t dst : loadCons_[u])
+                d.forEach([&](CellId cell) {
+                    newEdges.emplace_back(cell, dst);
+                });
+            for (std::uint32_t src : storeCons_[u])
+                d.forEach([&](CellId cell) {
+                    newEdges.emplace_back(src, cell);
+                });
+            for (const IcallCons &icall : icallCons_[u]) {
+                d.forEach([&](CellId cell) {
+                    resolveIcallTarget(icall, cell);
+                });
+            }
         }
 
-        // Load constraints: dest ⊇ *u, for newly discovered cells.
-        for (std::uint32_t dst : loadCons_[u]) {
-            d.forEach([&](CellId cell) { addCopyEdge(cell, dst); });
-        }
-
-        // Store constraints: *u ⊇ src, for newly discovered cells.
-        for (std::uint32_t src : storeCons_[u]) {
-            d.forEach([&](CellId cell) { addCopyEdge(src, cell); });
-        }
-
-        // On-the-fly icall resolution (sound CI) over the delta.
-        for (const IcallCons &icall : icallCons_[u]) {
-            d.forEach(
-                [&](CellId cell) { resolveIcallTarget(icall, cell); });
-        }
-
-        // Copy edges: successors receive only the delta.
-        SparseBitSet snapshot = succs_[u];
-        snapshot.forEach([&](std::uint32_t v) {
-            v = find(v);
-            if (v == u)
-                return;
+        // Deduplicate the recorded edges into the copy graph and
+        // group the genuinely new ones by destination — all serial,
+        // in recording order, so the grouping (and the workUnits
+        // count) is a pure function of the batch.
+        matTargets.clear();
+        for (const auto &[fromRaw, toRaw] : newEdges) {
+            const std::uint32_t from = find(fromRaw);
+            const std::uint32_t to = find(toRaw);
+            if (from == to)
+                continue;
+            if (!succs_[from].insert(to))
+                continue;
             ++workUnits_;
-            if (pts_[v].unionWithDiff(d, delta_[v]))
-                push(v);
-        });
+            if (!graphDirty_ && level_[to] <= level_[from])
+                graphDirty_ = true;
+            if (matPulls[to].empty())
+                matTargets.push_back(to);
+            matPulls[to].push_back(from);
+        }
+
+        // A new edge must carry its source's full current set — the
+        // destination has seen none of it.  Sources are frozen during
+        // this stage (nothing writes pts_), so each destination's
+        // union runs as an exclusive-writer task over a private
+        // output set; the gained bits merge serially below.
+        matOuts.resize(matTargets.size());
+        auto matTask = [&](std::size_t i) {
+            SparseBitSet &outSet = matOuts[i];
+            outSet.clear();
+            for (std::uint32_t f : matPulls[matTargets[i]])
+                outSet.unionWith(pts_[f]);
+            return 0;
+        };
+        if (threads > 1 && matTargets.size() >= kParallelCutoff) {
+            if (!pool_)
+                pool_ = std::make_unique<support::ThreadPool>(threads);
+            const std::size_t grain = std::max<std::size_t>(
+                1, matTargets.size() / (pool_->numThreads() * 4));
+            support::runBatchOn(*pool_, matTargets.size(), matTask,
+                                grain);
+        } else {
+            for (std::size_t i = 0; i < matTargets.size(); ++i)
+                matTask(i);
+        }
+        for (std::size_t i = 0; i < matTargets.size(); ++i) {
+            const std::uint32_t to = matTargets[i];
+            matPulls[to].clear();
+            if (pts_[to].unionWithDiff(matOuts[i], delta_[to]))
+                push(to);
+        }
     }
 }
 
@@ -1166,6 +1474,18 @@ AndersenSolver::assembleResult()
     result.callEdges_ = std::move(callEdges_);
     result.regBase_ = std::move(regBase_);
     result.workUnits = workUnits_;
+    result.solverWaves = waves_;
+    result.solverCycleMerges = cycleMerges_;
+    result.solverWaveImbalance = waveImbalance_;
+    if (useDelta_) {
+        GlobalSolverStats &g = globalSolverStats();
+        std::lock_guard<std::mutex> lock(g.mutex);
+        ++g.value.solves;
+        g.value.waves += waves_;
+        g.value.cycleMerges += cycleMerges_;
+        g.value.maxWaveImbalance =
+            std::max(g.value.maxWaveImbalance, waveImbalance_);
+    }
     result.repr_.resize(numNodes_);
     for (std::uint32_t u = 0; u < numNodes_; ++u)
         result.repr_[u] = uf_.find(u);
@@ -1451,7 +1771,7 @@ AndersenSolver::resolveIncremental(const IncrementalInput &input,
         }
     }
     seeded_ = true;
-    solveDelta();
+    solveWavefront();
 
     *usedIncremental = true;
     return assembleResult();

@@ -23,7 +23,10 @@ using service::Fingerprint;
 using service::LruList;
 using service::SharedCache;
 
-/** Solver options packed into a comparable key. */
+/** Solver options packed into a comparable key.  solverThreads and
+ *  waveShuffleSeed are deliberately excluded: the wavefront solver is
+ *  deterministic across both, so results computed at any thread count
+ *  or shuffle seed are interchangeable cache entries. */
 std::uint64_t
 optionsKey(const AndersenOptions &options)
 {
@@ -443,7 +446,8 @@ runAndersenMemo(const std::shared_ptr<const ir::Module> &module,
 
 std::shared_ptr<const StaticRaceResult>
 runStaticRaceDetectorMemo(const std::shared_ptr<const ir::Module> &module,
-                          const inv::InvariantSet *invariants)
+                          const inv::InvariantSet *invariants,
+                          std::uint32_t solverThreads)
 {
     OHA_ASSERT(module && module->finalized());
 
@@ -509,12 +513,13 @@ runStaticRaceDetectorMemo(const std::shared_ptr<const ir::Module> &module,
         patch.diff = &diff;
         result = std::make_shared<const StaticRaceResult>(
             runStaticRaceDetectorIncremental(module, invariants, patch,
-                                             &patched));
+                                             &patched, solverThreads));
         break;
     }
     if (!result)
         result = std::make_shared<const StaticRaceResult>(
-            runStaticRaceDetector(*module, invariants, module));
+            runStaticRaceDetector(*module, invariants, module, false,
+                                  solverThreads));
     const std::size_t bytes = byteSizeEstimate(*result);
     std::lock_guard<std::mutex> lock(sc.mutex());
     if (patched)
@@ -634,6 +639,11 @@ andersenCacheStats()
     out.entries = stats.entries;
     out.bytesCached = stats.bytesCached;
     out.byteBudget = stats.byteBudget;
+    const SolverStats solver = andersenSolverStats();
+    out.solverSolves = solver.solves;
+    out.solverWaves = solver.waves;
+    out.solverCycleMerges = solver.cycleMerges;
+    out.solverMaxWaveImbalance = solver.maxWaveImbalance;
     return out;
 }
 
@@ -656,6 +666,7 @@ resetAndersenCache()
     // and registration takes the spine mutex.
     section();
     SharedCache::instance().reset();
+    resetAndersenSolverStats();
 }
 
 } // namespace oha::analysis

@@ -226,6 +226,7 @@ calibrateLockElision(const ir::Module &module,
                      const analysis::StaticRaceResult &predicated,
                      const workloads::Workload &workload,
                      std::size_t calibrationRuns, std::size_t threads,
+                     std::uint32_t solverThreads,
                      const std::vector<
                          std::shared_ptr<const exec::RecordedTrace>>
                          *traces)
@@ -235,6 +236,7 @@ calibrateLockElision(const ir::Module &module,
     // detector just solved, so the memo cache serves it back for free.
     analysis::AndersenOptions aopts;
     aopts.invariants = &invariants;
+    aopts.solverThreads = solverThreads;
     const std::shared_ptr<const analysis::AndersenResult> andersenSp =
         analysis::runAndersenMemo(workload.module, aopts);
     const analysis::AndersenResult &andersen = *andersenSp;
@@ -347,13 +349,15 @@ calibrateLockElision(const ir::Module &module,
 std::set<InstrId>
 refilterElidableLocks(const std::shared_ptr<const ir::Module> &moduleSp,
                       const inv::InvariantSet &invariants,
-                      const analysis::StaticRaceResult &predicated)
+                      const analysis::StaticRaceResult &predicated,
+                      std::uint32_t solverThreads)
 {
     if (invariants.elidableLockSites.empty())
         return {};
     const ir::Module &module = *moduleSp;
     analysis::AndersenOptions aopts;
     aopts.invariants = &invariants;
+    aopts.solverThreads = solverThreads;
     const std::shared_ptr<const analysis::AndersenResult> andersenSp =
         analysis::runAndersenMemo(moduleSp, aopts);
     const analysis::AndersenResult &andersen = *andersenSp;
@@ -437,7 +441,8 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
         2,
         [&](std::size_t i) {
             return analysis::runStaticRaceDetectorMemo(
-                workload.module, i == 0 ? nullptr : &invariants);
+                workload.module, i == 0 ? nullptr : &invariants,
+                config.solverThreads);
         },
         config.threads);
     const analysis::StaticRaceResult &sound = *detectors[0];
@@ -480,7 +485,8 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
     std::uint64_t calibrationSteps = 0;
     invariants.elidableLockSites = calibrateLockElision(
         module, invariants, predicated, workload, calibRuns,
-        config.threads, config.useTraceReplay ? &calibTraces : nullptr);
+        config.threads, config.solverThreads,
+        config.useTraceReplay ? &calibTraces : nullptr);
     result.elidedLockSites = invariants.elidableLockSites.size();
     // Calibration executions count as profiling cost.  The recording
     // run's step count is the uninstrumented step count, so both modes
@@ -658,12 +664,14 @@ runOptFt(const workloads::Workload &workload, const OptFtConfig &config)
                     // repairs of converging sets are incremental in
                     // practice.
                     predicatedSp = analysis::runStaticRaceDetectorMemo(
-                        workload.module, &invariants);
+                        workload.module, &invariants,
+                        config.solverThreads);
                     result.repredStaticSeconds +=
                         double(predicatedSp->workUnits) /
                         cost.staticUnitsPerSecond * cost.offlineScale;
                     invariants.elidableLockSites = refilterElidableLocks(
-                        workload.module, invariants, *predicatedSp);
+                        workload.module, invariants, *predicatedSp,
+                        config.solverThreads);
                 }
                 optPlan = dyn::optimisticFastTrackPlan(
                     module, predicatedSp->racyAccesses, invariants);

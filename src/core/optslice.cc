@@ -40,6 +40,7 @@ pickAndersen(const std::shared_ptr<const ir::Module> &module,
     options.contextSensitive = true;
     options.invariants = invariants;
     options.maxContexts = config.csContextBudget;
+    options.solverThreads = config.solverThreads;
 
     PickedAndersen picked;
     picked.result = analysis::runAndersenMemo(module, options);
@@ -133,6 +134,7 @@ computeAllSlices(const std::shared_ptr<const ir::Module> &module,
         if (pickedCs) {
             analysis::AndersenOptions ciOptions;
             ciOptions.invariants = invariants;
+            ciOptions.solverThreads = config.solverThreads;
             const std::shared_ptr<const analysis::AndersenResult> ciPts =
                 analysis::runAndersenMemo(module, ciOptions);
             out.workUnits += ciPts->workUnits;
@@ -174,6 +176,7 @@ computeAllSlices(const std::shared_ptr<const ir::Module> &module,
         analysis::AndersenOptions baseOptions;
         baseOptions.contextSensitive = pickedCs;
         baseOptions.invariants = base.invariants.get();
+        baseOptions.solverThreads = config.solverThreads;
         const std::shared_ptr<const analysis::AndersenResult> basePts =
             analysis::runAndersenMemo(base.module, baseOptions);
         if (!basePts->completed || !picked.completed)

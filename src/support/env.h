@@ -22,6 +22,34 @@
 namespace oha::support {
 
 /**
+ * Clamp @p value to [@p minValue, @p maxValue], warning when the
+ * clamp engages.  This is THE range contract for every count/size
+ * knob: envSizeBytes() routes parsed environment values through it,
+ * and the thread-count paths (support::configuredThreads explicit
+ * requests, ThreadPool's constructor) use it directly — one
+ * validate/warn/clamp implementation, no per-caller copies.
+ * @p origin names the knob in the warning ("OHA_THREADS",
+ * "requested", "ThreadPool").
+ */
+inline std::size_t
+clampCount(const char *origin, std::size_t value, std::size_t minValue,
+           std::size_t maxValue)
+{
+    OHA_ASSERT(minValue <= maxValue);
+    if (value > maxValue) {
+        OHA_WARN("clamping %s value %zu to maximum %zu", origin, value,
+                 maxValue);
+        return maxValue;
+    }
+    if (value < minValue) {
+        OHA_WARN("clamping %s value %zu to minimum %zu", origin, value,
+                 minValue);
+        return minValue;
+    }
+    return value;
+}
+
+/**
  * Parse environment variable @p name as a non-negative integer scaled
  * by @p unit (bytes per unit; 1 for plain counts), clamped to
  * [@p minValue, @p maxValue].
@@ -59,19 +87,15 @@ envSizeBytes(const char *name, std::size_t defaultValue,
                  name, env, defaultValue);
         return defaultValue;
     }
-    // Overflow-safe scale: saturate instead of wrapping.
+    // Overflow-safe scale: saturate instead of wrapping, then apply
+    // the shared range contract.
     if (parsed > static_cast<unsigned long long>(maxValue) / unit) {
         OHA_WARN("clamping %s value %llu to maximum %zu", name, parsed,
                  maxValue);
         return maxValue;
     }
-    const std::size_t value = static_cast<std::size_t>(parsed) * unit;
-    if (value < minValue) {
-        OHA_WARN("clamping %s value %llu to minimum %zu", name, parsed,
-                 minValue);
-        return minValue;
-    }
-    return value;
+    return clampCount(name, static_cast<std::size_t>(parsed) * unit,
+                      minValue, maxValue);
 }
 
 } // namespace oha::support

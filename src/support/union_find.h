@@ -11,6 +11,8 @@
 #include <numeric>
 #include <vector>
 
+#include "support/common.h"
+
 namespace oha {
 
 /** Disjoint-set forest over dense uint32 ids. */
@@ -66,6 +68,25 @@ class UnionFind
         if (rank_[a] == rank_[b])
             ++rank_[a];
         return a;
+    }
+
+    /**
+     * Merge with a caller-chosen representative: @p drop's set joins
+     * @p keep's, and @p keep stays the representative.  Both must
+     * already be representatives.  Used where the surviving id is
+     * semantically significant (the wavefront solver collapses cycles
+     * to the minimum member id so parallel and serial solves agree on
+     * node naming); plain merge() picks by rank instead.
+     */
+    void
+    mergeInto(std::uint32_t keep, std::uint32_t drop)
+    {
+        OHA_ASSERT(parent_[keep] == keep && parent_[drop] == drop);
+        if (keep == drop)
+            return;
+        parent_[drop] = keep;
+        if (rank_[keep] <= rank_[drop])
+            rank_[keep] = static_cast<std::uint8_t>(rank_[drop] + 1);
     }
 
     bool same(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }

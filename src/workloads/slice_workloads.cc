@@ -638,14 +638,19 @@ sliceWorkloadNames()
 std::shared_ptr<ir::Module>
 makeDispatchSurfaceModule(std::size_t readers)
 {
-    // Width / density knobs: 32 slots each aliasing all 64 registered
-    // objects, three table reads per reader.  Propagation work is
+    return makeDispatchSurfaceModule(readers, 8, 8);
+}
+
+std::shared_ptr<ir::Module>
+makeDispatchSurfaceModule(std::size_t readers, std::size_t registrars,
+                          std::size_t objectsPerRegistrar)
+{
+    // Width / density knobs: 32 slots each aliasing all registered
+    // objects, eight table reads per reader.  Propagation work is
     // roughly slots x loads x objects element crossings; the solved
     // state is a factor ~min(slots, loads) smaller, which is exactly
     // the gap an incremental re-solve keeps.
     constexpr int kSlots = 32;
-    constexpr int kRegistrars = 8;
-    constexpr int kObjectsPerRegistrar = 8;
     constexpr int kLoadsPerReader = 8;
 
     auto module = std::make_shared<Module>();
@@ -668,11 +673,11 @@ makeDispatchSurfaceModule(std::size_t readers)
         }
         b.ret(b.constInt(0));
     }
-    for (int w = 0; w < kRegistrars; ++w) {
+    for (std::size_t w = 0; w < registrars; ++w) {
         parts.push_back(b.createFunction(
             "surface_registrar_" + std::to_string(w), 1));
         const Reg arg = 0;
-        for (int a = 0; a < kObjectsPerRegistrar; ++a) {
+        for (std::size_t a = 0; a < objectsPerRegistrar; ++a) {
             const Reg obj = b.alloc(1);
             b.store(b.gepDyn(b.globalAddr(tableG), arg), obj);
         }

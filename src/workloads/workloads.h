@@ -94,4 +94,14 @@ Workload makeSliceWorkload(const std::string &name,
 std::shared_ptr<ir::Module>
 makeDispatchSurfaceModule(std::size_t readers);
 
+/** As above with explicit registration density: @p registrars
+ *  functions each registering @p objectsPerRegistrar objects.  The
+ *  solved sets carry registrars x objectsPerRegistrar elements, so
+ *  this knob scales per-node propagation work independently of module
+ *  size — the regime the wavefront solver's thread-scaling bench
+ *  measures.  The one-argument form is (readers, 8, 8). */
+std::shared_ptr<ir::Module>
+makeDispatchSurfaceModule(std::size_t readers, std::size_t registrars,
+                          std::size_t objectsPerRegistrar);
+
 } // namespace oha::workloads

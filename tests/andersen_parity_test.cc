@@ -17,15 +17,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/constraint_diff.h"
 #include "analysis/race_detector.h"
 #include "analysis/slicer.h"
+#include "ir/module_diff.h"
 #include "profile/profiler.h"
 #include "support/thread_pool.h"
+#include "workloads/edits.h"
 #include "workloads/workloads.h"
 
 namespace oha {
@@ -284,6 +289,167 @@ TEST(AndersenParity, DeltaSolverMatchesReferenceOnAllWorkloads)
         4);
     EXPECT_TRUE(serial == parallel)
         << "Andersen parity batch differs between 1 and 4 threads";
+}
+
+// ---------------------------------------------------------------------
+// Wavefront-parallel solver: the multithreaded wave scheduler must be
+// byte-identical to the 1-thread solve — points-to sets, icall
+// targets, slices, race reports AND workUnits (all structural
+// decisions are serialized in node-id order; threads only ever split
+// a wave's independent per-node work).  A seeded task-order shuffle
+// perturbs execution interleaving without being allowed to perturb
+// results.
+// ---------------------------------------------------------------------
+
+constexpr std::uint64_t kShuffleSeeds[] = {0, 0x9e3779b97f4a7c15ull};
+
+TEST(WavefrontParallel, SolveByteIdenticalAcrossThreadsAndShuffles)
+{
+    // One race and one slice workload keep the matrix affordable; the
+    // all-workloads reference sweep above already pins what the
+    // 1-thread fixpoint must be.
+    const std::vector<workloads::Workload> subjects = {
+        workloads::makeRaceWorkload(workloads::raceWorkloadNames().front(),
+                                    1, 3),
+        workloads::makeSliceWorkload("vim", 1, 3)};
+    for (const workloads::Workload &workload : subjects) {
+        const ir::Module &module = *workload.module;
+        const inv::InvariantSet invariants = profiledInvariants(workload);
+        for (const bool contextSensitive : {false, true}) {
+            for (const inv::InvariantSet *inv :
+                 {static_cast<const inv::InvariantSet *>(nullptr),
+                  &invariants}) {
+                AndersenOptions serialOptions;
+                serialOptions.contextSensitive = contextSensitive;
+                serialOptions.invariants = inv;
+                serialOptions.solverThreads = 1;
+                const AndersenResult serial =
+                    analysis::runAndersen(module, serialOptions);
+                const PtsView serialView = viewOf(module, serial, inv);
+                for (const std::uint32_t threads : {2u, 4u}) {
+                    for (const std::uint64_t seed : kShuffleSeeds) {
+                        AndersenOptions options = serialOptions;
+                        options.solverThreads = threads;
+                        options.waveShuffleSeed = seed;
+                        const AndersenResult parallel =
+                            analysis::runAndersen(module, options);
+                        EXPECT_EQ(serialView,
+                                  viewOf(module, parallel, inv))
+                            << workload.name << " cs=" << contextSensitive
+                            << " pred=" << (inv != nullptr)
+                            << " threads=" << threads << " seed=" << seed;
+                        EXPECT_EQ(serial.workUnits, parallel.workUnits)
+                            << workload.name
+                            << " workUnits moved with thread count";
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(WavefrontParallel, RaceReportsByteIdenticalAtAnyThreadCount)
+{
+    const workloads::Workload workload = workloads::makeRaceWorkload(
+        workloads::raceWorkloadNames().front(), 1, 3);
+    const ir::Module &module = *workload.module;
+    const inv::InvariantSet invariants = profiledInvariants(workload);
+
+    for (const inv::InvariantSet *inv :
+         {static_cast<const inv::InvariantSet *>(nullptr), &invariants}) {
+        const RaceView serial =
+            raceViewOf(analysis::runStaticRaceDetector(
+                module, inv, nullptr, /*referenceSolver=*/false,
+                /*solverThreads=*/1));
+        for (const std::uint32_t threads : {2u, 4u})
+            EXPECT_EQ(serial,
+                      raceViewOf(analysis::runStaticRaceDetector(
+                          module, inv, nullptr, false, threads)))
+                << "pred=" << (inv != nullptr)
+                << " threads=" << threads;
+    }
+
+    // solverThreads = 0 defaults to the OHA_THREADS pool width; the
+    // env value must not leak into results either.
+    const char *saved = std::getenv("OHA_THREADS");
+    const std::string savedValue = saved ? saved : "";
+    std::vector<RaceView> perEnv;
+    for (const char *env : {"1", "2", "4"}) {
+        ASSERT_EQ(setenv("OHA_THREADS", env, 1), 0);
+        support::refreshConfiguredThreads();
+        perEnv.push_back(raceViewOf(analysis::runStaticRaceDetector(
+            module, &invariants, nullptr, false, /*solverThreads=*/0)));
+    }
+    if (saved)
+        setenv("OHA_THREADS", savedValue.c_str(), 1);
+    else
+        unsetenv("OHA_THREADS");
+    support::refreshConfiguredThreads();
+    EXPECT_EQ(perEnv[0], perEnv[1]) << "OHA_THREADS 1 vs 2";
+    EXPECT_EQ(perEnv[0], perEnv[2]) << "OHA_THREADS 1 vs 4";
+}
+
+/** Non-entry, spawn/join-free function names: edits there keep the
+ *  constraint diff usable, so resolveIncremental actually engages. */
+std::vector<std::string>
+incrementalEditNames(const ir::Module &module, std::size_t count)
+{
+    std::vector<char> hasThreadOp(module.numFunctions(), 0);
+    for (InstrId id = 0; id < module.numInstrs(); ++id) {
+        const ir::Instruction &ins = module.instr(id);
+        if (ins.op == ir::Opcode::Spawn || ins.op == ir::Opcode::Join)
+            hasThreadOp[ins.func] = 1;
+    }
+    std::vector<std::string> names;
+    for (const auto &func : module.functions()) {
+        if (func->name() == "main" || hasThreadOp[func->id()])
+            continue;
+        names.push_back(func->name());
+        if (names.size() == count)
+            break;
+    }
+    return names;
+}
+
+TEST(WavefrontParallel, IncrementalResolveByteIdenticalAcrossThreads)
+{
+    // resolveIncremental rides the same wave scheduler (the taint
+    // closure is just the initial wave set), so the patched result
+    // must match the from-scratch solve at every thread count too.
+    const workloads::Workload workload = workloads::makeRaceWorkload(
+        workloads::raceWorkloadNames().front(), 1, 3);
+    const std::shared_ptr<const ir::Module> base = workload.module;
+    const std::shared_ptr<const ir::Module> next =
+        workloads::editFunctions(*base, incrementalEditNames(*base, 2));
+    const ir::ModuleDiff structural = ir::computeModuleDiff(*base, *next);
+    const analysis::ConstraintDiff diff = analysis::lowerToConstraints(
+        *base, *next, structural, nullptr, nullptr);
+    ASSERT_TRUE(diff.usable);
+
+    const AndersenResult baseResult =
+        analysis::runAndersen(*base, AndersenOptions{});
+    const PtsView scratchView = viewOf(
+        *next, analysis::runAndersen(*next, AndersenOptions{}), nullptr);
+
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+        for (const std::uint64_t seed : kShuffleSeeds) {
+            AndersenOptions options;
+            options.solverThreads = threads;
+            options.waveShuffleSeed = seed;
+            analysis::IncrementalInput input;
+            input.baseModule = base.get();
+            input.base = &baseResult;
+            input.diff = &diff;
+            bool usedIncremental = false;
+            const AndersenResult patched =
+                analysis::runAndersenIncremental(*next, options, input,
+                                                 nullptr, &usedIncremental);
+            EXPECT_TRUE(usedIncremental)
+                << "threads=" << threads << " seed=" << seed;
+            EXPECT_EQ(scratchView, viewOf(*next, patched, nullptr))
+                << "threads=" << threads << " seed=" << seed;
+        }
+    }
 }
 
 } // namespace
