@@ -18,6 +18,7 @@
 
 #include "core/optft.h"
 #include "core/optslice.h"
+#include "support/durable_file.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
 
@@ -129,49 +130,56 @@ class JsonReport
         records_.push_back({workload, variant, 0, 0, name, value});
     }
 
-    /** Write BENCH_<figure>.json; returns false on I/O failure. */
+    /** Write BENCH_<figure>.json atomically (temp + fsync + rename —
+     *  a crashed or disk-full run never truncates the previous
+     *  report); returns false on I/O failure. */
     bool
     write() const
     {
         const std::string path = "BENCH_" + figure_ + ".json";
-        std::FILE *f = std::fopen(path.c_str(), "w");
-        if (!f) {
-            std::fprintf(stderr, "warning: cannot write %s\n",
-                         path.c_str());
-            return false;
-        }
+        char line[512];
+        std::string json;
         // Thread-scaling series (solver-threads-N, replay shards...)
         // are only interpretable against the host's core count, so
         // stamp it into every report.
-        std::fprintf(f,
-                     "{\n  \"figure\": \"%s\",\n"
-                     "  \"hardware_concurrency\": %u,\n"
-                     "  \"records\": [\n",
-                     figure_.c_str(), std::thread::hardware_concurrency());
+        std::snprintf(line, sizeof(line),
+                      "{\n  \"figure\": \"%s\",\n"
+                      "  \"hardware_concurrency\": %u,\n"
+                      "  \"records\": [\n",
+                      figure_.c_str(),
+                      std::thread::hardware_concurrency());
+        json += line;
         for (std::size_t i = 0; i < records_.size(); ++i) {
             const Record &r = records_[i];
             const char *tail = i + 1 < records_.size() ? "," : "";
             if (!r.metricName.empty()) {
-                std::fprintf(f,
-                             "    {\"workload\": \"%s\", \"variant\": "
-                             "\"%s\", \"metric\": \"%s\", "
-                             "\"value\": %.6f}%s\n",
-                             r.workload.c_str(), r.variant.c_str(),
-                             r.metricName.c_str(), r.metricValue, tail);
+                std::snprintf(line, sizeof(line),
+                              "    {\"workload\": \"%s\", \"variant\": "
+                              "\"%s\", \"metric\": \"%s\", "
+                              "\"value\": %.6f}%s\n",
+                              r.workload.c_str(), r.variant.c_str(),
+                              r.metricName.c_str(), r.metricValue, tail);
+                json += line;
                 continue;
             }
             const double perSec =
                 r.wallMs > 0 ? double(r.events) / (r.wallMs / 1000.0) : 0;
-            std::fprintf(f,
-                         "    {\"workload\": \"%s\", \"variant\": \"%s\", "
-                         "\"wall_ms\": %.3f, \"events\": %llu, "
-                         "\"events_per_sec\": %.0f}%s\n",
-                         r.workload.c_str(), r.variant.c_str(), r.wallMs,
-                         static_cast<unsigned long long>(r.events), perSec,
-                         tail);
+            std::snprintf(
+                line, sizeof(line),
+                "    {\"workload\": \"%s\", \"variant\": \"%s\", "
+                "\"wall_ms\": %.3f, \"events\": %llu, "
+                "\"events_per_sec\": %.0f}%s\n",
+                r.workload.c_str(), r.variant.c_str(), r.wallMs,
+                static_cast<unsigned long long>(r.events), perSec, tail);
+            json += line;
         }
-        std::fprintf(f, "  ]\n}\n");
-        std::fclose(f);
+        json += "  ]\n}\n";
+        std::string error;
+        if (!support::atomicWriteFile(path, json, &error)) {
+            std::fprintf(stderr, "warning: cannot write %s: %s\n",
+                         path.c_str(), error.c_str());
+            return false;
+        }
         std::printf("wrote %s (%zu records)\n", path.c_str(),
                     records_.size());
         return true;

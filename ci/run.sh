@@ -13,7 +13,11 @@
 #   ci/run.sh faults     # fault-injection sweep: the misspeculation
 #                        # recovery tests under OHA_FAULT_SEED 1..3,
 #                        # each at OHA_THREADS=1 and 4 (seeded faults
-#                        # must repair identically at any thread count)
+#                        # must repair identically at any thread count),
+#                        # then the I/O fault domain — persist-path
+#                        # fault sweeps, corruption fuzzing and the
+#                        # kill-at-any-write-point crash-recovery
+#                        # sweep — at both thread counts
 #   ci/run.sh service    # ThreadSanitizer build of the analysis-daemon
 #                        # stack: the service/shared-cache test suite,
 #                        # then a smoke run of the service_throughput
@@ -95,6 +99,17 @@ faults)
                 -R 'FaultInjection|FaultInjector|AdaptiveRecovery|Violation'
         done
     done
+    # I/O fault domain: every durable-file, capture-persist and
+    # snapshot test injects open/write/fsync/rename/mmap failures,
+    # fuzzes on-disk bytes, and (Snapshot) kills a child process at
+    # every write point.  Determinism bar: the sweep must pass
+    # identically single- and multi-threaded.
+    for threads in 1 4; do
+        echo "=== I/O fault sweep: OHA_THREADS=$threads ==="
+        OHA_THREADS="$threads" \
+            ctest --test-dir "$build_dir" --output-on-failure \
+            -R 'DurableFile|TracePersist|Snapshot'
+    done
     ;;
 service)
     build_dir=build-ci-tsan
@@ -108,10 +123,15 @@ service)
     # across concurrent replays.
     # WavefrontParallel and RunBatch cover the wavefront-parallel
     # Andersen solver and the chunked batch primitive it fans out on.
+    # Snapshot covers the durability layer under TSan as well: the
+    # boot-time warm start, the periodic/final snapshot writers racing
+    # request shards, and the crash-recovery sweep.
     OHA_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
-        -R 'RequestQueue|AnalysisService|LruList|SharedCache|ConfiguredThreads|TraceCodec|SegmentedCapture|SegmentedPipeline|ShardedReplayParity|ShardedPipeline|EnvSizeBytes|IncrementalAndersen|ModuleDiff|SharedCacheLineage|WavefrontParallel|RunBatch'
+        -R 'RequestQueue|AnalysisService|LruList|SharedCache|ConfiguredThreads|TraceCodec|SegmentedCapture|SegmentedPipeline|ShardedReplayParity|ShardedPipeline|EnvSizeBytes|IncrementalAndersen|ModuleDiff|SharedCacheLineage|WavefrontParallel|RunBatch|Snapshot'
     # Smoke throughput run; the binary exits non-zero if the parity,
-    # warm-hit-rate, or warm-latency acceptance bars fail.
+    # warm-hit-rate, warm-latency, or restart-warm acceptance bars
+    # fail (the restart-warm series persists a snapshot, clears every
+    # cache, and boots a fresh daemon from disk).
     OHA_BENCH_SMOKE=1 OHA_THREADS=4 "$build_dir"/bench/service_throughput
     ;;
 *)

@@ -203,6 +203,10 @@ collectAncestorsLocked(Section &sec, std::uint64_t moduleFp,
                 continue;
             if (it->second.verify.module != fp.secondary)
                 continue;
+            // Snapshot-restored entries carry no module object: they
+            // serve verified hits only, never patch bases.
+            if (!it->second.module)
+                continue;
             out.push_back({it->second.module, it->second.result,
                            it->second.invariants});
         }
@@ -485,6 +489,10 @@ runStaticRaceDetectorMemo(const std::shared_ptr<const ir::Module> &module,
                     continue;
                 if (it->second.verify.module != fp.secondary)
                     continue;
+                // Snapshot-restored entries (null module) serve
+                // verified hits only, never patch bases.
+                if (!it->second.module)
+                    continue;
                 ancestors.push_back({it->second.module,
                                      it->second.result,
                                      it->second.invariants});
@@ -581,6 +589,10 @@ sliceSetMemo(const std::shared_ptr<const ir::Module> &module,
                         continue;
                     if (it->second.verify.module != fp.secondary)
                         continue;
+                    // Snapshot-restored entries (null module) serve
+                    // verified hits only, never patch bases.
+                    if (!it->second.module)
+                        continue;
                     ancestors.push_back({it->second.module,
                                          it->second.result,
                                          it->second.invariants, nullptr});
@@ -622,6 +634,87 @@ sliceSetMemo(const std::shared_ptr<const ir::Module> &module,
     return insertLocked(sc, sec.slice, key, verify, module,
                         std::move(result), copyInvariants(invariants),
                         bytes, gen);
+}
+
+std::vector<RaceSectionEntry>
+exportRaceSection()
+{
+    Section &sec = section();
+    SharedCache &sc = SharedCache::instance();
+    std::vector<RaceSectionEntry> out;
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    out.reserve(sec.race.size());
+    for (const auto &[key, entry] : sec.race) {
+        if (key.configKey != 0 || key.auxFp != 0)
+            continue; // detector entries only (defensive)
+        out.push_back({{key.moduleFp, entry.verify.module},
+                       {key.invariantFp, entry.verify.invariant},
+                       entry.result});
+    }
+    return out;
+}
+
+std::vector<SliceSectionEntry>
+exportSliceSection()
+{
+    Section &sec = section();
+    SharedCache &sc = SharedCache::instance();
+    std::vector<SliceSectionEntry> out;
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    out.reserve(sec.slice.size());
+    for (const auto &[key, entry] : sec.slice) {
+        out.push_back({{key.moduleFp, entry.verify.module},
+                       {key.invariantFp, entry.verify.invariant},
+                       key.configKey,
+                       {key.auxFp, entry.verify.aux},
+                       entry.result});
+    }
+    return out;
+}
+
+void
+admitRaceSectionEntry(const RaceSectionEntry &entry)
+{
+    if (!entry.result)
+        return;
+    Section &sec = section();
+    SharedCache &sc = SharedCache::instance();
+    StaticKey key;
+    key.moduleFp = entry.moduleFp.primary;
+    key.invariantFp = entry.invariantFp.primary;
+    key.configKey = 0;
+    key.auxFp = 0;
+    VerifyFps verify;
+    verify.module = entry.moduleFp.secondary;
+    verify.invariant = entry.invariantFp.secondary;
+    const std::size_t bytes = byteSizeEstimate(*entry.result);
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    // Restored entries carry null module/invariants pointers and are
+    // NOT lineage-registered: they serve verified hits only.
+    insertLocked(sc, sec.race, key, verify, nullptr, entry.result,
+                 nullptr, bytes, sc.generation());
+}
+
+void
+admitSliceSectionEntry(const SliceSectionEntry &entry)
+{
+    if (!entry.result)
+        return;
+    Section &sec = section();
+    SharedCache &sc = SharedCache::instance();
+    StaticKey key;
+    key.moduleFp = entry.moduleFp.primary;
+    key.invariantFp = entry.invariantFp.primary;
+    key.configKey = entry.configKey;
+    key.auxFp = entry.auxFp.primary;
+    VerifyFps verify;
+    verify.module = entry.moduleFp.secondary;
+    verify.invariant = entry.invariantFp.secondary;
+    verify.aux = entry.auxFp.secondary;
+    const std::size_t bytes = byteSizeEstimate(*entry.result);
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    insertLocked(sc, sec.slice, key, verify, nullptr, entry.result,
+                 nullptr, bytes, sc.generation());
 }
 
 AndersenCacheStats

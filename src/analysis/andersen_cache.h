@@ -52,6 +52,7 @@
 #include "analysis/andersen.h"
 #include "analysis/race_detector.h"
 #include "ir/module.h"
+#include "service/shared_cache.h"
 
 namespace oha::analysis {
 
@@ -187,6 +188,45 @@ sliceSetMemo(const std::shared_ptr<const ir::Module> &module,
              const std::function<SliceSetResult()> &compute,
              const std::function<std::optional<SliceSetResult>(
                  const SliceLineageBase &)> &computeIncremental = {});
+
+/**
+ * Snapshot-portable view of one cached detector run: both
+ * fingerprints of each key component plus the plain-data result.
+ * Restored entries are admitted without a module object, so they can
+ * serve dual-fingerprint-verified hits but are excluded from version
+ * lineage (they can never be incremental patch bases).  Opaque
+ * AndersenResult entries are deliberately NOT exportable — points-to
+ * graphs reference hash-consed pools and the live module and are
+ * recomputed after a restart.
+ */
+struct RaceSectionEntry
+{
+    service::Fingerprint moduleFp;
+    service::Fingerprint invariantFp;
+    std::shared_ptr<const StaticRaceResult> result;
+};
+
+/** Slice-set twin of RaceSectionEntry (adds the slicing config key
+ *  and the endpoint-list fingerprint). */
+struct SliceSectionEntry
+{
+    service::Fingerprint moduleFp;
+    service::Fingerprint invariantFp;
+    std::uint64_t configKey = 0;
+    service::Fingerprint auxFp;
+    std::shared_ptr<const SliceSetResult> result;
+};
+
+/** Copy the cached detector / slice-set entries out for snapshotting
+ *  (service/snapshot.cc).  Safe to call concurrently with requests. */
+std::vector<RaceSectionEntry> exportRaceSection();
+std::vector<SliceSectionEntry> exportSliceSection();
+
+/** Re-admit a restored entry (warm start).  First insert wins: a live
+ *  entry for the same key is never displaced.  The entry joins the
+ *  LRU spine with its byte estimate charged against the budget. */
+void admitRaceSectionEntry(const RaceSectionEntry &entry);
+void admitSliceSectionEntry(const SliceSectionEntry &entry);
 
 /** Process-wide cache counters since start / last reset. */
 AndersenCacheStats andersenCacheStats();

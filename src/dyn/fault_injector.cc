@@ -43,6 +43,56 @@ FaultInjector::FaultInjector(const ir::Module &module,
 {
 }
 
+std::string
+IoFaultPoint::describe() const
+{
+    std::string out = crash ? "crash at io op " : "fail io op ";
+    out += std::to_string(failAfter);
+    out += " (mask " + std::to_string(opMask) + ", errno " +
+           std::to_string(error) + ")";
+    return out;
+}
+
+std::uint64_t
+countIoOps(const std::function<void()> &body)
+{
+    support::disarmIoFault();
+    support::resetIoOpCount();
+    body();
+    return support::ioOpCount();
+}
+
+std::vector<IoFaultPoint>
+pickIoFaultPoints(std::uint64_t opCount, std::size_t maxPoints,
+                  std::uint64_t seed, std::uint32_t opMask, bool crash)
+{
+    std::vector<IoFaultPoint> points;
+    if (opCount == 0 || maxPoints == 0)
+        return points;
+
+    std::set<std::uint64_t> chosen;
+    if (opCount <= maxPoints) {
+        for (std::uint64_t k = 0; k < opCount; ++k)
+            chosen.insert(k);
+    } else {
+        // Always probe the edges; fill the rest from the seed.
+        chosen.insert(0);
+        chosen.insert(opCount - 1);
+        Rng rng(seed ^ 0x10fa0175u);
+        while (chosen.size() < maxPoints)
+            chosen.insert(rng.below(opCount));
+    }
+    points.reserve(chosen.size());
+    for (std::uint64_t k : chosen) {
+        IoFaultPoint point;
+        point.failAfter = k;
+        point.opMask = opMask;
+        point.crash = crash;
+        points.push_back(point);
+    }
+    return points;
+}
+
 namespace {
 
 /** Everything the corpus observably does, aggregated across runs. */

@@ -20,17 +20,26 @@
  * by the InvariantChecker on some corpus input.  Selection is driven
  * by a seeded support::Rng (OHA_FAULT_SEED in CI), so sweeps are
  * reproducible and independent of thread count.
+ *
+ * A second fault domain targets the durability layer: the persist
+ * paths (support/durable_file.h) issue every syscall through armable
+ * wrappers, and the helpers below turn "fail the k-th I/O op" into
+ * seeded, reproducible sweeps — measure a healthy run's op count,
+ * pick fault points, arm one per run, and assert every interruption
+ * degrades to reject-count-recompute.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "dyn/violation.h"
 #include "exec/interpreter.h"
 #include "invariants/invariant_set.h"
+#include "support/durable_file.h"
 
 namespace oha::dyn {
 
@@ -61,6 +70,68 @@ struct FaultInjectorOptions
 
 /** OHA_FAULT_SEED environment value, or 0 when unset/invalid. */
 std::uint64_t faultSeedFromEnv();
+
+// ------------------------------------------------------ I/O fault domain
+
+/** One point in an I/O fault sweep: the @p failAfter-th operation
+ *  matching @p opMask fails with @p error — or, with @p crash, the
+ *  process _exit()s there (support::kIoCrashExitCode). */
+struct IoFaultPoint
+{
+    std::uint64_t failAfter = 0;
+    std::uint32_t opMask = support::kIoAllOps;
+    int error = 5; ///< EIO
+    bool crash = false;
+
+    std::string describe() const;
+};
+
+/** Run @p body with faults disarmed and return how many faultable
+ *  I/O operations (all classes) it performed — the sweep's op-count
+ *  baseline.  With a restricted opMask, points past the matching-op
+ *  count simply never fire (check ScopedIoFault::fired()). */
+std::uint64_t countIoOps(const std::function<void()> &body);
+
+/**
+ * Seed-deterministic fault points covering an op-count of @p opCount:
+ * exhaustive when opCount <= maxPoints, otherwise a seeded sample
+ * that always includes the first and last operation (the two edges
+ * where partial state is most asymmetric).  Empty when opCount is 0.
+ */
+std::vector<IoFaultPoint>
+pickIoFaultPoints(std::uint64_t opCount, std::size_t maxPoints,
+                  std::uint64_t seed,
+                  std::uint32_t opMask = support::kIoAllOps,
+                  bool crash = false);
+
+/** Arms one fault point for the current scope; disarms (and leaves
+ *  the op counter readable) on destruction. */
+class ScopedIoFault
+{
+  public:
+    explicit ScopedIoFault(const IoFaultPoint &point)
+    {
+        support::IoFaultPlan plan;
+        plan.failAfter = point.failAfter;
+        plan.opMask = point.opMask;
+        plan.error = point.error;
+        plan.crash = point.crash;
+        support::resetIoOpCount();
+        support::armIoFault(plan);
+    }
+
+    ~ScopedIoFault() { support::disarmIoFault(); }
+
+    ScopedIoFault(const ScopedIoFault &) = delete;
+    ScopedIoFault &operator=(const ScopedIoFault &) = delete;
+
+    /** Whether the armed fault actually fired. */
+    bool
+    fired() const
+    {
+        return support::ioFaultsInjected() > 0;
+    }
+};
 
 /** Perturbs invariant sets so a corpus provably mis-speculates. */
 class FaultInjector

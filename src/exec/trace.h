@@ -79,12 +79,21 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/interpreter.h"
 #include "support/arena.h"
+
+namespace oha::support {
+class ByteWriter;
+class ByteReader;
+} // namespace oha::support
 
 namespace oha::exec {
 
@@ -124,6 +133,24 @@ class TraceBuffer
     {
         putVarint((static_cast<std::uint64_t>(value) << 1) ^
                   static_cast<std::uint64_t>(value >> 63));
+    }
+
+    /** Bulk append (persistence loaders refilling a segment). */
+    void
+    putBytes(const void *data, std::size_t len)
+    {
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        while (len > 0) {
+            if (wptr_ == wend_)
+                newChunk();
+            const auto n = std::min(
+                len, static_cast<std::size_t>(wend_ - wptr_));
+            std::memcpy(wptr_, bytes, n);
+            wptr_ += n;
+            bytes += n;
+            len -= n;
+            bytes_ += n;
+        }
     }
 
     /** Payload bytes written so far. */
@@ -254,9 +281,17 @@ class SpillFile
     };
 
     /** Create an unlinked temp file under $TMPDIR (default /tmp).
-     *  Returns null (with a warning) when the directory is not
-     *  writable — callers then keep segments in RAM. */
-    static std::shared_ptr<SpillFile> create();
+     *  Returns null (with a warning, and the errno in @p errnoOut)
+     *  when the directory is not writable — callers then keep
+     *  segments in RAM. */
+    static std::shared_ptr<SpillFile> create(int *errnoOut = nullptr);
+
+    /** Named-file mode: wrap an already-open, fully-verified capture
+     *  file descriptor for read-only segment mapping (the load side
+     *  of persistTrace).  The adopted fd is closed with the last
+     *  handle; append() is forbidden. */
+    static std::shared_ptr<SpillFile> adoptReadOnly(int fd,
+                                                    std::uint64_t size);
 
     ~SpillFile();
     SpillFile(const SpillFile &) = delete;
@@ -267,6 +302,9 @@ class SpillFile
      *  warns and returns false with the file truncated back, so the
      *  caller can fall back to RAM. */
     bool append(const TraceBuffer &buffer, std::uint64_t &offsetOut);
+
+    /** errno of the most recent failed write/create (0 = none). */
+    int lastErrno() const { return lastErrno_; }
 
     /** Append @p len raw bytes, first padding the file to an 8-byte
      *  offset so mmap'd LeanEvent arrays land naturally aligned
@@ -289,6 +327,8 @@ class SpillFile
 
     int fd_;
     std::uint64_t size_ = 0;
+    bool readOnly_ = false;
+    int lastErrno_ = 0;
 };
 
 /** Sequential decoder over one segment's byte spans (arena chunks
@@ -429,6 +469,8 @@ struct TraceStoreOptions
  *  support::envSizeBytes); re-read on every call. */
 std::size_t configuredSegmentBytes();
 
+struct RecordedTrace;
+
 /**
  * The segmented trace store: one open TraceBuffer receiving records
  * plus a list of closed, immutable segments (spilled to the overflow
@@ -519,6 +561,20 @@ class TraceStore
     /** Did any segment reach the overflow file? */
     bool spilled() const { return file_ != nullptr; }
 
+    /** Spill-path health for one capture: how many segments reached
+     *  disk, how many fell back to RAM after a spill failure (disk
+     *  full, unwritable $TMPDIR), and the errno of the most recent
+     *  failure.  Surfaced so callers can distinguish "small trace,
+     *  never spilled" from "spill failed, RAM kept growing". */
+    struct SpillStats
+    {
+        std::uint64_t spilledSegments = 0;
+        std::uint64_t ramFallbackSegments = 0;
+        int lastErrno = 0;
+    };
+
+    const SpillStats &spillStats() const { return spillStats_; }
+
     /** Total encoded payload bytes across all segments. */
     std::size_t sizeBytes() const { return totalBytes_; }
 
@@ -543,6 +599,15 @@ class TraceStore
     }
 
   private:
+    friend bool persistTrace(const RecordedTrace &, const std::string &,
+                             std::string *);
+    friend std::shared_ptr<RecordedTrace> loadTrace(const std::string &,
+                                                    std::string *);
+    friend bool serializeRecordedTrace(const RecordedTrace &,
+                                       support::ByteWriter &);
+    friend std::shared_ptr<RecordedTrace>
+    deserializeRecordedTrace(support::ByteReader &);
+
     struct Segment
     {
         SegmentHeader header;
@@ -556,6 +621,14 @@ class TraceStore
         std::uint64_t leanFileOffset = 0;
     };
 
+    /** Visit segment @p i's encoded payload bytes in stream order
+     *  (serialization; maps spilled segments for the call).  False on
+     *  map failure. */
+    bool forEachSegmentBytes(
+        std::size_t i,
+        const std::function<void(const std::uint8_t *, std::size_t)> &fn)
+        const;
+
     std::size_t segmentBytes_;
     bool captureValues_;
     bool finished_ = false;
@@ -568,6 +641,7 @@ class TraceStore
     std::size_t totalBytes_ = 0;
     std::size_t residentClosed_ = 0;
     std::size_t leanResident_ = 0;
+    SpillStats spillStats_;
 };
 
 /**
@@ -768,6 +842,45 @@ struct RecordedTrace
      *  uninstrumented execution). */
     RunResult result;
 };
+
+/**
+ * Persist a finished capture to @p path as a checksummed, atomically
+ * published file (support::DurableWriter, kind Capture): segment
+ * payloads and LeanEvent sidecars as raw blocks plus a meta block
+ * carrying the SegmentHeader table and the RunResult.  False (with
+ * @p errorOut and a warning) on any I/O failure — the previously
+ * published file, if any, is untouched.
+ */
+bool persistTrace(const RecordedTrace &trace, const std::string &path,
+                  std::string *errorOut = nullptr);
+
+/**
+ * Reload a capture persisted by persistTrace.  The file is fully
+ * checksum-verified and semantically validated (segment/block counts,
+ * byte lengths, step totals); segments replay through the same mmap
+ * windows as live spilled segments — the loaded fd is adopted as a
+ * read-only SpillFile, so load cost is O(metadata), not O(trace).
+ * Null (with @p errorOut and a warning) on any defect: truncation,
+ * bit flips, version skew, wrong kind — never a crash, never
+ * corrupt events served.
+ */
+std::shared_ptr<RecordedTrace> loadTrace(const std::string &path,
+                                         std::string *errorOut = nullptr);
+
+/** Blob form of persistTrace for embedding a capture inside another
+ *  container (cache snapshots): same meta encoding, segment payloads
+ *  inline.  Spilled segments are read back through mmap windows;
+ *  false (nothing appended beyond a possibly-partial blob — discard
+ *  @p out) when a window cannot be mapped. */
+bool serializeRecordedTrace(const RecordedTrace &trace,
+                            support::ByteWriter &out);
+
+/** Inverse of serializeRecordedTrace; bounds-checked and validated
+ *  like loadTrace.  Originally-spilled segments are re-spilled to a
+ *  fresh unlinked SpillFile (RAM fallback when unavailable).  Null on
+ *  any defect. */
+std::shared_ptr<RecordedTrace>
+deserializeRecordedTrace(support::ByteReader &in);
 
 /** Execute @p config once, uninstrumented, capturing its trace. */
 RecordedTrace recordRun(const ir::Module &module, const ExecConfig &config);

@@ -174,4 +174,44 @@ recordRunMemo(const std::shared_ptr<const ir::Module> &module,
     return shared;
 }
 
+std::vector<TraceSectionEntry>
+exportTraceSection()
+{
+    TraceMap &map = section();
+    SharedCache &sc = SharedCache::instance();
+    std::vector<TraceSectionEntry> out;
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    out.reserve(map.size());
+    for (const auto &[key, entry] : map) {
+        out.push_back({{key.moduleFp, entry.moduleSecondary},
+                       {key.configFp, entry.configSecondary},
+                       entry.trace});
+    }
+    return out;
+}
+
+void
+admitTraceSectionEntry(const TraceSectionEntry &entry)
+{
+    if (!entry.trace)
+        return;
+    TraceMap &map = section();
+    SharedCache &sc = SharedCache::instance();
+    const TraceKey key{entry.moduleFp.primary, entry.configFp.primary};
+    const std::size_t bytes = byteSizeEstimate(*entry.trace);
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    if (map.find(key) != map.end())
+        return; // first insert wins: never displace a live entry
+    Entry stored;
+    stored.moduleSecondary = entry.moduleFp.secondary;
+    stored.configSecondary = entry.configFp.secondary;
+    // No module object: restored entries verify fingerprints only.
+    stored.trace = entry.trace;
+    auto [pos, inserted] = map.emplace(key, std::move(stored));
+    OHA_ASSERT(inserted);
+    pos->second.handle =
+        sc.lru().insert(bytes, [&map, key] { map.erase(key); });
+    sc.enforceBudget();
+}
+
 } // namespace oha::exec

@@ -25,9 +25,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "exec/trace.h"
 #include "ir/module.h"
+#include "service/shared_cache.h"
 
 namespace oha::exec {
 
@@ -46,5 +48,27 @@ std::size_t byteSizeEstimate(const RecordedTrace &trace);
 std::shared_ptr<const RecordedTrace>
 recordRunMemo(const std::shared_ptr<const ir::Module> &module,
               const ExecConfig &config);
+
+/**
+ * Snapshot-portable view of one cached capture: both fingerprints of
+ * each key component plus the (immutable, plain-data) trace.  Used by
+ * the warm-start snapshot (service/snapshot.cc); restored entries are
+ * admitted without a module object — replays fetch the module from
+ * the request, the entry only needs to verify fingerprints.
+ */
+struct TraceSectionEntry
+{
+    service::Fingerprint moduleFp;
+    service::Fingerprint configFp;
+    std::shared_ptr<const RecordedTrace> trace;
+};
+
+/** Copy the cached captures out for snapshotting.  Safe to call
+ *  concurrently with requests. */
+std::vector<TraceSectionEntry> exportTraceSection();
+
+/** Re-admit a restored capture (warm start).  First insert wins; the
+ *  entry joins the LRU spine with its byte estimate charged. */
+void admitTraceSectionEntry(const TraceSectionEntry &entry);
 
 } // namespace oha::exec

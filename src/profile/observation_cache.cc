@@ -184,4 +184,45 @@ observeRunMemo(const std::shared_ptr<const ir::Module> &module,
     return shared;
 }
 
+std::vector<ObservationSectionEntry>
+exportObservationSection()
+{
+    ObservationMap &map = section();
+    SharedCache &sc = SharedCache::instance();
+    std::vector<ObservationSectionEntry> out;
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    out.reserve(map.size());
+    for (const auto &[key, entry] : map) {
+        out.push_back({{key.moduleFp, entry.moduleSecondary},
+                       {key.observationFp, entry.observationSecondary},
+                       entry.observations});
+    }
+    return out;
+}
+
+void
+admitObservationSectionEntry(const ObservationSectionEntry &entry)
+{
+    if (!entry.observations)
+        return;
+    ObservationMap &map = section();
+    SharedCache &sc = SharedCache::instance();
+    const ObservationKey key{entry.moduleFp.primary,
+                             entry.observationFp.primary};
+    const std::size_t bytes = byteSizeEstimate(*entry.observations);
+    std::lock_guard<std::mutex> lock(sc.mutex());
+    if (map.find(key) != map.end())
+        return; // first insert wins: never displace a live entry
+    Entry stored;
+    stored.moduleSecondary = entry.moduleFp.secondary;
+    stored.observationSecondary = entry.observationFp.secondary;
+    // No module object: restored entries verify fingerprints only.
+    stored.observations = entry.observations;
+    auto [pos, inserted] = map.emplace(key, std::move(stored));
+    OHA_ASSERT(inserted);
+    pos->second.handle =
+        sc.lru().insert(bytes, [&map, key] { map.erase(key); });
+    sc.enforceBudget();
+}
+
 } // namespace oha::prof

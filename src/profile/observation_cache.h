@@ -19,9 +19,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "ir/module.h"
 #include "profile/profiler.h"
+#include "service/shared_cache.h"
 
 namespace oha::prof {
 
@@ -40,5 +42,22 @@ std::shared_ptr<const RunObservations>
 observeRunMemo(const std::shared_ptr<const ir::Module> &module,
                const ProfileOptions &options,
                const exec::ExecConfig &config);
+
+/** Snapshot-portable view of one cached observation (both
+ *  fingerprints of each key component + the plain-data result); see
+ *  exec::TraceSectionEntry for the restore semantics. */
+struct ObservationSectionEntry
+{
+    service::Fingerprint moduleFp;
+    service::Fingerprint observationFp;
+    std::shared_ptr<const RunObservations> observations;
+};
+
+/** Copy the cached observations out for snapshotting. */
+std::vector<ObservationSectionEntry> exportObservationSection();
+
+/** Re-admit a restored observation (warm start).  First insert wins;
+ *  the entry joins the LRU spine with its byte estimate charged. */
+void admitObservationSectionEntry(const ObservationSectionEntry &entry);
 
 } // namespace oha::prof

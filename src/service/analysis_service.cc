@@ -1,6 +1,7 @@
 #include "service/analysis_service.h"
 
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -8,6 +9,8 @@
 #include <vector>
 
 #include "service/request_queue.h"
+#include "service/snapshot.h"
+#include "support/env.h"
 #include "support/thread_pool.h"
 
 namespace oha::service {
@@ -20,6 +23,24 @@ double
 millisSince(Clock::time_point start, Clock::time_point now)
 {
     return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+std::string
+resolveStateDir(const ServiceConfig &config)
+{
+    if (!config.stateDir.empty())
+        return config.stateDir;
+    const char *env = std::getenv("OHA_STATE_DIR");
+    return env ? std::string(env) : std::string();
+}
+
+std::uint64_t
+resolveSnapshotInterval(const ServiceConfig &config)
+{
+    if (config.snapshotIntervalSeconds > 0)
+        return config.snapshotIntervalSeconds;
+    return support::envSizeBytes("OHA_SNAPSHOT_INTERVAL", 0, 0,
+                                 365ull * 24 * 3600);
 }
 
 } // namespace
@@ -38,11 +59,36 @@ struct AnalysisService::Impl
     explicit Impl(ServiceConfig config)
         : config_(config),
           shardCount_(support::configuredThreads(config.shards)),
+          stateDir_(resolveStateDir(config)),
+          snapshotInterval_(resolveSnapshotInterval(config)),
           queue_(config.maxQueueDepth)
     {
+        // Warm start BEFORE the shards exist: the first request must
+        // already see the restored cache (and a defective snapshot is
+        // rejected wholesale — the daemon just starts cold).
+        if (!stateDir_.empty())
+            loadSnapshot(defaultSnapshotPath(stateDir_));
         shards_.reserve(shardCount_);
         for (std::size_t i = 0; i < shardCount_; ++i)
             shards_.emplace_back([this] { shardLoop(); });
+        if (!stateDir_.empty() && snapshotInterval_ > 0)
+            snapshotThread_ = std::thread([this] { snapshotLoop(); });
+    }
+
+    void
+    snapshotLoop()
+    {
+        std::unique_lock<std::mutex> lock(snapshotMutex_);
+        while (!stopSnapshots_) {
+            snapshotCv_.wait_for(lock,
+                                 std::chrono::seconds(snapshotInterval_),
+                                 [this] { return stopSnapshots_; });
+            if (stopSnapshots_)
+                return;
+            lock.unlock();
+            writeSnapshot(defaultSnapshotPath(stateDir_));
+            lock.lock();
+        }
     }
 
     void
@@ -161,18 +207,44 @@ struct AnalysisService::Impl
         for (std::thread &shard : shards_)
             if (shard.joinable())
                 shard.join();
+        {
+            std::lock_guard<std::mutex> lock(snapshotMutex_);
+            stopSnapshots_ = true;
+        }
+        snapshotCv_.notify_all();
+        if (snapshotThread_.joinable())
+            snapshotThread_.join();
+        // The final snapshot is written AFTER the shards drain, so it
+        // captures everything the last request warmed.  A write
+        // failure here is counted and warned, never fatal.
+        bool writeFinal = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            writeFinal = !stateDir_.empty() && !finalSnapshotDone_;
+            finalSnapshotDone_ = true;
+        }
+        if (writeFinal)
+            writeSnapshot(defaultSnapshotPath(stateDir_));
     }
 
     const ServiceConfig config_;
     const std::size_t shardCount_;
+    const std::string stateDir_;
+    const std::uint64_t snapshotInterval_;
     RequestQueue<Job> queue_;
     std::vector<std::thread> shards_;
+
+    std::thread snapshotThread_;
+    std::mutex snapshotMutex_;
+    std::condition_variable snapshotCv_;
+    bool stopSnapshots_ = false;
 
     mutable std::mutex mutex_;
     std::condition_variable idle_;
     /** Accepted but not yet completed (queued + running). */
     std::size_t inFlight_ = 0;
     ServiceCounters counters_;
+    bool finalSnapshotDone_ = false;
 };
 
 AnalysisService::AnalysisService(ServiceConfig config)
@@ -220,6 +292,20 @@ AnalysisService::counters() const
 {
     std::lock_guard<std::mutex> lock(impl_->mutex_);
     return impl_->counters_;
+}
+
+bool
+AnalysisService::snapshotNow()
+{
+    if (impl_->stateDir_.empty())
+        return false;
+    return writeSnapshot(defaultSnapshotPath(impl_->stateDir_));
+}
+
+const std::string &
+AnalysisService::stateDir() const
+{
+    return impl_->stateDir_;
 }
 
 } // namespace oha::service

@@ -62,6 +62,16 @@ struct ServiceConfig
     /** Queue-depth cap (admission control). */
     std::size_t maxQueueDepth = 64;
     AdmissionPolicy admission = AdmissionPolicy::Block;
+    /** Durable-state directory.  Non-empty: the shared cache is
+     *  warm-started from <dir>/oha-cache.snapshot at construction and
+     *  snapshotted back on graceful shutdown (service/snapshot.h).
+     *  Empty: falls back to OHA_STATE_DIR; persistence is off when
+     *  that is unset too. */
+    std::string stateDir;
+    /** Seconds between periodic background snapshots while running.
+     *  0 falls back to OHA_SNAPSHOT_INTERVAL; 0 there too means
+     *  snapshot on shutdown only. */
+    std::uint64_t snapshotIntervalSeconds = 0;
 };
 
 /** One analysis request: a workload plus the pipeline configuration
@@ -136,8 +146,18 @@ class AnalysisService
     void drain();
 
     /** Graceful shutdown: refuse new requests, run everything already
-     *  accepted, join the shards.  Idempotent; implied by ~. */
+     *  accepted, join the shards.  With a state directory configured,
+     *  a final cache snapshot is written after the shards drain.
+     *  Idempotent; implied by ~. */
     void shutdown();
+
+    /** Write a cache snapshot now (no-op without a state directory).
+     *  False when persistence is off or the write failed — the
+     *  service keeps running in memory either way. */
+    bool snapshotNow();
+
+    /** The resolved state directory ("" = persistence off). */
+    const std::string &stateDir() const;
 
     std::size_t queueDepth() const;
     std::size_t shards() const;

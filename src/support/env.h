@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "support/common.h"
@@ -79,6 +80,7 @@ envSizeBytes(const char *name, std::size_t defaultValue,
     // require a plain digit string so "-3" and " 5" count as
     // malformed rather than silently becoming huge/valid.
     char *end = nullptr;
+    errno = 0;
     const unsigned long long parsed =
         (env[0] >= '0' && env[0] <= '9') ? std::strtoull(env, &end, 10)
                                          : 0;
@@ -86,6 +88,14 @@ envSizeBytes(const char *name, std::size_t defaultValue,
         OHA_WARN("ignoring malformed %s value '%s' (using default %zu)",
                  name, env, defaultValue);
         return defaultValue;
+    }
+    // A value too large for unsigned long long saturates strtoull at
+    // ULLONG_MAX with ERANGE; report the original text instead of the
+    // wrapped/saturated number and land on the maximum.
+    if (errno == ERANGE) {
+        OHA_WARN("saturating overflowing %s value '%s' to maximum %zu",
+                 name, env, maxValue);
+        return maxValue;
     }
     // Overflow-safe scale: saturate instead of wrapping, then apply
     // the shared range contract.

@@ -310,6 +310,10 @@ TEST(EnvSizeBytes, ValidationContract)
     // Products that would overflow saturate at the maximum.
     ASSERT_EQ(setenv(name, "18446744073709551615", 1), 0);
     EXPECT_EQ(support::envSizeBytes(name, 42, 1, 100), 100u);
+    // Beyond even unsigned long long (strtoull reports ERANGE): still
+    // the maximum, not a wrapped or "malformed" fallback.
+    ASSERT_EQ(setenv(name, "99999999999999999999999999", 1), 0);
+    EXPECT_EQ(support::envSizeBytes(name, 42, 1, 100), 100u);
     ASSERT_EQ(setenv(name, "1099511627776", 1), 0); // 1 TiB in MiB units
     EXPECT_EQ(support::envSizeBytes(name, 1u << 20, 1u << 20, 1u << 30,
                                     1u << 20),
